@@ -1,0 +1,1 @@
+bench/harness.ml: Fun Gc Liblang_core List Printf Programs String Unix

@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Harness Hashtbl Instance Liblang_core List Measure Printf Programs Staged Sys Test Time Toolkit Unix

@@ -1,0 +1,106 @@
+(** The [liblang] command-line tool.
+
+    {v
+    liblang run FILE ...       run #lang programs (later files may require
+                               modules declared by earlier ones)
+    liblang expand FILE        print a module's fully-expanded core forms
+    liblang eval [-l LANG] E   evaluate one expression
+    liblang repl [-l LANG]     interactive read-eval-print loop
+    liblang langs              list the registered languages
+    v} *)
+
+open Liblang_core.Core
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let module_name_of path = Filename.remove_extension (Filename.basename path)
+
+let report_error = function
+  | Value.Scheme_error m -> Printf.eprintf "error: %s\n" m
+  | Expander.Expand_error (m, stx) ->
+      Printf.eprintf "syntax error: %s\n  in: %s\n  at: %s\n" m (Stx.to_string stx)
+        (Srcloc.to_string stx.Stx.loc)
+  | Compile.Compile_error (m, stx) ->
+      Printf.eprintf "compile error: %s\n  in: %s\n" m (Stx.to_string stx)
+  | Modsys.Module_error m -> Printf.eprintf "module error: %s\n" m
+  | Liblang_stx.Binding.Ambiguous id ->
+      Printf.eprintf "ambiguous identifier: %s\n" (Stx.to_string id)
+  | e -> Printf.eprintf "error: %s\n" (Printexc.to_string e)
+
+let catching f = try f () with e -> report_error e; exit 1
+
+let cmd_run paths =
+  List.iter
+    (fun path ->
+      catching (fun () ->
+          let m = Modsys.declare ~name:(module_name_of path) (read_file path) in
+          Modsys.instantiate m))
+    paths
+
+let cmd_expand path =
+  catching (fun () ->
+      let forms = Modsys.expand_source ~name:(module_name_of path) (read_file path) in
+      List.iter (fun f -> print_endline (Stx.to_string f)) forms)
+
+let cmd_eval lang expr =
+  catching (fun () -> print_endline (Value.write_string (eval_expr ~lang expr)))
+
+let cmd_langs () =
+  (* every builtin language *)
+  List.iter print_endline [ "racket"; "typed/racket (aliases: typed, simple-type)"; "count"; "lazy"; "limited" ]
+
+let cmd_repl lang =
+  Printf.printf "liblang repl (#lang %s); ctrl-d to exit\n" lang;
+  let buf = Buffer.create 256 in
+  let balanced s =
+    let depth = ref 0 and in_str = ref false in
+    String.iteri
+      (fun i c ->
+        if !in_str then (if c = '"' && (i = 0 || s.[i - 1] <> '\\') then in_str := false)
+        else
+          match c with
+          | '"' -> in_str := true
+          | '(' | '[' -> incr depth
+          | ')' | ']' -> decr depth
+          | _ -> ())
+      s;
+    !depth <= 0 && not !in_str
+  in
+  try
+    while true do
+      if Buffer.length buf = 0 then print_string "> " else print_string "  ";
+      flush stdout;
+      let line = input_line stdin in
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n';
+      let text = Buffer.contents buf in
+      if String.trim text <> "" && balanced text then begin
+        Buffer.clear buf;
+        try
+          let v = eval_expr ~lang text in
+          if v <> Value.Void then print_endline (Value.write_string v)
+        with e -> report_error e
+      end
+    done
+  with End_of_file -> print_newline ()
+
+let usage () =
+  prerr_endline "usage: liblang run FILE... | expand FILE | eval [-l LANG] EXPR | repl [-l LANG] | langs";
+  exit 2
+
+let () =
+  init ();
+  let args = Array.to_list Sys.argv in
+  match args with
+  | _ :: "run" :: (_ :: _ as paths) -> cmd_run paths
+  | [ _; "expand"; path ] -> cmd_expand path
+  | [ _; "eval"; "-l"; lang; expr ] -> cmd_eval lang expr
+  | [ _; "eval"; expr ] -> cmd_eval "racket" expr
+  | [ _; "repl"; "-l"; lang ] -> cmd_repl lang
+  | [ _; "repl" ] -> cmd_repl "racket"
+  | [ _; "langs" ] -> cmd_langs ()
+  | _ -> usage ()

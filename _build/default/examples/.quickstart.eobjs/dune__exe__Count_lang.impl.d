@@ -1,0 +1,1 @@
+examples/count_lang.ml: Liblang_core Printf

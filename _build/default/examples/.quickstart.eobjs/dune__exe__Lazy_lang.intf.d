@@ -1,0 +1,1 @@
+examples/lazy_lang.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Binding Denote Expander Liblang_core List Modsys Printf String Stx Value

@@ -1,0 +1,1 @@
+examples/typed_modules.ml: Contracts Liblang_core List Modsys Optimize Option Printf Value

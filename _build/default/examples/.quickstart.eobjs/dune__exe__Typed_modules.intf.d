@@ -1,0 +1,1 @@
+examples/typed_modules.mli:

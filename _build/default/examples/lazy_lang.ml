@@ -1,0 +1,60 @@
+(** A lazy language as a library (the paper cites Lazy Racket, §1).
+
+    The [lazy] language overrides the implicit [#%app] hook so that
+    applications of user functions delay their arguments, and [if] forces
+    its test.  No changes to the expander, the compiler, or the runtime —
+    the different dynamic semantics is just another set of exports.
+
+    Run with: dune exec examples/lazy_lang.exe *)
+
+open Liblang_core.Core
+
+let section title = Printf.printf "\n=== %s ===\n" title
+
+let () =
+  init ();
+
+  section "1. Arguments are not evaluated until needed";
+  let out =
+    run_string
+      {|#lang lazy
+(define (const-five x) 5)
+(display (const-five (error "this would explode in a strict language")))
+|}
+  in
+  Printf.printf "output: %s\n" out;
+
+  section "2. ... but they are evaluated when used";
+  let out =
+    run_string
+      {|#lang lazy
+(define (square x) (* x x))
+(display (square (+ 3 4)))
+|}
+  in
+  Printf.printf "output: %s\n" out;
+
+  section "3. Call-by-need: each argument is computed at most once";
+  let out =
+    run_string
+      {|#lang lazy
+(define (twice x) (+ x x))
+(display (twice (begin (display "!") 21)))
+|}
+  in
+  Printf.printf "output: %s   -- one '!', not two: the promise memoizes\n" out;
+
+  section "4. The same program under #lang racket, for contrast";
+  (try ignore (run_string "#lang racket\n(define (const-five x) 5)\n(display (const-five (error \"boom\")))\n")
+   with Value.Scheme_error m -> Printf.printf "strict evaluation raises: %s\n" m);
+
+  section "5. An 'infinite' computation, cut off by laziness";
+  let out =
+    run_string
+      {|#lang lazy
+(define (loop-forever) (loop-forever))
+(define (pick a b) (if (> 2 1) a b))
+(display (pick 'finished (loop-forever)))
+|}
+  in
+  Printf.printf "output: %s\n" out

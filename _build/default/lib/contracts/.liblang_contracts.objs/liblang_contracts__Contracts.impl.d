@@ -1,0 +1,1 @@
+lib/contracts/contracts.ml: Array Bytes Liblang_runtime List Printf String

@@ -1,0 +1,1 @@
+lib/contracts/contracts.mli: Liblang_runtime

@@ -1,0 +1,163 @@
+(** Higher-order contracts with blame (paper §6).
+
+    A contract is represented as a {e projection}: a procedure taking a
+    value and the two blame parties and returning a (possibly wrapped)
+    value.  Flat contracts check immediately; function contracts wrap the
+    procedure and swap blame on the domain (the classic
+    Findler–Felleisen discipline).  Typed Racket generates these from types
+    ([type->contract]) to guard the typed/untyped boundary. *)
+
+open Liblang_runtime.Value
+
+exception Contract_violation of { blame : string; contract : string; value : value }
+
+let blame_error ~blame ~contract v = raise (Contract_violation { blame; contract; value = v })
+
+let violation_message = function
+  | Contract_violation { blame; contract; value } ->
+      Some
+        (Printf.sprintf "contract violation: expected %s, given: %s; blaming: %s" contract
+           (write_string value) blame)
+  | _ -> None
+
+(* A contract value is a Prim of three arguments: value, positive party,
+   negative party. *)
+
+let party name = function
+  | Str s -> Bytes.to_string s
+  | Sym s -> s
+  | v -> error "%s: expects a blame party (string or symbol), given %s" name (write_string v)
+
+let project (c : value) (v : value) ~(pos : string) ~(neg : string) : value =
+  Liblang_runtime.Interp.apply c [ v; Sym pos; Sym neg ]
+
+let make_contract ~name (proj : value -> pos:string -> neg:string -> value) : value =
+  prim ("contract:" ^ name) (function
+    | [ v; p; n ] -> proj v ~pos:(party name p) ~neg:(party name n)
+    | args -> error "%s: bad contract application (%d args)" name (List.length args))
+
+let contract_name (c : value) =
+  match c with
+  | Prim p when String.length p.p_name > 9 && String.sub p.p_name 0 9 = "contract:" ->
+      String.sub p.p_name 9 (String.length p.p_name - 9)
+  | v -> write_string v
+
+(** A flat contract from a predicate. *)
+let flat ~name (pred : value -> bool) : value =
+  make_contract ~name (fun v ~pos ~neg ->
+      ignore neg;
+      if pred v then v else blame_error ~blame:pos ~contract:name v)
+
+let any_c = make_contract ~name:"any/c" (fun v ~pos:_ ~neg:_ -> v)
+
+let none_c ~name = make_contract ~name (fun v ~pos ~neg:_ -> blame_error ~blame:pos ~contract:name v)
+
+(** Disjunction of flat contracts (first-order check only). *)
+let or_c (cs : value list) : value =
+  let name = "(or/c " ^ String.concat " " (List.map contract_name cs) ^ ")" in
+  make_contract ~name (fun v ~pos ~neg ->
+      let ok =
+        List.exists
+          (fun c ->
+            match project c v ~pos ~neg with
+            | _ -> true
+            | exception Contract_violation _ -> false)
+          cs
+      in
+      if ok then v else blame_error ~blame:pos ~contract:name v)
+
+(** Function contract: wraps the value; domain blame is swapped to the
+    negative party (the caller), range blame stays positive. *)
+let arrow (doms : value list) (rng : value) : value =
+  let name =
+    "(-> " ^ String.concat " " (List.map contract_name doms) ^ " " ^ contract_name rng ^ ")"
+  in
+  make_contract ~name (fun f ~pos ~neg ->
+      if not (is_procedure f) then blame_error ~blame:pos ~contract:name f
+      else
+        prim
+          (procedure_name f ^ "/contracted")
+          (fun args ->
+            if List.length args <> List.length doms then
+              blame_error ~blame:neg ~contract:name (of_list args)
+            else
+              let checked = List.map2 (fun d a -> project d a ~pos:neg ~neg:pos) doms args in
+              let result = Liblang_runtime.Interp.apply f checked in
+              project rng result ~pos ~neg))
+
+(** Structural contracts: check each element now (flat use only). *)
+let listof (elem : value) : value =
+  let name = "(listof " ^ contract_name elem ^ ")" in
+  make_contract ~name (fun v ~pos ~neg ->
+      match to_list_opt v with
+      | None -> blame_error ~blame:pos ~contract:name v
+      | Some xs -> of_list (List.map (fun x -> project elem x ~pos ~neg) xs))
+
+let pair_c (car_c : value) (cdr_c : value) : value =
+  let name = "(cons/c " ^ contract_name car_c ^ " " ^ contract_name cdr_c ^ ")" in
+  make_contract ~name (fun v ~pos ~neg ->
+      match v with
+      | Pair p -> cons (project car_c p.car ~pos ~neg) (project cdr_c p.cdr ~pos ~neg)
+      | _ -> blame_error ~blame:pos ~contract:name v)
+
+let vectorof (elem : value) : value =
+  let name = "(vectorof " ^ contract_name elem ^ ")" in
+  make_contract ~name (fun v ~pos ~neg ->
+      match v with
+      | Vec a -> Vec (Array.map (fun x -> project elem x ~pos ~neg) a)
+      | _ -> blame_error ~blame:pos ~contract:name v)
+
+(* -- flat contracts for the base types -------------------------------------- *)
+
+module Numeric = Liblang_runtime.Numeric
+
+let integer_c = flat ~name:"exact-integer?" (function Int _ -> true | _ -> false)
+let flonum_c = flat ~name:"flonum?" (function Float _ -> true | _ -> false)
+let number_c = flat ~name:"number?" Numeric.is_number
+let float_complex_c = flat ~name:"float-complex?" (function Cpx _ | Float _ -> true | _ -> false)
+let boolean_c = flat ~name:"boolean?" (function Bool _ -> true | _ -> false)
+let string_c = flat ~name:"string?" (function Str _ -> true | _ -> false)
+let symbol_c = flat ~name:"symbol?" (function Sym _ -> true | _ -> false)
+let char_c = flat ~name:"char?" (function Char _ -> true | _ -> false)
+let void_c = flat ~name:"void?" (function Void -> true | _ -> false)
+let null_c = flat ~name:"null?" (function Nil -> true | _ -> false)
+
+(* -- object-language primitives ---------------------------------------------- *)
+
+let prims : (string * value) list =
+  [
+    ("contract", prim "contract" (function
+       | [ c; v; p; n ] -> project c v ~pos:(party "contract" p) ~neg:(party "contract" n)
+       | _ -> error "contract: expects (contract contract value pos-party neg-party)"));
+    ("flat-contract", prim "flat-contract" (function
+       | [ name; pred ] ->
+           let name =
+             match name with Str s -> Bytes.to_string s | Sym s -> s | v -> write_string v
+           in
+           flat ~name (fun v -> truthy (Liblang_runtime.Interp.apply1 pred v))
+       | _ -> error "flat-contract: expects a name and a predicate"));
+    ("arrow-contract", prim "arrow-contract" (function
+       | [ doms; rng ] -> arrow (to_list doms) rng
+       | _ -> error "arrow-contract: expects a domain list and a range contract"));
+    ("or-contract", prim "or-contract" (fun cs -> or_c cs));
+    ("listof-contract", prim "listof-contract" (function
+       | [ c ] -> listof c
+       | _ -> error "listof-contract: expects a contract"));
+    ("pair-contract", prim "pair-contract" (function
+       | [ a; d ] -> pair_c a d
+       | _ -> error "pair-contract: expects two contracts"));
+    ("vectorof-contract", prim "vectorof-contract" (function
+       | [ c ] -> vectorof c
+       | _ -> error "vectorof-contract: expects a contract"));
+    ("any/c", any_c);
+    ("integer-contract", integer_c);
+    ("flonum-contract", flonum_c);
+    ("number-contract", number_c);
+    ("float-complex-contract", float_complex_c);
+    ("boolean-contract", boolean_c);
+    ("string-contract", string_c);
+    ("symbol-contract", symbol_c);
+    ("char-contract", char_c);
+    ("void-contract", void_c);
+    ("null-contract", null_c);
+  ]

@@ -1,0 +1,58 @@
+(** Higher-order contracts with blame (paper §6).
+
+    A contract is a {e projection}: a procedure taking a value and the two
+    blame parties and returning a (possibly wrapped) value.  Flat contracts
+    check immediately; function contracts wrap the procedure and swap blame
+    on the domain (the Findler–Felleisen discipline).  The typed language
+    generates these from types ([type->contract]) to guard the
+    typed/untyped boundary. *)
+
+open Liblang_runtime.Value
+
+exception Contract_violation of { blame : string; contract : string; value : value }
+
+val blame_error : blame:string -> contract:string -> value -> 'a
+val violation_message : exn -> string option
+
+(** Apply a contract value to [v] with the given blame parties. *)
+val project : value -> value -> pos:string -> neg:string -> value
+
+val contract_name : value -> string
+
+(** {1 Combinators} *)
+
+(** A flat contract from a predicate. *)
+val flat : name:string -> (value -> bool) -> value
+
+val any_c : value
+val none_c : name:string -> value
+
+(** Disjunction (first-order check only). *)
+val or_c : value list -> value
+
+(** Function contract: wraps the value; domain blame swaps to the negative
+    party (the caller), range blame stays positive. *)
+val arrow : value list -> value -> value
+
+val listof : value -> value
+val pair_c : value -> value -> value
+val vectorof : value -> value
+
+(** {1 Flat contracts for the base types} *)
+
+val integer_c : value
+val flonum_c : value
+val number_c : value
+val float_complex_c : value
+val boolean_c : value
+val string_c : value
+val symbol_c : value
+val char_c : value
+val void_c : value
+val null_c : value
+
+(** {1 Object-language primitives} *)
+
+(** [contract], [flat-contract], [arrow-contract], … — exported by the base
+    language so generated boundary code can construct contracts. *)
+val prims : (string * value) list

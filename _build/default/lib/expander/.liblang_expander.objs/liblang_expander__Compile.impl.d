@@ -1,0 +1,1 @@
+lib/expander/compile.ml: Array Denote Liblang_runtime Liblang_stx List Namespace Option Printf String

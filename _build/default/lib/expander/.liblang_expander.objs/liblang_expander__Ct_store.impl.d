@@ -1,0 +1,1 @@
+lib/expander/ct_store.ml: Fun Hashtbl Liblang_runtime

@@ -1,0 +1,1 @@
+lib/expander/denote.ml: Hashtbl Liblang_runtime Liblang_stx Syntax_rules

@@ -1,0 +1,1 @@
+lib/expander/expander.ml: Compile Denote Liblang_reader Liblang_runtime Liblang_stx List Option Printf String Syntax_rules

@@ -1,0 +1,1 @@
+lib/expander/namespace.ml: Hashtbl Liblang_runtime Liblang_stx

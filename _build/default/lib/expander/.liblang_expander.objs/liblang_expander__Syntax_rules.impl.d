@@ -1,0 +1,1 @@
+lib/expander/syntax_rules.ml: Liblang_reader Liblang_stx List Option

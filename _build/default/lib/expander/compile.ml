@@ -1,0 +1,145 @@
+(** Compilation of fully-expanded core syntax to the runtime AST, with
+    lexical addressing.  Pattern-matches exactly the core grammar of the
+    paper's figure 1 — anything else is an internal error, because the
+    expander guarantees its output is core. *)
+
+module Stx = Liblang_stx.Stx
+module Binding = Liblang_stx.Binding
+module Ast = Liblang_runtime.Ast
+module Value = Liblang_runtime.Value
+
+exception Compile_error of string * Stx.t
+
+let err msg s = raise (Compile_error (msg, s))
+
+(* compile-time environment: frames of (binding uid, slot) *)
+type cenv = (int * int) list list
+
+let lookup (cenv : cenv) (uid : int) : (int * int) option =
+  let rec go depth = function
+    | [] -> None
+    | frame :: rest -> (
+        match List.assoc_opt uid frame with
+        | Some slot -> Some (depth, slot)
+        | None -> go (depth + 1) rest)
+  in
+  go 0 cenv
+
+let resolve_exn (id : Stx.t) : Binding.t =
+  match Binding.resolve id with
+  | Some b -> b
+  | None -> err (Printf.sprintf "%s: unbound identifier" (Stx.sym_exn id)) id
+
+let core_kind (hd : Stx.t) : string option =
+  match Binding.resolve hd with
+  | None -> None
+  | Some b -> ( match Denote.get b with Some (Denote.DCore name) -> Some name | _ -> None)
+
+type formals = { ids : Stx.t list; rest : Stx.t option }
+
+let parse_formals (f : Stx.t) : formals =
+  match f.Stx.e with
+  | Stx.Id _ -> { ids = []; rest = Some f }
+  | Stx.List ids -> { ids; rest = None }
+  | Stx.DotList (ids, tl) -> { ids; rest = Some tl }
+  | _ -> err "lambda: bad formals" f
+
+let rec compile (cenv : cenv) (s : Stx.t) : Ast.t =
+  match s.Stx.e with
+  | Stx.Id _ -> (
+      let b = resolve_exn s in
+      match lookup cenv b.Binding.uid with
+      | Some (depth, slot) -> Ast.LocalRef (depth, slot)
+      | None -> (
+          match Denote.get b with
+          | Some (Denote.DCore name) -> err (name ^ ": core form used as a variable") s
+          | Some (Denote.DMacro _) -> err "macro used as a variable after expansion" s
+          | _ -> Ast.GlobalRef (Namespace.global_of b)))
+  | Stx.Atom _ -> err "literal not wrapped in quote (expander bug?)" s
+  | Stx.List (hd :: args) when Stx.is_id hd -> (
+      match core_kind hd with
+      | Some name -> compile_core cenv name s args
+      | None -> err "compile: non-core form (expander bug?)" s)
+  | _ -> err "compile: non-core form (expander bug?)" s
+
+and compile_core cenv name (s : Stx.t) (args : Stx.t list) : Ast.t =
+  match (name, args) with
+  | "quote", [ x ] -> Ast.Quote (Value.of_datum (Stx.to_datum x))
+  | "quote-syntax", [ x ] -> Ast.QuoteStx x
+  | "if", [ c; t; e ] -> Ast.If (compile cenv c, compile cenv t, compile cenv e)
+  | "begin", (_ :: _) -> Ast.Begin (Array.of_list (List.map (compile cenv) args))
+  | "#%expression", [ e ] -> compile cenv e
+  | "#%plain-app", (f :: rest) ->
+      Ast.App (compile cenv f, Array.of_list (List.map (compile cenv) rest))
+  | "#%plain-lambda", (formals :: body) when body <> [] ->
+      let { ids; rest } = parse_formals formals in
+      let uids = List.map (fun id -> (resolve_exn id).Binding.uid) ids in
+      let rest_uid = Option.map (fun id -> (resolve_exn id).Binding.uid) rest in
+      let all = uids @ Option.to_list rest_uid in
+      let frame = List.mapi (fun i uid -> (uid, i)) all in
+      let cbody = compile_body (frame :: cenv) s body in
+      Ast.Lambda
+        { Ast.l_arity = List.length ids; l_rest = Option.is_some rest_uid; l_name = ""; l_body = cbody }
+  | ("let-values" | "letrec-values"), (clauses :: body) when body <> [] ->
+      let recursive = String.equal name "letrec-values" in
+      let clauses =
+        match Stx.to_list clauses with Some cs -> cs | None -> err (name ^ ": bad clauses") s
+      in
+      let parsed =
+        List.map
+          (fun c ->
+            match Stx.to_list c with
+            | Some [ ids; rhs ] -> (
+                match Stx.to_list ids with
+                | Some ids -> (List.map (fun id -> (resolve_exn id).Binding.uid) ids, rhs)
+                | None -> err (name ^ ": bad clause") c)
+            | _ -> err (name ^ ": bad clause") c)
+          clauses
+      in
+      let frame =
+        List.mapi (fun i uid -> (uid, i)) (List.concat_map fst parsed)
+      in
+      let inner = frame :: cenv in
+      let rhs_env = if recursive then inner else cenv in
+      let names =
+        List.map
+          (fun c ->
+            match Stx.to_list c with
+            | Some [ ids; _ ] -> (
+                match Stx.to_list ids with Some [ id ] -> Stx.sym id | _ -> None)
+            | _ -> None)
+          clauses
+      in
+      let compiled_clauses =
+        Array.of_list
+          (List.map2
+             (fun (uids, rhs) name ->
+               let ast = compile rhs_env rhs in
+               (match (ast, name) with
+               | Ast.Lambda l, Some n when l.Ast.l_name = "" -> l.Ast.l_name <- n
+               | _ -> ());
+               { Ast.n_vals = List.length uids; rhs = ast })
+             parsed names)
+      in
+      let cbody = compile_body inner s body in
+      if recursive then Ast.LetrecVals (compiled_clauses, cbody)
+      else Ast.LetVals (compiled_clauses, cbody)
+  | "set!", [ x; e ] -> (
+      let b = resolve_exn x in
+      let ce = compile cenv e in
+      match lookup cenv b.Binding.uid with
+      | Some (depth, slot) -> Ast.SetLocal (depth, slot, ce)
+      | None ->
+          let g = Namespace.global_of b in
+          if not g.Ast.g_mutable then err "set!: cannot mutate an immutable binding" x
+          else Ast.SetGlobal (g, ce))
+  | _ -> err (name ^ ": unexpected core form in expression position") s
+
+and compile_body cenv s body =
+  match body with
+  | [ e ] -> compile cenv e
+  | _ :: _ -> Ast.Begin (Array.of_list (List.map (compile cenv) body))
+  | [] -> err "empty body" s
+
+(** Compile a fully-expanded expression (no free local variables). *)
+let compile_expr (s : Stx.t) : Ast.t = compile [] s

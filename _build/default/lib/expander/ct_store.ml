@@ -1,0 +1,45 @@
+(** The compile-time store: per-compilation mutable state for phase-1 code.
+
+    The paper (§5, §6.2) leans on Racket's guarantee that "each module is
+    compiled with a fresh store": mutations made by compile-time code during
+    one compilation are invisible to other compilations.  Languages keep
+    their compile-time state here (e.g. Typed Racket's type environment and
+    its [typed-context?] flag); the module compiler installs a fresh store
+    around each module compilation and replays required modules'
+    compile-time declarations into it. *)
+
+module Value = Liblang_runtime.Value
+
+type t = {
+  id : int;
+  vals : (string, Value.value) Hashtbl.t;
+  tables : (string, (int, Value.value) Hashtbl.t) Hashtbl.t;
+      (** named tables keyed by binding uid — e.g. a type environment *)
+}
+
+let counter = ref 0
+
+let create () : t =
+  incr counter;
+  { id = !counter; vals = Hashtbl.create 32; tables = Hashtbl.create 4 }
+
+let current : t ref = ref (create ())
+
+let with_fresh_store f =
+  let saved = !current in
+  current := create ();
+  Fun.protect ~finally:(fun () -> current := saved) f
+
+let store_id () = !current.id
+let get key = Hashtbl.find_opt !current.vals key
+let set key v = Hashtbl.replace !current.vals key v
+
+(** A named, binding-uid-keyed table in the current store, created on first
+    access.  Typed Racket's type environment is [uid_table "typed:types"]. *)
+let uid_table name : (int, Value.value) Hashtbl.t =
+  match Hashtbl.find_opt !current.tables name with
+  | Some t -> t
+  | None ->
+      let t = Hashtbl.create 64 in
+      Hashtbl.add !current.tables name t;
+      t

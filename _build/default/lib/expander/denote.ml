@@ -1,0 +1,32 @@
+(** The compile-time environment: what each binding means to the expander.
+
+    Keyed by binding uid — since bindings are globally fresh (§5), a single
+    table serves every module and phase. *)
+
+module Binding = Liblang_stx.Binding
+module Stx = Liblang_stx.Stx
+module Value = Liblang_runtime.Value
+
+type transformer =
+  | Native of string * (Stx.t -> Stx.t)
+      (** a transformer implemented in the host language (OCaml) — the
+          analogue of a Racket macro implemented in Racket *)
+  | Rules of Syntax_rules.t  (** a [syntax-rules] macro from object code *)
+  | ObjProc of Value.value
+      (** an object-language phase-1 procedure: applied to the use-site
+          syntax object, returns syntax *)
+
+type denotation =
+  | DVar  (** a (module-level or local) variable *)
+  | DCore of string  (** a core form; the string is the dispatch key *)
+  | DMacro of transformer
+
+let table : (int, denotation) Hashtbl.t = Hashtbl.create 1024
+
+let set (b : Binding.t) (d : denotation) = Hashtbl.replace table b.Binding.uid d
+let get (b : Binding.t) : denotation option = Hashtbl.find_opt table b.Binding.uid
+
+let transformer_name = function
+  | Native (n, _) -> n
+  | Rules sr -> sr.Syntax_rules.name
+  | ObjProc _ -> "#<phase-1 procedure>"

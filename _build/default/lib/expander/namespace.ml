@@ -1,0 +1,31 @@
+(** The runtime namespace: module-level variables, keyed by binding uid.
+
+    A binding imported from another module keeps its identity (§5), so the
+    importing module's references reach the exporting module's global cell
+    with no extra indirection. *)
+
+module Binding = Liblang_stx.Binding
+module Ast = Liblang_runtime.Ast
+module Value = Liblang_runtime.Value
+
+let table : (int, Ast.global) Hashtbl.t = Hashtbl.create 1024
+
+(** The global cell for a binding, created on demand. *)
+let global_of (b : Binding.t) : Ast.global =
+  match Hashtbl.find_opt table b.Binding.uid with
+  | Some g -> g
+  | None ->
+      let g = Ast.global b.Binding.name in
+      Hashtbl.add table b.Binding.uid g;
+      g
+
+(** Install an immutable (non-[set!]-able) value, e.g. a primitive. *)
+let define_immutable (b : Binding.t) (v : Value.value) =
+  let g = Ast.global ~mutable_:false b.Binding.name in
+  g.Ast.g_val <- v;
+  Hashtbl.replace table b.Binding.uid g
+
+let lookup_value (b : Binding.t) : Value.value option =
+  match Hashtbl.find_opt table b.Binding.uid with
+  | Some g when g.Ast.g_val != Value.Undefined -> Some g.Ast.g_val
+  | _ -> None

@@ -1,0 +1,224 @@
+(** [syntax-rules]: pattern/template macros written in the object language.
+
+    Full ellipsis support: patterns and templates may nest [...] to any
+    depth, with the usual constraints (a template variable must be used at
+    the depth it was matched at).  Literals are compared with
+    [free-identifier=?], so a literal keyword respects the binding structure
+    of the program (hygienic literal matching). *)
+
+module Stx = Liblang_stx.Stx
+module Binding = Liblang_stx.Binding
+
+exception Bad_syntax of string * Stx.t
+
+type rule = { pattern : Stx.t; template : Stx.t }
+
+type t = { literals : Stx.t list; rules : rule list; name : string }
+
+let is_ellipsis s = Stx.is_sym "..." s
+let is_underscore s = Stx.is_sym "_" s
+
+(* What a pattern variable matched: a single piece of syntax at depth 0, or
+   a sequence of matches at depth n+1. *)
+type matched = One of Stx.t | Seq of matched list
+
+type menv = (string * matched) list
+
+let is_literal literals id =
+  List.exists (fun l -> Binding.free_identifier_eq l id) literals
+
+(* -- matching -------------------------------------------------------------- *)
+
+let rec match_pattern literals (pat : Stx.t) (s : Stx.t) : menv option =
+  match pat.Stx.e with
+  | Stx.Id "_" -> Some []
+  | Stx.Id _ when is_literal literals pat ->
+      if Stx.is_id s && Binding.free_identifier_eq pat s then Some [] else None
+  | Stx.Id name -> Some [ (name, One s) ]
+  | Stx.Atom a -> (
+      match s.Stx.e with
+      | Stx.Atom b when Liblang_reader.Datum.atom_equal a b -> Some []
+      | _ -> None)
+  | Stx.List pats -> (
+      match s.Stx.e with
+      | Stx.List elems -> match_list literals pats elems
+      | _ -> None)
+  | Stx.DotList (pats, tailpat) -> (
+      (* (p1 p2 . tail) can match both dotted and proper input *)
+      match s.Stx.e with
+      | Stx.List elems ->
+          let n = List.length pats in
+          if List.length elems < n then None
+          else
+            let front = List.filteri (fun i _ -> i < n) elems in
+            let back = List.filteri (fun i _ -> i >= n) elems in
+            combine_envs
+              (match_list literals pats front)
+              (match_pattern literals tailpat (Stx.list ~loc:s.Stx.loc back))
+      | Stx.DotList (elems, tl) ->
+          let n = List.length pats in
+          if List.length elems < n then None
+          else
+            let front = List.filteri (fun i _ -> i < n) elems in
+            let back = List.filteri (fun i _ -> i >= n) elems in
+            let tail_stx =
+              if back = [] then tl else Stx.mk ~loc:s.Stx.loc (Stx.DotList (back, tl))
+            in
+            combine_envs (match_list literals pats front) (match_pattern literals tailpat tail_stx)
+      | _ -> None)
+  | Stx.Vec pats -> (
+      match s.Stx.e with
+      | Stx.Vec elems -> match_list literals pats elems
+      | _ -> None)
+
+and combine_envs a b = match (a, b) with Some x, Some y -> Some (x @ y) | _ -> None
+
+and match_list literals (pats : Stx.t list) (elems : Stx.t list) : menv option =
+  match pats with
+  | [] -> if elems = [] then Some [] else None
+  | p :: rest when rest <> [] && is_ellipsis (List.hd rest) ->
+      (* p ... tail-pats *)
+      let tail_pats = List.tl rest in
+      let min_tail = List.length tail_pats in
+      let n_rep = List.length elems - min_tail in
+      if n_rep < 0 then None
+      else
+        let rep = List.filteri (fun i _ -> i < n_rep) elems in
+        let tail = List.filteri (fun i _ -> i >= n_rep) elems in
+        let sub_envs = List.map (fun e -> match_pattern literals p e) rep in
+        if List.exists Option.is_none sub_envs then None
+        else
+          let sub_envs = List.map Option.get sub_envs in
+          let vars = pattern_vars literals p in
+          let seq_env =
+            List.map
+              (fun v ->
+                ( v,
+                  Seq
+                    (List.map
+                       (fun env ->
+                         match List.assoc_opt v env with
+                         | Some m -> m
+                         | None -> raise (Bad_syntax ("syntax-rules: internal var " ^ v, p)))
+                       sub_envs) ))
+              vars
+          in
+          combine_envs (Some seq_env) (match_list literals tail_pats tail)
+  | p :: rest -> (
+      match elems with
+      | [] -> None
+      | e :: more -> combine_envs (match_pattern literals p e) (match_list literals rest more))
+
+and pattern_vars literals (pat : Stx.t) : string list =
+  match pat.Stx.e with
+  | Stx.Id "_" | Stx.Id "..." -> []
+  | Stx.Id name -> if is_literal literals pat then [] else [ name ]
+  | Stx.Atom _ -> []
+  | Stx.List ps | Stx.Vec ps -> List.concat_map (pattern_vars literals) ps
+  | Stx.DotList (ps, tl) -> List.concat_map (pattern_vars literals) ps @ pattern_vars literals tl
+
+(* -- template instantiation -------------------------------------------------- *)
+
+let rec template_vars (t : Stx.t) : string list =
+  match t.Stx.e with
+  | Stx.Id name -> [ name ]
+  | Stx.Atom _ -> []
+  | Stx.List ts | Stx.Vec ts -> List.concat_map template_vars ts
+  | Stx.DotList (ts, tl) -> List.concat_map template_vars ts @ template_vars tl
+
+let rec instantiate (env : menv) (tmpl : Stx.t) : Stx.t =
+  match tmpl.Stx.e with
+  | Stx.Id name -> (
+      match List.assoc_opt name env with
+      | Some (One s) -> s
+      | Some (Seq _) ->
+          raise (Bad_syntax ("syntax-rules: pattern variable used at wrong ellipsis depth: " ^ name, tmpl))
+      | None -> tmpl)
+  | Stx.Atom _ -> tmpl
+  | Stx.List ts -> { tmpl with e = Stx.List (instantiate_seq env ts) }
+  | Stx.DotList (ts, tl) ->
+      { tmpl with e = Stx.DotList (instantiate_seq env ts, instantiate env tl) }
+  | Stx.Vec ts -> { tmpl with e = Stx.Vec (instantiate_seq env ts) }
+
+and instantiate_seq env (ts : Stx.t list) : Stx.t list =
+  match ts with
+  | t :: rest when rest <> [] && is_ellipsis (List.hd rest) ->
+      (* t ... — and possibly more ellipses for deeper splicing *)
+      let rec count_ellipses acc = function
+        | e :: more when is_ellipsis e -> count_ellipses (acc + 1) more
+        | more -> (acc, more)
+      in
+      let depth, rest' = count_ellipses 0 rest in
+      let expanded = expand_ellipsis env t depth in
+      expanded @ instantiate_seq env rest'
+  | t :: rest -> instantiate env t :: instantiate_seq env rest
+  | [] -> []
+
+and expand_ellipsis env (t : Stx.t) (depth : int) : Stx.t list =
+  if depth = 0 then [ instantiate env t ]
+  else
+    let vars = List.filter (fun v -> List.mem_assoc v env) (template_vars t) in
+    let seq_vars = List.filter (fun v -> match List.assoc v env with Seq _ -> true | One _ -> false) vars in
+    if seq_vars = [] then
+      raise (Bad_syntax ("syntax-rules: ellipsis template with no sequence variable", t));
+    let len =
+      match List.assoc (List.hd seq_vars) env with Seq ms -> List.length ms | One _ -> 0
+    in
+    List.iter
+      (fun v ->
+        match List.assoc v env with
+        | Seq ms when List.length ms <> len ->
+            raise (Bad_syntax ("syntax-rules: mismatched ellipsis counts for " ^ v, t))
+        | _ -> ())
+      seq_vars;
+    List.concat
+      (List.init len (fun i ->
+           let env_i =
+             List.map
+               (fun (v, m) ->
+                 match m with
+                 | Seq ms when List.mem v seq_vars -> (v, List.nth ms i)
+                 | _ -> (v, m))
+               env
+           in
+           expand_ellipsis env_i t (depth - 1)))
+
+(* -- the transformer --------------------------------------------------------- *)
+
+(** Parse [(syntax-rules (lit ...) [pattern template] ...)]. *)
+let parse ~name (form : Stx.t) : t =
+  match Stx.to_list form with
+  | Some (_kw :: lits :: rules) ->
+      let literals =
+        match Stx.to_list lits with
+        | Some ids when List.for_all Stx.is_id ids -> ids
+        | _ -> raise (Bad_syntax ("syntax-rules: expected a parenthesized literals list", lits))
+      in
+      let parse_rule r =
+        match Stx.to_list r with
+        | Some [ pattern; template ] -> { pattern; template }
+        | _ -> raise (Bad_syntax ("syntax-rules: expected [pattern template]", r))
+      in
+      { literals; rules = List.map parse_rule rules; name }
+  | _ -> raise (Bad_syntax ("syntax-rules: bad form", form))
+
+(** Apply a [syntax-rules] transformer to a use-site form.  The leading
+    identifier of each pattern is ignored (standard behavior). *)
+let apply (sr : t) (form : Stx.t) : Stx.t =
+  let try_rule { pattern; template } =
+    let pattern' =
+      (* replace the head of the pattern with _ so the macro name matches itself *)
+      match pattern.Stx.e with
+      | Stx.List (hd :: rest) when Stx.is_id hd ->
+          { pattern with e = Stx.List ({ hd with e = Stx.Id "_" } :: rest) }
+      | _ -> pattern
+    in
+    match match_pattern sr.literals pattern' form with
+    | Some env -> Some (instantiate env template)
+    | None -> None
+  in
+  let rec go = function
+    | [] -> raise (Bad_syntax (sr.name ^ ": no matching syntax-rules pattern", form))
+    | r :: rest -> ( match try_rule r with Some out -> out | None -> go rest)
+  in
+  go sr.rules

@@ -1,0 +1,1 @@
+lib/langs/langs.ml: Liblang_expander Liblang_modules Liblang_runtime Liblang_stx List String

@@ -1,0 +1,136 @@
+(** Further languages implemented as libraries, demonstrating the breadth of
+    the extension API (paper §1–2):
+
+    - [count] — the paper's §2.3 example: a whole-module static semantics
+      via [#%module-begin] (prints the number of top-level expressions).
+    - [lazy] — a lazy variant of the base language (the paper cites Lazy
+      Racket): the [#%app] hook delays arguments to user functions and the
+      strict forms force where needed, so a different {e dynamic} semantics
+      is a library too.
+    - [limited] — a teaching language exposing only a whitelisted subset of
+      bindings: a language is just a set of exports. *)
+
+module Stx = Liblang_stx.Stx
+module Value = Liblang_runtime.Value
+module Interp = Liblang_runtime.Interp
+module Expander = Liblang_expander.Expander
+module Denote = Liblang_expander.Denote
+module Modsys = Liblang_modules.Modsys
+module Baselang = Liblang_modules.Baselang
+
+let err msg s = raise (Expander.Expand_error (msg, s))
+
+let u = Baselang.bid
+let sl = Stx.list
+
+let native name f = (name, Denote.Native (name, f))
+
+(* -- count (§2.3) ------------------------------------------------------------- *)
+
+(* (define-syntax (#%module-begin stx) ... (printf "Found ~a expressions.") ...) *)
+let count_module_begin form =
+  match Stx.to_list form with
+  | Some (_ :: body) ->
+      let n = List.length body in
+      sl ~loc:form.Stx.loc
+        ((u "#%plain-module-begin")
+        :: sl
+             [
+               u "printf";
+               Stx.str_ "Found ~a expressions.";
+               sl [ u "quote"; Stx.int_ n ];
+             ]
+        :: body)
+  | _ -> err "#%module-begin: bad syntax" form
+
+let count_mod, _ =
+  Modsys.declare_builtin ~name:"count"
+    ~reexports:
+      (List.filter_map
+         (fun (e : Modsys.export) ->
+           if String.equal e.Modsys.ext_name "#%module-begin" then None
+           else Some (e.Modsys.ext_name, e.Modsys.binding))
+         (Modsys.find "racket").Modsys.exports)
+    ~macros:[ native "#%module-begin" count_module_begin ]
+    ()
+
+(* -- lazy ------------------------------------------------------------------------ *)
+
+(* Applications of user closures receive promises; primitives force their
+   arguments (shallowly).  [if], [display] etc. force through the strict
+   base forms below. *)
+let force_value (v : Value.value) : Value.value =
+  match v with
+  | Value.Promise _ -> Interp.apply1 (List.assoc "force" Liblang_runtime.Prims.all) v
+  | v -> v
+
+let lazy_apply_prim =
+  Value.prim "lazy-apply" (function
+    | f :: args -> (
+        let f = force_value f in
+        match f with
+        | Value.Prim _ -> Interp.apply f (List.map force_value args)
+        | _ -> Interp.apply f args)
+    | [] -> Value.error "lazy-apply: missing function")
+
+let lazy_mod, lid =
+  Modsys.declare_builtin ~name:"lazy"
+    ~values:[ ("lazy-apply", lazy_apply_prim) ]
+    ~reexports:
+      (List.filter_map
+         (fun (e : Modsys.export) ->
+           if List.mem e.Modsys.ext_name [ "#%app"; "if" ] then None
+           else Some (e.Modsys.ext_name, e.Modsys.binding))
+         (Modsys.find "racket").Modsys.exports)
+    ()
+
+(* (#%app f a ...) => (lazy-apply f (delay a) ...) *)
+let lazy_app form =
+  match Stx.to_list form with
+  | Some (_ :: f :: args) ->
+      sl ~loc:form.Stx.loc
+        ((lid "lazy-apply") :: f :: List.map (fun a -> sl [ u "delay"; a ]) args)
+  | _ -> err "#%app: bad syntax" form
+
+(* strict conditional: force the test *)
+let lazy_if form =
+  match Stx.to_list form with
+  | Some [ _; c; t; e ] ->
+      sl ~loc:form.Stx.loc [ Expander.core_id "if"; sl [ u "force"; c ]; t; e ]
+  | _ -> err "if: bad syntax" form
+
+(* (! e) forces explicitly *)
+let lazy_force form =
+  match Stx.to_list form with
+  | Some [ _; e ] -> sl ~loc:form.Stx.loc [ u "force"; e ]
+  | _ -> err "!: bad syntax" form
+
+let () =
+  Modsys.add_builtin_exports lazy_mod ~ctx_id:lid
+    ~macros:[ native "#%app" lazy_app; native "if" lazy_if; native "!" lazy_force ]
+    ()
+
+(* -- limited: a whitelisted teaching language ---------------------------------------- *)
+
+let limited_whitelist =
+  [
+    "#%module-begin"; "#%app"; "#%datum"; "define"; "lambda"; "if"; "cond"; "else"; "quote";
+    "let"; "and"; "or"; "not"; "+"; "-"; "*"; "/"; "="; "<"; ">"; "<="; ">="; "cons"; "car";
+    "cdr"; "null?"; "pair?"; "list"; "first"; "rest"; "empty?"; "display"; "displayln"; "newline";
+    "equal?"; "begin"; "provide"; "require"; "#%provide"; "#%require"; "#%plain-app";
+    "#%plain-lambda"; "define-values"; "let-values"; "letrec-values"; "#%plain-module-begin";
+  ]
+
+let limited_mod, _ =
+  Modsys.declare_builtin ~name:"limited"
+    ~reexports:
+      (List.filter_map
+         (fun (e : Modsys.export) ->
+           if List.mem e.Modsys.ext_name limited_whitelist then
+             Some (e.Modsys.ext_name, e.Modsys.binding)
+           else None)
+         (Modsys.find "racket").Modsys.exports)
+    ()
+
+(** Force linking/initialization of the extra languages. *)
+let init () = ignore (count_mod, lazy_mod, limited_mod)

@@ -1,0 +1,1 @@
+lib/modules/baselang.ml: Liblang_contracts Liblang_expander Liblang_runtime Liblang_stx List Modsys

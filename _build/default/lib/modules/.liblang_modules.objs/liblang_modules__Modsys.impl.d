@@ -1,0 +1,1 @@
+lib/modules/modsys.ml: Fun Hashtbl Liblang_expander Liblang_reader Liblang_runtime Liblang_stx List Option Printf String

@@ -1,0 +1,664 @@
+(** The base language: a builtin module named [racket] providing the
+    primitives, the core forms, and the surface macros ([define], [let],
+    [cond], [match], [quasiquote], [for], …).
+
+    Everything here is an ordinary language library built on the public
+    extension API: native transformers are host-language functions from
+    syntax to syntax, exactly as Racket macros are Racket functions. *)
+
+module Stx = Liblang_stx.Stx
+module Scope = Liblang_stx.Scope
+module Value = Liblang_runtime.Value
+module Prims = Liblang_runtime.Prims
+module Contracts = Liblang_contracts.Contracts
+module Expander = Liblang_expander.Expander
+module Denote = Liblang_expander.Denote
+
+let err msg s = raise (Expander.Expand_error (msg, s))
+
+let sl ?loc xs = Stx.list ?loc xs
+
+let expect_list msg s = match Stx.to_list s with Some xs -> xs | None -> err msg s
+
+(** An identifier guaranteed not to collide with anything else: it carries
+    its own fresh scope.  Binders and references built from the same call
+    resolve to each other. *)
+let fresh_id name = Stx.id ~scopes:(Scope.Set.singleton (Scope.fresh ())) name
+
+(* -- the module and its template context ---------------------------------- *)
+
+let racket_mod, bid =
+  Modsys.declare_builtin ~name:"racket"
+    ~values:(Prims.all @ Contracts.prims @ Expander.phase1_prims)
+    ~reexports:Expander.core_bindings ()
+
+(* shorthands for template identifiers resolving in the base context *)
+let b = bid
+let app xs = sl xs
+let quote_ d = sl [ b "quote"; d ]
+
+(* -- macro definitions ------------------------------------------------------ *)
+
+let m_lambda form =
+  match Stx.to_list form with
+  | Some (_ :: formals :: body) when body <> [] ->
+      sl ~loc:form.Stx.loc ((b "#%plain-lambda") :: formals :: body)
+  | _ -> err "lambda: bad syntax" form
+
+let m_define form =
+  match Stx.to_list form with
+  | Some [ kw; target; rhs ] when Stx.is_id target ->
+      ignore kw;
+      sl ~loc:form.Stx.loc [ b "define-values"; sl [ target ]; rhs ]
+  | Some (_ :: target :: body) when body <> [] -> (
+      (* (define (f . formals) body ...) *)
+      match target.Stx.e with
+      | Stx.List (fname :: formals) when Stx.is_id fname ->
+          sl ~loc:form.Stx.loc
+            [
+              b "define-values";
+              sl [ fname ];
+              sl ((b "#%plain-lambda") :: sl formals :: body);
+            ]
+      | Stx.DotList (fname :: formals, rest) when Stx.is_id fname ->
+          sl ~loc:form.Stx.loc
+            [
+              b "define-values";
+              sl [ fname ];
+              sl ((b "#%plain-lambda") :: Stx.mk (Stx.DotList (formals, rest)) :: body);
+            ]
+      | _ -> err "define: bad syntax" form)
+  | _ -> err "define: bad syntax" form
+
+let m_define_syntax form =
+  match Stx.to_list form with
+  | Some [ _; target; rhs ] when Stx.is_id target ->
+      sl ~loc:form.Stx.loc [ b "define-syntaxes"; sl [ target ]; rhs ]
+  | Some (_ :: target :: body) when body <> [] -> (
+      match target.Stx.e with
+      | Stx.List (fname :: formals) when Stx.is_id fname ->
+          sl ~loc:form.Stx.loc
+            [
+              b "define-syntaxes";
+              sl [ fname ];
+              sl ((b "#%plain-lambda") :: sl formals :: body);
+            ]
+      | _ -> err "define-syntax: bad syntax" form)
+  | _ -> err "define-syntax: bad syntax" form
+
+let m_define_syntax_rule form =
+  match Stx.to_list form with
+  | Some [ _; pattern; template ] -> (
+      match pattern.Stx.e with
+      | Stx.List (name :: _) when Stx.is_id name ->
+          sl ~loc:form.Stx.loc
+            [
+              b "define-syntaxes";
+              sl [ name ];
+              sl [ b "syntax-rules"; sl []; sl [ pattern; template ] ];
+            ]
+      | _ -> err "define-syntax-rule: bad pattern" form)
+  | _ -> err "define-syntax-rule: bad syntax" form
+
+let parse_binding_clause name c =
+  match Stx.to_list c with
+  | Some [ x; e ] when Stx.is_id x -> (x, e)
+  | _ -> err (name ^ ": bad binding clause") c
+
+let m_let form =
+  match Stx.to_list form with
+  | Some (_ :: maybe_name :: rest) when Stx.is_id maybe_name && rest <> [] ->
+      (* named let *)
+      let loop_name = maybe_name in
+      let clauses, body =
+        match rest with
+        | clauses :: body when body <> [] -> (expect_list "let: bad bindings" clauses, body)
+        | _ -> err "let: bad syntax" form
+      in
+      let parsed = List.map (parse_binding_clause "let") clauses in
+      let formals = sl (List.map fst parsed) in
+      let inits = List.map snd parsed in
+      sl ~loc:form.Stx.loc
+        [
+          b "letrec-values";
+          sl [ sl [ sl [ loop_name ]; sl ((b "#%plain-lambda") :: formals :: body) ] ];
+          app (loop_name :: inits);
+        ]
+  | Some (_ :: clauses :: body) when body <> [] ->
+      let parsed = List.map (parse_binding_clause "let") (expect_list "let: bad bindings" clauses) in
+      sl ~loc:form.Stx.loc
+        ((b "let-values")
+        :: sl (List.map (fun (x, e) -> sl [ sl [ x ]; e ]) parsed)
+        :: body)
+  | _ -> err "let: bad syntax" form
+
+let m_let_star form =
+  match Stx.to_list form with
+  | Some (_ :: clauses :: body) when body <> [] ->
+      let parsed =
+        List.map (parse_binding_clause "let*") (expect_list "let*: bad bindings" clauses)
+      in
+      List.fold_right
+        (fun (x, e) acc -> sl [ b "let-values"; sl [ sl [ sl [ x ]; e ] ]; acc ])
+        parsed
+        (match body with [ e ] -> e | es -> sl ((b "begin") :: es))
+  | _ -> err "let*: bad syntax" form
+
+let m_letrec form =
+  match Stx.to_list form with
+  | Some (_ :: clauses :: body) when body <> [] ->
+      let parsed =
+        List.map (parse_binding_clause "letrec") (expect_list "letrec: bad bindings" clauses)
+      in
+      sl ~loc:form.Stx.loc
+        ((b "letrec-values")
+        :: sl (List.map (fun (x, e) -> sl [ sl [ x ]; e ]) parsed)
+        :: body)
+  | _ -> err "letrec: bad syntax" form
+
+let is_else s = Stx.is_sym "else" s
+
+let m_cond form =
+  match Stx.to_list form with
+  | Some (_ :: clauses) ->
+      let rec build = function
+        | [] -> app [ b "void" ]
+        | c :: rest -> (
+            match Stx.to_list c with
+            | Some (test :: body) when is_else test ->
+                if rest <> [] then err "cond: else clause must be last" form;
+                if body = [] then err "cond: else clause needs a body" c
+                else sl ((b "begin") :: body)
+            | Some [ test ] ->
+                let t = fresh_id "cond-val" in
+                sl
+                  [
+                    b "let-values";
+                    sl [ sl [ sl [ t ]; test ] ];
+                    sl [ b "if"; t; t; build rest ];
+                  ]
+            | Some [ test; arrow; receiver ] when Stx.is_sym "=>" arrow ->
+                let t = fresh_id "cond-val" in
+                sl
+                  [
+                    b "let-values";
+                    sl [ sl [ sl [ t ]; test ] ];
+                    sl [ b "if"; t; app [ receiver; t ]; build rest ];
+                  ]
+            | Some (test :: body) ->
+                sl [ b "if"; test; sl ((b "begin") :: body); build rest ]
+            | _ -> err "cond: bad clause" c)
+      in
+      build clauses
+  | _ -> err "cond: bad syntax" form
+
+let m_case form =
+  match Stx.to_list form with
+  | Some (_ :: subject :: clauses) ->
+      let t = fresh_id "case-val" in
+      let build_clause c =
+        match Stx.to_list c with
+        | Some (data :: body) when is_else data -> sl ((b "else") :: body)
+        | Some (data :: body) when not (Stx.is_id data) ->
+            sl (app [ b "memv"; t; quote_ data ] :: body)
+        | _ -> err "case: bad clause" c
+      in
+      sl ~loc:form.Stx.loc
+        [
+          b "let-values";
+          sl [ sl [ sl [ t ]; subject ] ];
+          sl ((b "cond") :: List.map build_clause clauses);
+        ]
+  | _ -> err "case: bad syntax" form
+
+let m_when form =
+  match Stx.to_list form with
+  | Some (_ :: test :: body) when body <> [] ->
+      sl ~loc:form.Stx.loc [ b "if"; test; sl ((b "begin") :: body); app [ b "void" ] ]
+  | _ -> err "when: bad syntax" form
+
+let m_unless form =
+  match Stx.to_list form with
+  | Some (_ :: test :: body) when body <> [] ->
+      sl ~loc:form.Stx.loc [ b "if"; test; app [ b "void" ]; sl ((b "begin") :: body) ]
+  | _ -> err "unless: bad syntax" form
+
+let m_and form =
+  match Stx.to_list form with
+  | Some [ _ ] -> Stx.bool_ true |> fun a -> sl [ b "quote"; a ]
+  | Some (_ :: args) ->
+      let rec build = function
+        | [ e ] -> e
+        | e :: rest -> sl [ b "if"; e; build rest; sl [ b "quote"; Stx.bool_ false ] ]
+        | [] -> assert false
+      in
+      build args
+  | _ -> err "and: bad syntax" form
+
+let m_or form =
+  match Stx.to_list form with
+  | Some [ _ ] -> sl [ b "quote"; Stx.bool_ false ]
+  | Some (_ :: args) ->
+      let rec build = function
+        | [ e ] -> e
+        | e :: rest ->
+            let t = fresh_id "or-val" in
+            sl [ b "let-values"; sl [ sl [ sl [ t ]; e ] ]; sl [ b "if"; t; t; build rest ] ]
+        | [] -> assert false
+      in
+      build args
+  | _ -> err "or: bad syntax" form
+
+let m_begin0 form =
+  match Stx.to_list form with
+  | Some (_ :: first :: rest) ->
+      let t = fresh_id "begin0-val" in
+      sl [ b "let-values"; sl [ sl [ sl [ t ]; first ] ]; sl ((b "begin") :: (rest @ [ t ])) ]
+  | _ -> err "begin0: bad syntax" form
+
+(* -- quasiquote --------------------------------------------------------------- *)
+
+let rec qq (t : Stx.t) (depth : int) : Stx.t =
+  match t.Stx.e with
+  | Stx.List [ kw; e ] when Stx.is_sym "unquote" kw ->
+      if depth = 1 then e
+      else app [ b "list"; quote_ kw; qq e (depth - 1) ]
+  | Stx.List [ kw; e ] when Stx.is_sym "quasiquote" kw ->
+      app [ b "list"; quote_ kw; qq e (depth + 1) ]
+  | Stx.List elems -> qq_list t elems None depth
+  | Stx.DotList (elems, tl) -> qq_list t elems (Some tl) depth
+  | Stx.Vec elems ->
+      app [ b "list->vector"; qq_list t elems None depth ]
+  | Stx.Id _ | Stx.Atom _ -> quote_ t
+
+and qq_list orig elems tail depth =
+  let tail_expr =
+    match tail with None -> quote_ (Stx.list []) | Some tl -> qq tl depth
+  in
+  (* [(a . ,e)] reads as [(a unquote e)]: an unquote in tail position *)
+  let rec build = function
+    | [ kw; e ] when Stx.is_sym "unquote" kw && depth = 1 && tail = None -> e
+    | [] -> tail_expr
+    | elem :: rest -> (
+        match elem.Stx.e with
+        | Stx.List [ kw; e ] when Stx.is_sym "unquote-splicing" kw && depth = 1 ->
+            app [ b "append"; e; build rest ]
+        | Stx.List [ kw; e ] when Stx.is_sym "unquote-splicing" kw ->
+            app [ b "cons"; app [ b "list"; quote_ kw; qq e (depth - 1) ]; build rest ]
+        | _ -> app [ b "cons"; qq elem depth; build rest ])
+  in
+  build elems
+  |> fun e -> { e with Stx.loc = orig.Stx.loc }
+
+let m_quasiquote form =
+  match Stx.to_list form with
+  | Some [ _; t ] -> qq t 1
+  | _ -> err "quasiquote: bad syntax" form
+
+(* -- quasisyntax: building syntax with escapes (#`...) ------------------------- *)
+
+let rec qs (t : Stx.t) : Stx.t =
+  match t.Stx.e with
+  | Stx.List [ kw; e ] when Stx.is_sym "unsyntax" kw -> e
+  | Stx.List elems ->
+      let part elem =
+        match elem.Stx.e with
+        | Stx.List [ kw; e ] when Stx.is_sym "unsyntax-splicing" kw ->
+            app [ b "syntax->splice-list"; e ]
+        | _ -> app [ b "list"; qs elem ]
+      in
+      app
+        [
+          b "make-stx-list";
+          sl [ b "quote-syntax"; t ];
+          app ((b "append") :: List.map part elems);
+        ]
+  | _ -> sl [ b "quote-syntax"; t ]
+
+let m_quasisyntax form =
+  match Stx.to_list form with
+  | Some [ _; t ] -> qs t
+  | _ -> err "quasisyntax: bad syntax" form
+
+let m_syntax form =
+  match Stx.to_list form with
+  | Some [ _; t ] -> sl [ b "quote-syntax"; t ]
+  | _ -> err "syntax: bad syntax" form
+
+(* -- delay / force ------------------------------------------------------------- *)
+
+(* (time e): print wall-clock time of evaluating e; return e's value *)
+let m_time form =
+  match Stx.to_list form with
+  | Some [ _; e ] ->
+      let t0 = fresh_id "time-start" in
+      let v = fresh_id "time-val" in
+      sl
+        [
+          b "let-values";
+          sl [ sl [ sl [ t0 ]; app [ b "current-inexact-milliseconds" ] ] ];
+          sl
+            [
+              b "let-values";
+              sl [ sl [ sl [ v ]; e ] ];
+              app
+                [
+                  b "printf";
+                  quote_ (Stx.str_ "cpu time: ~a ms~%");
+                  app [ b "-"; app [ b "current-inexact-milliseconds" ]; t0 ];
+                ];
+              v;
+            ];
+        ]
+  | _ -> err "time: bad syntax (expects one expression)" form
+
+let m_delay form =
+  match Stx.to_list form with
+  | Some (_ :: body) when body <> [] ->
+      app [ b "make-promise"; sl ((b "#%plain-lambda") :: sl [] :: body) ]
+  | _ -> err "delay: bad syntax" form
+
+(* -- for loops ------------------------------------------------------------------- *)
+
+(* (for ([x (in-range a b)]) body ...) and (in-list l); single clause. *)
+let m_for form =
+  match Stx.to_list form with
+  | Some (_ :: clauses :: body) when body <> [] -> (
+      match expect_list "for: bad clauses" clauses with
+      | [ clause ] -> (
+          match Stx.to_list clause with
+          | Some [ x; seq ] when Stx.is_id x -> (
+              match Stx.to_list seq with
+              | Some (kw :: bounds) when Stx.is_sym "in-range" kw ->
+                  let lo, hi =
+                    match bounds with
+                    | [ hi ] -> (quote_ (Stx.int_ 0), hi)
+                    | [ lo; hi ] -> (lo, hi)
+                    | _ -> err "in-range: bad syntax" seq
+                  in
+                  let loop = fresh_id "for-loop" in
+                  let stop = fresh_id "for-stop" in
+                  sl
+                    [
+                      b "let-values";
+                      sl [ sl [ sl [ stop ]; hi ] ];
+                      sl
+                        [
+                          b "letrec-values";
+                          sl
+                            [
+                              sl
+                                [
+                                  sl [ loop ];
+                                  sl
+                                    [
+                                      b "#%plain-lambda";
+                                      sl [ x ];
+                                      sl
+                                        [
+                                          b "when";
+                                          app [ b "<"; x; stop ];
+                                          sl ((b "begin") :: body);
+                                          app [ loop; app [ b "+"; x; quote_ (Stx.int_ 1) ] ];
+                                        ];
+                                    ];
+                                ];
+                            ];
+                          app [ loop; lo ];
+                        ];
+                    ]
+              | Some [ kw; lst ] when Stx.is_sym "in-list" kw ->
+                  let loop = fresh_id "for-loop" in
+                  let rest = fresh_id "for-rest" in
+                  sl
+                    [
+                      b "letrec-values";
+                      sl
+                        [
+                          sl
+                            [
+                              sl [ loop ];
+                              sl
+                                [
+                                  b "#%plain-lambda";
+                                  sl [ rest ];
+                                  sl
+                                    [
+                                      b "unless";
+                                      app [ b "null?"; rest ];
+                                      sl
+                                        ((b "let-values")
+                                        :: sl [ sl [ sl [ x ]; app [ b "car"; rest ] ] ]
+                                        :: body);
+                                      app [ loop; app [ b "cdr"; rest ] ];
+                                    ];
+                                ];
+                            ];
+                        ];
+                      app [ loop; lst ];
+                    ]
+              | _ -> err "for: unsupported sequence (use in-range or in-list)" seq)
+          | _ -> err "for: bad clause" clause)
+      | _ -> err "for: exactly one clause supported" clauses)
+  | _ -> err "for: bad syntax" form
+
+(* (for/list ([x seq]) body ...) and (for/sum ([x seq]) body ...): the
+   comprehension forms, expressed through map/build-list. *)
+let for_comprehension form =
+  match Stx.to_list form with
+  | Some (_ :: clauses :: body) when body <> [] -> (
+      match expect_list "for/list: bad clauses" clauses with
+      | [ clause ] -> (
+          match Stx.to_list clause with
+          | Some [ x; seq ] when Stx.is_id x -> (
+              let fn = sl ((b "#%plain-lambda") :: sl [ x ] :: body) in
+              match Stx.to_list seq with
+              | Some [ kw; lst ] when Stx.is_sym "in-list" kw -> app [ b "map"; fn; lst ]
+              | Some [ kw; hi ] when Stx.is_sym "in-range" kw -> app [ b "build-list"; hi; fn ]
+              | Some [ kw; lo; hi ] when Stx.is_sym "in-range" kw ->
+                  let i = fresh_id "for-idx" in
+                  app
+                    [
+                      b "build-list";
+                      app [ b "-"; hi; lo ];
+                      sl
+                        [
+                          b "#%plain-lambda";
+                          sl [ i ];
+                          sl
+                            [
+                              b "let-values";
+                              sl [ sl [ sl [ x ]; app [ b "+"; i; lo ] ] ];
+                              sl ((b "begin") :: body);
+                            ];
+                        ];
+                    ]
+              | _ -> err "for/list: unsupported sequence (use in-range or in-list)" seq)
+          | _ -> err "for/list: bad clause" clause)
+      | _ -> err "for/list: exactly one clause supported" clauses)
+  | _ -> err "for/list: bad syntax" form
+
+let m_for_list form = for_comprehension form
+
+let m_for_sum form =
+  match Stx.to_list form with
+  | Some (kw :: rest) -> app [ b "apply"; b "+"; for_comprehension (sl (kw :: rest)) ]
+  | _ -> err "for/sum: bad syntax" form
+
+(* The when/unless inside for templates appear before those macros are
+   registered; registration order doesn't matter because resolution happens
+   at use time. *)
+
+(* -- match (a practical subset) ---------------------------------------------------- *)
+
+let rec compile_pat (pat : Stx.t) (target : Stx.t) (success : Stx.t) (fail : Stx.t) : Stx.t =
+  let fail_call = app [ fail ] in
+  match pat.Stx.e with
+  | Stx.Id "_" -> success
+  | Stx.Id "else" -> success
+  | Stx.Id _ -> sl [ b "let-values"; sl [ sl [ sl [ pat ]; target ] ]; success ]
+  | Stx.Atom _ ->
+      sl [ b "if"; app [ b "equal?"; target; quote_ pat ]; success; fail_call ]
+  | Stx.List [ kw; d ] when Stx.is_sym "quote" kw ->
+      sl [ b "if"; app [ b "equal?"; target; quote_ d ]; success; fail_call ]
+  | Stx.List (kw :: pats) when Stx.is_sym "list" kw ->
+      let rec go pats target =
+        match pats with
+        | [] -> sl [ b "if"; app [ b "null?"; target ]; success; fail_call ]
+        | p :: rest ->
+            let hd = fresh_id "match-hd" in
+            let tl = fresh_id "match-tl" in
+            sl
+              [
+                b "if";
+                app [ b "pair?"; target ];
+                sl
+                  [
+                    b "let-values";
+                    sl
+                      [
+                        sl [ sl [ hd ]; app [ b "car"; target ] ];
+                        sl [ sl [ tl ]; app [ b "cdr"; target ] ];
+                      ];
+                    compile_pat p hd (go rest tl) fail;
+                  ];
+                fail_call;
+              ]
+      in
+      go pats target
+  | Stx.List [ kw; pcar; pcdr ] when Stx.is_sym "cons" kw ->
+      let hd = fresh_id "match-hd" in
+      let tl = fresh_id "match-tl" in
+      sl
+        [
+          b "if";
+          app [ b "pair?"; target ];
+          sl
+            [
+              b "let-values";
+              sl
+                [
+                  sl [ sl [ hd ]; app [ b "car"; target ] ];
+                  sl [ sl [ tl ]; app [ b "cdr"; target ] ];
+                ];
+              compile_pat pcar hd (compile_pat pcdr tl success fail) fail;
+            ];
+          fail_call;
+        ]
+  | Stx.List (kw :: pats) when Stx.is_sym "vector" kw ->
+      let n = List.length pats in
+      let checks =
+        sl
+          [
+            b "and";
+            app [ b "vector?"; target ];
+            app [ b "="; app [ b "vector-length"; target ]; quote_ (Stx.int_ n) ];
+          ]
+      in
+      let rec go i = function
+        | [] -> success
+        | p :: rest ->
+            let elem = fresh_id "match-elem" in
+            sl
+              [
+                b "let-values";
+                sl [ sl [ sl [ elem ]; app [ b "vector-ref"; target; quote_ (Stx.int_ i) ] ] ];
+                compile_pat p elem (go (i + 1) rest) fail;
+              ]
+      in
+      sl [ b "if"; checks; go 0 pats; fail_call ]
+  | Stx.List [ kw; pred ] when Stx.is_sym "?" kw ->
+      sl [ b "if"; app [ pred; target ]; success; fail_call ]
+  | Stx.List [ kw; pred; p ] when Stx.is_sym "?" kw ->
+      sl [ b "if"; app [ pred; target ]; compile_pat p target success fail; fail_call ]
+  | _ -> err "match: unsupported pattern" pat
+
+let m_match form =
+  match Stx.to_list form with
+  | Some (_ :: subject :: clauses) when clauses <> [] ->
+      let t = fresh_id "match-val" in
+      let rec build = function
+        | [] ->
+            app
+              [ b "error"; quote_ (Stx.str_ "match: no matching clause for"); t ]
+        | c :: rest -> (
+            match Stx.to_list c with
+            | Some (pat :: body) when body <> [] ->
+                let fail = fresh_id "match-fail" in
+                sl
+                  [
+                    b "let-values";
+                    sl
+                      [
+                        sl
+                          [
+                            sl [ fail ];
+                            sl [ b "#%plain-lambda"; sl []; build rest ];
+                          ];
+                      ];
+                    compile_pat pat t (sl ((b "begin") :: body)) fail;
+                  ]
+            | _ -> err "match: bad clause" c)
+      in
+      sl ~loc:form.Stx.loc
+        [ b "let-values"; sl [ sl [ sl [ t ]; subject ] ]; build clauses ]
+  | _ -> err "match: bad syntax" form
+
+(* -- module-begin, provide, require ------------------------------------------------- *)
+
+let m_module_begin form =
+  match Stx.to_list form with
+  | Some (_ :: forms) -> sl ~loc:form.Stx.loc ((b "#%plain-module-begin") :: forms)
+  | _ -> err "#%module-begin: bad syntax" form
+
+let m_provide form =
+  match Stx.to_list form with
+  | Some (_ :: specs) -> sl ~loc:form.Stx.loc ((b "#%provide") :: specs)
+  | _ -> err "provide: bad syntax" form
+
+let m_require form =
+  match Stx.to_list form with
+  | Some (_ :: specs) -> sl ~loc:form.Stx.loc ((b "#%require") :: specs)
+  | _ -> err "require: bad syntax" form
+
+(* -- registration --------------------------------------------------------------------- *)
+
+let native name f = (name, Denote.Native (name, f))
+
+let () =
+  Modsys.add_builtin_exports racket_mod ~ctx_id:bid
+    ~macros:
+      [
+        native "lambda" m_lambda;
+        native "λ" m_lambda;
+        native "define" m_define;
+        native "define-syntax" m_define_syntax;
+        native "define-syntax-rule" m_define_syntax_rule;
+        native "let" m_let;
+        native "let*" m_let_star;
+        native "letrec" m_letrec;
+        native "cond" m_cond;
+        native "case" m_case;
+        native "when" m_when;
+        native "unless" m_unless;
+        native "and" m_and;
+        native "or" m_or;
+        native "begin0" m_begin0;
+        native "quasiquote" m_quasiquote;
+        native "quasisyntax" m_quasisyntax;
+        native "syntax" m_syntax;
+        native "delay" m_delay;
+        native "time" m_time;
+        native "lazy" m_delay;
+        native "for" m_for;
+        native "for/list" m_for_list;
+        native "for/sum" m_for_sum;
+        native "match" m_match;
+        native "#%module-begin" m_module_begin;
+        native "provide" m_provide;
+        native "require" m_require;
+      ]
+    ()
+
+(** Force linking/initialization of the base language. *)
+let init () = ignore racket_mod

@@ -1,0 +1,387 @@
+(** The module system (paper §2.3, §5).
+
+    A module is compiled separately, with a fresh compile-time store; its
+    compiled form records, besides runtime definitions, the compile-time
+    declarations ([begin-for-syntax] forms) that are replayed — "visited" —
+    into the store of any later compilation that requires it.  This is how
+    Typed Racket persists its type environment across compilations (§5).
+
+    Every module names its language; the language is itself just a module
+    whose exports (including [#%module-begin]) form the initial binding
+    environment of the body. *)
+
+module Stx = Liblang_stx.Stx
+module Scope = Liblang_stx.Scope
+module Binding = Liblang_stx.Binding
+module Value = Liblang_runtime.Value
+module Ast = Liblang_runtime.Ast
+module Interp = Liblang_runtime.Interp
+module Reader = Liblang_reader.Reader
+module Datum = Liblang_reader.Datum
+module Expander = Liblang_expander.Expander
+module Compile = Liblang_expander.Compile
+module Denote = Liblang_expander.Denote
+module Namespace = Liblang_expander.Namespace
+module Ct_store = Liblang_expander.Ct_store
+
+exception Module_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Module_error s)) fmt
+
+type export = { ext_name : string; binding : Binding.t }
+
+type compiled_form =
+  | CDef of Ast.global list * Ast.t
+  | CExpr of Ast.t
+
+type t = {
+  mod_name : string;
+  mutable exports : export list;
+  mutable body : compiled_form list;
+  mutable ct_thunks : (unit -> unit) list;
+  mutable requires : string list;
+  mutable instantiated : bool;
+  mutable visited_stores : int list;
+  builtin : bool;
+}
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+
+let find name =
+  match Hashtbl.find_opt registry name with
+  | Some m -> m
+  | None -> err "require: unknown module %s" name
+
+let is_declared name = Hashtbl.mem registry name
+
+let register m = Hashtbl.replace registry m.mod_name m
+
+(** Register an existing module under an additional name. *)
+let alias m name = Hashtbl.replace registry name m
+
+(* -- visiting: replaying compile-time declarations (§5) ----------------------- *)
+
+let rec visit (m : t) =
+  let sid = Ct_store.store_id () in
+  if not (List.mem sid m.visited_stores) then begin
+    m.visited_stores <- sid :: m.visited_stores;
+    List.iter (fun r -> visit (find r)) m.requires;
+    List.iter (fun thunk -> thunk ()) m.ct_thunks
+  end
+
+(* -- instantiation: running a module ------------------------------------------- *)
+
+(* The evaluation backend used to instantiate modules; the benchmark harness
+   swaps in {!Liblang_runtime.Naive.eval_top} for its comparison series. *)
+let evaluator : (Ast.t -> Value.value) ref = ref Interp.eval_top
+
+let run_form = function
+  | CExpr ast -> ignore (!evaluator ast)
+  | CDef (globals, ast) -> (
+      let v = !evaluator ast in
+      match globals with
+      | [ g ] -> g.Ast.g_val <- v
+      | gs -> (
+          match v with
+          | Value.Values vs when List.length vs = List.length gs ->
+              List.iter2 (fun g v -> g.Ast.g_val <- v) gs vs
+          | _ -> err "define-values: expected %d values" (List.length gs)))
+
+let rec instantiate (m : t) =
+  if not m.instantiated then begin
+    m.instantiated <- true;
+    List.iter (fun r -> instantiate (find r)) m.requires;
+    List.iter run_form m.body
+  end
+
+(* -- imports --------------------------------------------------------------------- *)
+
+(** Make every export of [m] visible in the lexical context of [ctx]:
+    each external name is bound, with [ctx]'s scopes, as an alias of the
+    original binding — imported identifiers keep their identity (§5). *)
+let export_binding (m : t) (ext_name : string) : Binding.t =
+  match List.find_opt (fun e -> String.equal e.ext_name ext_name) m.exports with
+  | None -> err "module %s provides no binding named %s" m.mod_name ext_name
+  | Some e -> e.binding
+
+(** Bind one export of [m] under the identifier [as_id] (using [as_id]'s own
+    lexical context). *)
+let bind_export_as (m : t) ~(ext_name : string) ~(as_id : Stx.t) =
+  Binding.add as_id (export_binding m ext_name)
+
+let bind_exports ~(ctx : Stx.t) (m : t) =
+  List.iter
+    (fun e ->
+      let id = { (Stx.id e.ext_name) with Stx.scopes = ctx.Stx.scopes } in
+      Binding.add id e.binding)
+    m.exports
+
+(* requires recorded during the current compilation *)
+let current_requires : string list ref ref = ref (ref [])
+
+(* Name of the module currently being compiled (blame party for boundary
+   contracts). *)
+let current_module_name : string ref = ref "top-level"
+
+
+let module_name_of_spec (id : Stx.t) : string = Stx.sym_exn id
+
+let handle_require (spec : Stx.t) =
+  let record_and_visit name =
+    let m = find name in
+    visit m;
+    let reqs = !current_requires in
+    if not (List.mem name !reqs) then reqs := name :: !reqs;
+    m
+  in
+  match spec.Stx.e with
+  | Stx.Id _ ->
+      let m = record_and_visit (module_name_of_spec spec) in
+      bind_exports ~ctx:spec m
+  | Stx.List (kw :: mod_id :: clauses) when Stx.is_sym "only-in" kw ->
+      let m = record_and_visit (module_name_of_spec mod_id) in
+      List.iter
+        (fun c ->
+          match Stx.to_list c with
+          | Some [ orig; new_id ] when Stx.is_id new_id ->
+              bind_export_as m ~ext_name:(Stx.sym_exn orig) ~as_id:new_id
+          | _ -> (
+              match c.Stx.e with
+              | Stx.Id n -> bind_export_as m ~ext_name:n ~as_id:c
+              | _ -> err "only-in: bad clause %s" (Stx.to_string c)))
+        clauses
+  | _ -> err "require: bad require spec %s" (Stx.to_string spec)
+
+let () = Expander.require_handler := handle_require
+
+(* -- compiling a module ------------------------------------------------------------ *)
+
+let resolve_exn id =
+  match Binding.resolve id with
+  | Some b -> b
+  | None -> err "%s: unbound identifier in module compilation" (Stx.sym_exn id)
+
+let parse_provide_spec (spec : Stx.t) : export list =
+  match spec.Stx.e with
+  | Stx.Id name -> [ { ext_name = name; binding = resolve_exn spec } ]
+  | Stx.List (kw :: clauses) when Stx.is_sym "rename-out" kw ->
+      List.map
+        (fun c ->
+          match Stx.to_list c with
+          | Some [ internal; ext ] ->
+              { ext_name = Stx.sym_exn ext; binding = resolve_exn internal }
+          | _ -> err "rename-out: bad clause %s" (Stx.to_string c))
+        clauses
+  | _ -> err "provide: bad provide spec %s" (Stx.to_string spec)
+
+let core_kind (hd : Stx.t) : string option =
+  match Binding.resolve hd with
+  | None -> None
+  | Some b -> ( match Denote.get b with Some (Denote.DCore n) -> Some n | _ -> None)
+
+(* Expand a whole module body (already wrapped in the language's
+   #%module-begin) down to (#%plain-module-begin core-form ...). *)
+let expand_module_top (wrapped : Stx.t) : Stx.t list =
+  let w = Expander.partial_expand wrapped in
+  match w.Stx.e with
+  | Stx.List (hd :: forms) when Stx.is_id hd -> (
+      match core_kind hd with
+      | Some "#%plain-module-begin" -> Expander.expand_module_body forms
+      | _ -> err "module body did not expand to #%%plain-module-begin")
+  | _ -> err "module body did not expand to #%%plain-module-begin"
+
+(* Set up a module's lexical context (fresh store, language imports) and
+   expand its body to core forms; shared by compilation and the
+   expansion-inspection entry point. *)
+let expand_in_language ~name ~lang (body : Datum.annot list) (k : Stx.t list -> 'a) : 'a =
+  if not (is_declared lang) then err "#lang %s: unknown language" lang;
+  ignore name;
+  Ct_store.with_fresh_store (fun () ->
+      let sc = Scope.fresh () in
+      let ctx = Stx.id ~scopes:(Scope.Set.singleton sc) "module-ctx" in
+      let lang_mod = find lang in
+      visit lang_mod;
+      bind_exports ~ctx lang_mod;
+      let forms = List.map (Stx.of_datum ~scopes:(Scope.Set.singleton sc)) body in
+      let mb = { (Stx.id "#%module-begin") with Stx.scopes = ctx.Stx.scopes } in
+      let wrapped = Stx.list (mb :: forms) in
+      k (expand_module_top wrapped))
+
+(** Expand a module's body to core forms without compiling it — the view a
+    whole-module analysis gets (paper §2.2, §4). *)
+let expand_source ~name (source : string) : Stx.t list =
+  match Reader.split_lang_line source with
+  | None -> err "module %s: source must start with #lang <language>" name
+  | Some (lang, rest) ->
+      let saved = !current_module_name in
+      current_module_name := name;
+      Fun.protect ~finally:(fun () -> current_module_name := saved) @@ fun () ->
+      expand_in_language ~name ~lang (Reader.read_all ~file:name rest) (fun forms -> forms)
+
+(** Compile a module from its body forms (datums) in language [lang]. *)
+let compile_module ~name ~lang (body : Datum.annot list) : t =
+  if not (is_declared lang) then err "#lang %s: unknown language" lang;
+  Ct_store.with_fresh_store (fun () ->
+      let requires = ref [ lang ] in
+      current_requires := requires;
+      let saved_name = !current_module_name in
+      current_module_name := name;
+      Fun.protect ~finally:(fun () -> current_module_name := saved_name) @@ fun () ->
+      let sc = Scope.fresh () in
+      let ctx = Stx.id ~scopes:(Scope.Set.singleton sc) "module-ctx" in
+      (* the language's exports form the initial environment (§2.3) *)
+      let lang_mod = find lang in
+      visit lang_mod;
+      bind_exports ~ctx lang_mod;
+      let forms = List.map (Stx.of_datum ~scopes:(Scope.Set.singleton sc)) body in
+      let mb = { (Stx.id "#%module-begin") with Stx.scopes = ctx.Stx.scopes } in
+      let wrapped = Stx.list (mb :: forms) in
+      let core_forms = expand_module_top wrapped in
+      (* walk the fully-expanded module and compile each form *)
+      let m =
+        {
+          mod_name = name;
+          exports = [];
+          body = [];
+          ct_thunks = [];
+          requires = [];
+          instantiated = false;
+          visited_stores = [ Ct_store.store_id () ];
+          builtin = false;
+        }
+      in
+      let compile_form (form : Stx.t) =
+        match form.Stx.e with
+        | Stx.List (hd :: rest) when Stx.is_id hd -> (
+            match core_kind hd with
+            | Some "define-values" -> (
+                match rest with
+                | [ ids; rhs ] ->
+                    let ids = Option.get (Stx.to_list ids) in
+                    let globals =
+                      List.map (fun id -> Namespace.global_of (resolve_exn id)) ids
+                    in
+                    let ast = Compile.compile_expr rhs in
+                    (match (globals, ast) with
+                    | [ g ], Ast.Lambda l when l.Ast.l_name = "" ->
+                        l.Ast.l_name <- g.Ast.g_name
+                    | _ -> ());
+                    m.body <- CDef (globals, ast) :: m.body
+                | _ -> err "define-values: bad form after expansion")
+            | Some "define-syntaxes" -> ()
+            | Some "begin-for-syntax" ->
+                let thunks =
+                  List.map
+                    (fun e ->
+                      let ast = Compile.compile_expr e in
+                      fun () -> ignore (Interp.eval_top ast))
+                    rest
+                in
+                m.ct_thunks <- m.ct_thunks @ thunks
+            | Some "#%provide" ->
+                List.iter (fun spec -> m.exports <- m.exports @ parse_provide_spec spec) rest
+            | Some "#%require" -> ()
+            | _ -> m.body <- CExpr (Compile.compile_expr form) :: m.body)
+        | _ -> m.body <- CExpr (Compile.compile_expr form) :: m.body
+      in
+      List.iter compile_form core_forms;
+      m.body <- List.rev m.body;
+      m.requires <- List.rev !requires;
+      register m;
+      m)
+
+(** Declare a module from full source text beginning with [#lang <name>]. *)
+let declare ~name (source : string) : t =
+  match Reader.split_lang_line source with
+  | None -> err "module %s: source must start with #lang <language>" name
+  | Some (lang, rest) -> compile_module ~name ~lang (Reader.read_all ~file:name rest)
+
+(** Declare and run. Returns the module. *)
+let declare_and_run ~name source =
+  let m = declare ~name source in
+  instantiate m;
+  m
+
+(* -- builtin (host-defined) modules -------------------------------------------------- *)
+
+(** Construct a module whose bindings are provided by the host language:
+    [values] become immutable globals, [macros] become transformers,
+    [reexports] alias existing bindings (e.g. the core forms).  Returns the
+    module and a [ctx_id] function for building identifiers that resolve in
+    the module's definition context — native macros use it for their
+    templates. *)
+let declare_builtin ~name ?(values : (string * Value.value) list = [])
+    ?(macros : (string * Denote.transformer) list = [])
+    ?(reexports : (string * Binding.t) list = [])
+    ?(ct_thunks : (unit -> unit) list = []) () : t * (string -> Stx.t) =
+  let sc = Scope.fresh () in
+  let scopes = Scope.Set.singleton sc in
+  let ctx_id n = Stx.id ~scopes n in
+  let exports = ref [] in
+  List.iter
+    (fun (n, v) ->
+      let id = ctx_id n in
+      let b = Binding.bind id in
+      Denote.set b Denote.DVar;
+      Namespace.define_immutable b v;
+      exports := { ext_name = n; binding = b } :: !exports)
+    values;
+  List.iter
+    (fun (n, t) ->
+      let id = ctx_id n in
+      let b = Binding.bind id in
+      Denote.set b (Denote.DMacro t);
+      exports := { ext_name = n; binding = b } :: !exports)
+    macros;
+  List.iter
+    (fun (n, b) ->
+      let id = ctx_id n in
+      Binding.add id b;
+      exports := { ext_name = n; binding = b } :: !exports)
+    reexports;
+  let m =
+    {
+      mod_name = name;
+      exports = List.rev !exports;
+      body = [];
+      ct_thunks;
+      requires = [];
+      instantiated = true;
+      visited_stores = [];
+      builtin = true;
+    }
+  in
+  register m;
+  (m, ctx_id)
+
+(** Add late exports to a builtin module (used to assemble layered
+    languages). *)
+let add_builtin_exports (m : t) ~(ctx_id : string -> Stx.t)
+    ?(values : (string * Value.value) list = [])
+    ?(macros : (string * Denote.transformer) list = [])
+    ?(reexports : (string * Binding.t) list = []) () =
+  List.iter
+    (fun (n, v) ->
+      let b = Binding.bind (ctx_id n) in
+      Denote.set b Denote.DVar;
+      Namespace.define_immutable b v;
+      m.exports <- m.exports @ [ { ext_name = n; binding = b } ])
+    values;
+  List.iter
+    (fun (n, t) ->
+      let b = Binding.bind (ctx_id n) in
+      Denote.set b (Denote.DMacro t);
+      m.exports <- m.exports @ [ { ext_name = n; binding = b } ])
+    macros;
+  List.iter
+    (fun (n, b) ->
+      Binding.add (ctx_id n) b;
+      m.exports <- m.exports @ [ { ext_name = n; binding = b } ])
+    reexports
+
+(** Testing hook: forget declared modules (builtin modules must be
+    re-registered by their libraries). *)
+let reset_user_modules_for_tests () =
+  Hashtbl.iter
+    (fun name m -> if not m.builtin then Hashtbl.remove registry name)
+    (Hashtbl.copy registry)

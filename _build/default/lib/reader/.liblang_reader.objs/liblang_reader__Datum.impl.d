@@ -1,0 +1,1 @@
+lib/reader/datum.ml: Buffer Float Format List Printf Srcloc String

@@ -1,0 +1,1 @@
+lib/reader/reader.ml: Buffer Datum Float List Printf Srcloc String

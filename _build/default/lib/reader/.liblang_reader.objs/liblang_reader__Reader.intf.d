@@ -1,0 +1,1 @@
+lib/reader/reader.mli: Datum Srcloc

@@ -1,0 +1,1 @@
+lib/reader/srcloc.mli: Format

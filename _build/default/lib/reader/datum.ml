@@ -1,0 +1,126 @@
+(** Raw read-time data: the output of the reader, before lexical context is
+    attached.  Mirrors Racket's notion of a datum.  Numbers follow the
+    three-level tower this runtime implements: fixnums, flonums, and
+    float-complex.  (Racket's exact rationals and bignums are out of scope;
+    see DESIGN.md.) *)
+
+type atom =
+  | Sym of string
+  | Int of int
+  | Float of float
+  | Cpx of float * float  (** float-complex: real, imaginary *)
+  | Bool of bool
+  | Str of string
+  | Char of char
+
+type t =
+  | Atom of atom
+  | List of annot list
+  | DotList of annot list * annot  (** improper list; first list is nonempty *)
+  | Vec of annot list
+
+and annot = { d : t; loc : Srcloc.t }
+
+let atom ?(loc = Srcloc.none) a = { d = Atom a; loc }
+let sym ?loc s = atom ?loc (Sym s)
+let int ?loc n = atom ?loc (Int n)
+let float ?loc f = atom ?loc (Float f)
+let bool ?loc b = atom ?loc (Bool b)
+let str ?loc s = atom ?loc (Str s)
+let list ?(loc = Srcloc.none) xs = { d = List xs; loc }
+
+let is_sym name a = match a.d with Atom (Sym s) -> String.equal s name | _ -> false
+
+(* Float printing that round-trips and always shows a decimal point or
+   exponent, Scheme-style. *)
+let float_to_string f =
+  if Float.is_nan f then "+nan.0"
+  else if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.1f" f
+  else if f = Float.infinity then "+inf.0"
+  else if f = Float.neg_infinity then "-inf.0"
+  else
+    let s = Printf.sprintf "%.15g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let char_to_string c =
+  match c with
+  | ' ' -> "#\\space"
+  | '\n' -> "#\\newline"
+  | '\t' -> "#\\tab"
+  | '\r' -> "#\\return"
+  | '\000' -> "#\\nul"
+  | c -> Printf.sprintf "#\\%c" c
+
+let cpx_to_string re im =
+  let ims = float_to_string im in
+  let ims = if String.length ims > 0 && (ims.[0] = '-' || ims.[0] = '+') then ims else "+" ^ ims in
+  float_to_string re ^ ims ^ "i"
+
+let atom_to_string = function
+  | Sym s -> s
+  | Int n -> string_of_int n
+  | Float f -> float_to_string f
+  | Cpx (re, im) -> cpx_to_string re im
+  | Bool true -> "#t"
+  | Bool false -> "#f"
+  | Str s -> escape_string s
+  | Char c -> char_to_string c
+
+let rec to_string d =
+  match d with
+  | Atom a -> atom_to_string a
+  | List [ { d = Atom (Sym "quote"); _ }; x ] -> "'" ^ to_string x.d
+  | List [ { d = Atom (Sym "quasiquote"); _ }; x ] -> "`" ^ to_string x.d
+  | List [ { d = Atom (Sym "unquote"); _ }; x ] -> "," ^ to_string x.d
+  | List [ { d = Atom (Sym "unquote-splicing"); _ }; x ] -> ",@" ^ to_string x.d
+  | List xs -> "(" ^ String.concat " " (List.map annot_to_string xs) ^ ")"
+  | DotList (xs, tl) ->
+      "("
+      ^ String.concat " " (List.map annot_to_string xs)
+      ^ " . " ^ annot_to_string tl ^ ")"
+  | Vec xs -> "#(" ^ String.concat " " (List.map annot_to_string xs) ^ ")"
+
+and annot_to_string a = to_string a.d
+
+let pp fmt d = Format.pp_print_string fmt (to_string d)
+let pp_annot fmt a = pp fmt a.d
+
+let rec equal a b =
+  match (a, b) with
+  | Atom x, Atom y -> atom_equal x y
+  | List xs, List ys -> List.length xs = List.length ys && List.for_all2 annot_equal xs ys
+  | DotList (xs, xt), DotList (ys, yt) ->
+      List.length xs = List.length ys
+      && List.for_all2 annot_equal xs ys
+      && annot_equal xt yt
+  | Vec xs, Vec ys -> List.length xs = List.length ys && List.for_all2 annot_equal xs ys
+  | _ -> false
+
+and annot_equal a b = equal a.d b.d
+
+and atom_equal x y =
+  match (x, y) with
+  | Sym a, Sym b -> String.equal a b
+  | Int a, Int b -> a = b
+  | Float a, Float b -> Float.equal a b
+  | Cpx (a, b), Cpx (c, d) -> Float.equal a c && Float.equal b d
+  | Bool a, Bool b -> a = b
+  | Str a, Str b -> String.equal a b
+  | Char a, Char b -> a = b
+  | _ -> false

@@ -1,0 +1,24 @@
+(** The S-expression reader: text -> located datums.
+
+    Supports the notation used throughout the paper: lists, improper lists,
+    vectors, booleans, characters, strings, fixnums (decimal / #x / #b /
+    #o), flonums, float-complex literals such as [2.0+2.0i],
+    [+inf.0] / [+nan.0], line comments [;], nestable block comments
+    [#| |#], datum comments [#;], and the quotation shorthands
+    ['] [`] [,] [,@] [#'] [#`] [#,] [#,@]. *)
+
+exception Error of string * Srcloc.t
+
+(** Recognize number syntax in a token ([None] = not a number). Exposed for
+    the [string->number] primitive. *)
+val parse_number : string -> Datum.atom option
+
+(** Read a single datum; [None] on (whitespace-only) empty input. *)
+val read_one : ?file:string -> string -> Datum.annot option
+
+(** Read all datums. *)
+val read_all : ?file:string -> string -> Datum.annot list
+
+(** If the source starts with a [#lang <name>] line, return
+    [Some (name, rest-of-source)]. *)
+val split_lang_line : string -> (string * string) option

@@ -1,0 +1,27 @@
+(** Source locations for datums and syntax objects. *)
+
+type t = {
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;   (** 0-based *)
+  pos : int;   (** 0-based offset into the source *)
+  span : int;  (** number of characters covered *)
+}
+
+let none = { file = "<none>"; line = 0; col = 0; pos = 0; span = 0 }
+
+let make ~file ~line ~col ~pos ~span = { file; line; col; pos; span }
+
+let is_none l = l.line = 0 && l.file = "<none>"
+
+let to_string l =
+  if is_none l then "<no location>"
+  else Printf.sprintf "%s:%d:%d" l.file l.line l.col
+
+let pp fmt l = Format.pp_print_string fmt (to_string l)
+
+(* A location spanning from the start of [a] to the end of [b]. *)
+let merge a b =
+  if is_none a then b
+  else if is_none b then a
+  else { a with span = max a.span (b.pos + b.span - a.pos) }

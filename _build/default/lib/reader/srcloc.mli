@@ -1,0 +1,19 @@
+(** Source locations for datums and syntax objects. *)
+
+type t = {
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;   (** 0-based *)
+  pos : int;   (** 0-based offset into the source *)
+  span : int;  (** number of characters covered *)
+}
+
+val none : t
+val make : file:string -> line:int -> col:int -> pos:int -> span:int -> t
+val is_none : t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** A location spanning from the start of the first to the end of the
+    second. *)
+val merge : t -> t -> t

@@ -1,0 +1,1 @@
+lib/runtime/ast.ml: Array Liblang_stx Printf String Value

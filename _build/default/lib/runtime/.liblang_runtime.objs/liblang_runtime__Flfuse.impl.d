@@ -1,0 +1,1 @@
+lib/runtime/flfuse.ml: Array Float Numeric Value

@@ -1,0 +1,1 @@
+lib/runtime/interp.ml: Array Ast Flfuse Hashtbl List Value

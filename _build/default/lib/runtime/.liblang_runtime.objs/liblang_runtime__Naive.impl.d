@@ -1,0 +1,1 @@
+lib/runtime/naive.ml: Array Ast Interp Value

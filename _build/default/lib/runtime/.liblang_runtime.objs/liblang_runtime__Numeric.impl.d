@@ -1,0 +1,1 @@
+lib/runtime/numeric.ml: Float Value

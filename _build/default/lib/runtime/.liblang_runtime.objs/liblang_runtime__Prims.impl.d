@@ -1,0 +1,1 @@
+lib/runtime/prims.ml: Array Buffer Bytes Char Float Fun Hashtbl Interp Liblang_reader Liblang_stx List Numeric Option Printf Seq String Unix Value

@@ -1,0 +1,1 @@
+lib/runtime/value.ml: Array Bytes Float Format Hashtbl Liblang_reader Liblang_stx List Printf String

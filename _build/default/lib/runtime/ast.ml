@@ -1,0 +1,60 @@
+(** The core AST the evaluator runs: the compiled form of the ~20-form core
+    grammar of the paper's figure 1.  Variables are lexically addressed
+    (frame depth, slot); module-level variables are boxes shared through a
+    namespace. *)
+
+module Stx = Liblang_stx.Stx
+
+type global = {
+  g_name : string;
+  mutable g_val : Value.value;
+  g_mutable : bool;  (** may be [set!] — false for primitives *)
+}
+
+let global ?(mutable_ = true) name =
+  { g_name = name; g_val = Value.Undefined; g_mutable = mutable_ }
+
+type t =
+  | Quote of Value.value
+  | QuoteStx of Stx.t
+  | LocalRef of int * int  (** frame depth, slot *)
+  | GlobalRef of global
+  | SetLocal of int * int * t
+  | SetGlobal of global * t
+  | If of t * t * t
+  | Begin of t array  (** at least one subform *)
+  | Lambda of lam
+  | App of t * t array
+  | LetVals of clause array * t
+      (** all right-hand sides evaluate in the outer environment, then one
+          fresh frame binds every clause's variables in order *)
+  | LetrecVals of clause array * t
+      (** the frame exists (holding [Undefined]) while right-hand sides run *)
+
+and lam = { l_arity : int; l_rest : bool; mutable l_name : string; l_body : t }
+
+and clause = { n_vals : int; rhs : t }
+
+let rec to_string = function
+  | Quote v -> "'" ^ Value.write_string v
+  | QuoteStx s -> "#'" ^ Stx.to_string s
+  | LocalRef (d, i) -> Printf.sprintf "$%d.%d" d i
+  | GlobalRef g -> g.g_name
+  | SetLocal (d, i, e) -> Printf.sprintf "(set! $%d.%d %s)" d i (to_string e)
+  | SetGlobal (g, e) -> Printf.sprintf "(set! %s %s)" g.g_name (to_string e)
+  | If (c, t, e) -> Printf.sprintf "(if %s %s %s)" (to_string c) (to_string t) (to_string e)
+  | Begin es ->
+      "(begin " ^ String.concat " " (Array.to_list (Array.map to_string es)) ^ ")"
+  | Lambda l ->
+      Printf.sprintf "(lambda [%d%s] %s)" l.l_arity (if l.l_rest then "+" else "")
+        (to_string l.l_body)
+  | App (f, args) ->
+      "(" ^ String.concat " " (to_string f :: Array.to_list (Array.map to_string args)) ^ ")"
+  | LetVals (cs, body) -> clause_string "let-values" cs body
+  | LetrecVals (cs, body) -> clause_string "letrec-values" cs body
+
+and clause_string kw cs body =
+  let cl c = Printf.sprintf "[%d %s]" c.n_vals (to_string c.rhs) in
+  Printf.sprintf "(%s (%s) %s)" kw
+    (String.concat " " (Array.to_list (Array.map cl cs)))
+    (to_string body)

@@ -1,0 +1,232 @@
+(** Runtime values of the object language.
+
+    The numeric tower has three levels — fixnum ([Int]), flonum ([Float]) and
+    float-complex ([Cpx]) — matching the types the paper's optimizer
+    specializes on.  Syntax objects are first-class values ([Stx]) because
+    transformers run object-language code at compile time (phase 1). *)
+
+module Stx = Liblang_stx.Stx
+
+type value =
+  | Void
+  | Undefined  (** the value of a letrec variable before initialization *)
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Cpx of float * float
+  | Sym of string
+  | Char of char
+  | Str of bytes  (** mutable, like Scheme strings *)
+  | Nil
+  | Pair of pcell
+  | Vec of value array
+  | Box of value ref
+  | Closure of closure
+  | Prim of prim
+  | StxV of Stx.t
+  | Promise of promise
+  | Values of value list  (** multiple return values *)
+  | Hash of (value, value) Hashtbl.t
+
+and pcell = { mutable car : value; mutable cdr : value }
+
+and closure = {
+  arity : int;  (** number of required parameters *)
+  rest : bool;  (** accepts extra arguments collected into a list *)
+  mutable cl_name : string;
+  cl_env : env;
+  code : env -> value;  (** runs the body in [cl_env] extended with a frame *)
+}
+
+and prim = { p_name : string; p_fn : value list -> value }
+
+and promise = { mutable forced : bool; mutable thunk : value (* closure or memoized value *) }
+
+(** Environments are chains of frames.  The top environment is its own
+    parent, which keeps lookups allocation-free and branch-predictable. *)
+and env = { frame : value array; up : env }
+
+exception Scheme_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Scheme_error s)) fmt
+
+let rec top_env = { frame = [||]; up = top_env }
+
+let truthy = function Bool false -> false | _ -> true
+
+(* -- constructors -------------------------------------------------------- *)
+
+let cons a b = Pair { car = a; cdr = b }
+
+let rec of_list = function [] -> Nil | x :: rest -> cons x (of_list rest)
+
+let rec to_list = function
+  | Nil -> []
+  | Pair { car; cdr } -> car :: to_list cdr
+  | v -> error "expected a proper list, given partial tail %s" (tag_name v)
+
+and tag_name = function
+  | Void -> "void"
+  | Undefined -> "undefined"
+  | Bool _ -> "boolean"
+  | Int _ -> "fixnum"
+  | Float _ -> "flonum"
+  | Cpx _ -> "float-complex"
+  | Sym _ -> "symbol"
+  | Char _ -> "character"
+  | Str _ -> "string"
+  | Nil -> "empty-list"
+  | Pair _ -> "pair"
+  | Vec _ -> "vector"
+  | Box _ -> "box"
+  | Closure _ -> "procedure"
+  | Prim _ -> "primitive"
+  | StxV _ -> "syntax"
+  | Promise _ -> "promise"
+  | Values _ -> "multiple-values"
+  | Hash _ -> "hash"
+
+let to_list_opt v =
+  let rec go acc = function
+    | Nil -> Some (List.rev acc)
+    | Pair { car; cdr } -> go (car :: acc) cdr
+    | _ -> None
+  in
+  go [] v
+
+let string_ s = Str (Bytes.of_string s)
+
+(* -- conversions between values and read-time datums --------------------- *)
+
+module Datum = Liblang_reader.Datum
+
+let rec of_datum (d : Datum.t) : value =
+  match d with
+  | Datum.Atom (Datum.Sym s) -> Sym s
+  | Datum.Atom (Datum.Int n) -> Int n
+  | Datum.Atom (Datum.Float f) -> Float f
+  | Datum.Atom (Datum.Cpx (re, im)) -> Cpx (re, im)
+  | Datum.Atom (Datum.Bool b) -> Bool b
+  | Datum.Atom (Datum.Str s) -> string_ s
+  | Datum.Atom (Datum.Char c) -> Char c
+  | Datum.List xs -> of_list (List.map (fun a -> of_datum a.Datum.d) xs)
+  | Datum.DotList (xs, tl) ->
+      List.fold_right (fun a acc -> cons (of_datum a.Datum.d) acc) xs (of_datum tl.Datum.d)
+  | Datum.Vec xs -> Vec (Array.of_list (List.map (fun a -> of_datum a.Datum.d) xs))
+
+let rec to_datum (v : value) : Datum.t =
+  let annot d = { Datum.d; loc = Liblang_reader.Srcloc.none } in
+  match v with
+  | Sym s -> Datum.Atom (Datum.Sym s)
+  | Int n -> Datum.Atom (Datum.Int n)
+  | Float f -> Datum.Atom (Datum.Float f)
+  | Cpx (re, im) -> Datum.Atom (Datum.Cpx (re, im))
+  | Bool b -> Datum.Atom (Datum.Bool b)
+  | Str s -> Datum.Atom (Datum.Str (Bytes.to_string s))
+  | Char c -> Datum.Atom (Datum.Char c)
+  | Nil -> Datum.List []
+  | Pair _ -> (
+      match to_list_opt v with
+      | Some xs -> Datum.List (List.map (fun x -> annot (to_datum x)) xs)
+      | None ->
+          let rec split acc = function
+            | Pair { car; cdr } -> split (car :: acc) cdr
+            | tl -> (List.rev acc, tl)
+          in
+          let xs, tl = split [] v in
+          Datum.DotList (List.map (fun x -> annot (to_datum x)) xs, annot (to_datum tl)))
+  | Vec xs -> Datum.Vec (Array.to_list (Array.map (fun x -> annot (to_datum x)) xs))
+  | StxV s -> Stx.to_datum s
+  | v -> error "cannot convert %s to datum" (tag_name v)
+
+(* -- printing ------------------------------------------------------------ *)
+
+(* [display] style: strings and characters unescaped. *)
+let rec display_string v =
+  match v with
+  | Str s -> Bytes.to_string s
+  | Char c -> String.make 1 c
+  | _ -> write_string_ ~display:true v
+
+(* [write] style: strings escaped, characters as literals. *)
+and write_string v = write_string_ ~display:false v
+
+and write_string_ ~display v =
+  let sub x = if display then display_string x else write_string_ ~display:false x in
+  match v with
+  | Void -> "#<void>"
+  | Undefined -> "#<undefined>"
+  | Bool true -> "#t"
+  | Bool false -> "#f"
+  | Int n -> string_of_int n
+  | Float f -> Datum.float_to_string f
+  | Cpx (re, im) -> Datum.cpx_to_string re im
+  | Sym s -> s
+  | Char c -> Datum.char_to_string c
+  | Str s -> Datum.escape_string (Bytes.to_string s)
+  | Nil -> "()"
+  | Pair { car = Sym "quote"; cdr = Pair { car = x; cdr = Nil } } -> "'" ^ sub x
+  | Pair { car = Sym "quasiquote"; cdr = Pair { car = x; cdr = Nil } } -> "`" ^ sub x
+  | Pair { car = Sym "unquote"; cdr = Pair { car = x; cdr = Nil } } -> "," ^ sub x
+  | Pair { car = Sym "unquote-splicing"; cdr = Pair { car = x; cdr = Nil } } -> ",@" ^ sub x
+  | Pair _ ->
+      let rec parts acc = function
+        | Nil -> (List.rev acc, None)
+        | Pair { car; cdr } -> parts (car :: acc) cdr
+        | tl -> (List.rev acc, Some tl)
+      in
+      let xs, tl = parts [] v in
+      let body = String.concat " " (List.map sub xs) in
+      (match tl with
+      | None -> "(" ^ body ^ ")"
+      | Some tl -> "(" ^ body ^ " . " ^ sub tl ^ ")")
+  | Vec xs -> "#(" ^ String.concat " " (Array.to_list (Array.map sub xs)) ^ ")"
+  | Box b -> "#&" ^ sub !b
+  | Closure c -> if c.cl_name = "" then "#<procedure>" else "#<procedure:" ^ c.cl_name ^ ">"
+  | Prim p -> "#<procedure:" ^ p.p_name ^ ">"
+  | StxV s -> "#<syntax " ^ Stx.to_string s ^ ">"
+  | Promise _ -> "#<promise>"
+  | Values vs -> String.concat "\n" (List.map sub vs)
+  | Hash _ -> "#<hash>"
+
+let pp fmt v = Format.pp_print_string fmt (write_string v)
+
+(* -- equality ------------------------------------------------------------ *)
+
+let eqv a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Float x, Float y -> Float.equal x y
+  | Cpx (a1, b1), Cpx (a2, b2) -> Float.equal a1 a2 && Float.equal b1 b2
+  | Bool x, Bool y -> x = y
+  | Sym x, Sym y -> String.equal x y
+  | Char x, Char y -> x = y
+  | Nil, Nil -> true
+  | Void, Void -> true
+  | Undefined, Undefined -> true
+  | _ -> a == b
+
+let rec equal_values a b =
+  eqv a b
+  ||
+  match (a, b) with
+  | Str x, Str y -> Bytes.equal x y
+  | Pair x, Pair y -> equal_values x.car y.car && equal_values x.cdr y.cdr
+  | Vec x, Vec y ->
+      Array.length x = Array.length y
+      &&
+      let rec go i = i >= Array.length x || (equal_values x.(i) y.(i) && go (i + 1)) in
+      go 0
+  | Box x, Box y -> equal_values !x !y
+  | _ -> false
+
+(* -- procedure helpers ---------------------------------------------------- *)
+
+let prim name fn = Prim { p_name = name; p_fn = fn }
+
+let procedure_name = function
+  | Closure c -> c.cl_name
+  | Prim p -> p.p_name
+  | v -> error "not a procedure: %s" (write_string v)
+
+let is_procedure = function Closure _ | Prim _ -> true | _ -> false

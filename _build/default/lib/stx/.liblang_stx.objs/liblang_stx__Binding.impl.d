@@ -1,0 +1,1 @@
+lib/stx/binding.ml: Hashtbl Int List Option Printf Scope String Stx

@@ -1,0 +1,1 @@
+lib/stx/binding.mli: Stx

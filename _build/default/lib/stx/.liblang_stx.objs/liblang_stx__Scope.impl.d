@@ -1,0 +1,1 @@
+lib/stx/scope.ml: Int List Set String

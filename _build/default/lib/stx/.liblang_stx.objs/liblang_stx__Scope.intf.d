@@ -1,0 +1,1 @@
+lib/stx/scope.mli: Set

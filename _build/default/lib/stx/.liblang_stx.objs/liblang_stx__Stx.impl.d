@@ -1,0 +1,1 @@
+lib/stx/stx.ml: Format Liblang_reader List Scope String

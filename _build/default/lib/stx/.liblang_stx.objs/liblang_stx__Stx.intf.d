@@ -1,0 +1,1 @@
+lib/stx/stx.mli: Format Liblang_reader Scope

@@ -1,0 +1,78 @@
+(** The global binding table of the sets-of-scopes expander.
+
+    A binding associates (name, scope set) with a binding record carrying a
+    globally unique id.  The paper relies on exactly this property (§5):
+    "identifiers in Racket are given globally fresh names that are stable
+    across modules during the expansion process", so an identifier-keyed
+    table (here: a uid-keyed table) gives cross-module type environments for
+    free. *)
+
+exception Ambiguous of Stx.t
+
+type t = { uid : int; name : string }
+
+let uid_counter = ref 0
+
+let fresh name =
+  incr uid_counter;
+  { uid = !uid_counter; name }
+
+let equal a b = a.uid = b.uid
+let compare a b = Int.compare a.uid b.uid
+let to_string b = Printf.sprintf "%s.%d" b.name b.uid
+
+(* name -> list of (scope set, binding) *)
+let table : (string, (Scope.Set.t * t) list) Hashtbl.t = Hashtbl.create 1024
+
+(** [add id b] records that [id]'s name, with [id]'s scope set, refers to
+    [b].  Adding twice with the same name and scope set replaces (supports
+    redefinition at a REPL-like top level). *)
+let add (id : Stx.t) (b : t) =
+  let name = Stx.sym_exn id in
+  let existing = Option.value (Hashtbl.find_opt table name) ~default:[] in
+  let existing = List.filter (fun (ss, _) -> not (Scope.Set.equal ss id.Stx.scopes)) existing in
+  Hashtbl.replace table name ((id.Stx.scopes, b) :: existing)
+
+(** Bind [id] to a fresh binding and return it. *)
+let bind (id : Stx.t) : t =
+  let b = fresh (Stx.sym_exn id) in
+  add id b;
+  b
+
+(** Resolve a reference to a binding: among all bindings for the name whose
+    scope set is a subset of the reference's, take the one with the largest
+    scope set.  Raises {!Ambiguous} when the candidates aren't totally
+    ordered by inclusion (the classic hygiene error). *)
+let resolve (id : Stx.t) : t option =
+  let name = Stx.sym_exn id in
+  match Hashtbl.find_opt table name with
+  | None -> None
+  | Some entries ->
+      let candidates =
+        List.filter (fun (ss, _) -> Scope.Set.subset ss id.Stx.scopes) entries
+      in
+      let best =
+        List.fold_left
+          (fun acc (ss, b) ->
+            match acc with
+            | None -> Some (ss, b)
+            | Some (ss', _) -> if Scope.Set.cardinal ss > Scope.Set.cardinal ss' then Some (ss, b) else acc)
+          None candidates
+      in
+      (match best with
+      | None -> None
+      | Some (best_ss, b) ->
+          if List.for_all (fun (ss, _) -> Scope.Set.subset ss best_ss) candidates then Some b
+          else raise (Ambiguous id))
+
+(** Racket's [free-identifier=?]: do two identifiers refer to the same
+    binding?  Unbound identifiers compare by name. *)
+let free_identifier_eq (a : Stx.t) (b : Stx.t) =
+  match (resolve a, resolve b) with
+  | Some ba, Some bb -> equal ba bb
+  | None, None -> String.equal (Stx.sym_exn a) (Stx.sym_exn b)
+  | _ -> false
+
+(** Testing hook: forget all bindings.  Only used by the test suite to get
+    reproducible resolution scenarios. *)
+let reset_for_tests () = Hashtbl.reset table

@@ -1,0 +1,38 @@
+(** The global binding table of the sets-of-scopes expander.
+
+    A binding associates (name, scope set) with a record carrying a
+    globally unique id.  The paper relies on exactly this property (§5):
+    "identifiers in Racket are given globally fresh names that are stable
+    across modules during the expansion process", so identifier-keyed
+    tables (type environments, namespaces) work across modules with no
+    extra plumbing. *)
+
+exception Ambiguous of Stx.t
+(** raised by {!resolve} when candidate bindings are not totally ordered by
+    scope-set inclusion — the classic hygiene error *)
+
+type t = { uid : int; name : string }
+
+val fresh : string -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+
+(** [add id b] records that [id]'s name, under [id]'s scope set, refers to
+    [b].  Re-adding with the same name and scope set replaces (supports
+    module-level redefinition). *)
+val add : Stx.t -> t -> unit
+
+(** Bind [id] to a fresh binding and return it. *)
+val bind : Stx.t -> t
+
+(** Resolve a reference: among all bindings for the name whose scope set is
+    a subset of the reference's, the one with the largest scope set. *)
+val resolve : Stx.t -> t option
+
+(** Racket's [free-identifier=?]: do two identifiers refer to the same
+    binding?  Unbound identifiers compare by name. *)
+val free_identifier_eq : Stx.t -> Stx.t -> bool
+
+(** Testing hook: forget all bindings. *)
+val reset_for_tests : unit -> unit

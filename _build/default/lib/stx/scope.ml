@@ -1,0 +1,27 @@
+(** Scopes for the sets-of-scopes hygiene model (Flatt 2016).  A scope is an
+    opaque token; binders and references carry sets of them, and a reference
+    resolves to the binder whose scope set is the largest subset of the
+    reference's. *)
+
+type t = int
+
+let counter = ref 0
+
+let fresh () =
+  incr counter;
+  !counter
+
+let compare : t -> t -> int = Int.compare
+let to_string (s : t) = "sc" ^ string_of_int s
+
+module Set = struct
+  include Set.Make (Int)
+
+  let to_string s = "{" ^ String.concat "," (List.map to_string (elements s)) ^ "}"
+
+  (** Symmetric difference on a single scope: used when applying a macro's
+      introduction scope to its result (scopes present are removed, absent
+      are added), which distinguishes macro-introduced syntax from syntax
+      that came in through the macro's input. *)
+  let flip sc s = if mem sc s then remove sc s else add sc s
+end

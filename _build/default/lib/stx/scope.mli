@@ -1,0 +1,21 @@
+(** Scopes for the sets-of-scopes hygiene model (Flatt 2016).
+
+    A scope is an opaque token; binders and references carry sets of them,
+    and a reference resolves to the binder whose scope set is the largest
+    subset of the reference's. *)
+
+type t = int
+
+val fresh : unit -> t
+val compare : t -> t -> int
+val to_string : t -> string
+
+module Set : sig
+  include Set.S with type elt = t
+
+  val to_string : t -> string
+
+  (** Symmetric difference with a single scope: used when applying a
+      transformer's introduction scope to its result. *)
+  val flip : elt -> t -> t
+end

@@ -1,0 +1,111 @@
+(** Syntax objects: Racket's attributed ASTs (paper §2.2).  A syntax object
+    pairs a datum with lexical context (a scope set), a source location, and
+    a table of syntax properties — the out-of-band channel that lets separate
+    language extensions communicate without interfering (the paper's
+    [syntax-property-put] / [syntax-property-get]). *)
+
+module Datum = Liblang_reader.Datum
+module Srcloc = Liblang_reader.Srcloc
+
+type t = {
+  e : e;
+  scopes : Scope.Set.t;
+  loc : Srcloc.t;
+  props : (string * t) list;
+}
+
+and e =
+  | Id of string           (** identifier *)
+  | Atom of Datum.atom     (** non-symbol atom *)
+  | List of t list
+  | DotList of t list * t
+  | Vec of t list
+
+(* -- constructors -------------------------------------------------------- *)
+
+let mk ?(scopes = Scope.Set.empty) ?(loc = Srcloc.none) ?(props = []) e =
+  { e; scopes; loc; props }
+
+let id ?scopes ?loc ?props name = mk ?scopes ?loc ?props (Id name)
+let atom ?scopes ?loc a = mk ?scopes ?loc (Atom a)
+let int_ ?loc n = atom ?loc (Datum.Int n)
+let bool_ ?loc b = atom ?loc (Datum.Bool b)
+let str_ ?loc s = atom ?loc (Datum.Str s)
+let list ?scopes ?loc ?props xs = mk ?scopes ?loc ?props (List xs)
+
+let rec of_datum ?(scopes = Scope.Set.empty) (a : Datum.annot) : t =
+  let e =
+    match a.Datum.d with
+    | Datum.Atom (Datum.Sym s) -> Id s
+    | Datum.Atom x -> Atom x
+    | Datum.List xs -> List (List.map (of_datum ~scopes) xs)
+    | Datum.DotList (xs, tl) -> DotList (List.map (of_datum ~scopes) xs, of_datum ~scopes tl)
+    | Datum.Vec xs -> Vec (List.map (of_datum ~scopes) xs)
+  in
+  { e; scopes; loc = a.Datum.loc; props = [] }
+
+let rec to_datum (s : t) : Datum.t =
+  match s.e with
+  | Id name -> Datum.Atom (Datum.Sym name)
+  | Atom a -> Datum.Atom a
+  | List xs -> Datum.List (List.map to_annot xs)
+  | DotList (xs, tl) -> Datum.DotList (List.map to_annot xs, to_annot tl)
+  | Vec xs -> Datum.Vec (List.map to_annot xs)
+
+and to_annot s = { Datum.d = to_datum s; loc = s.loc }
+
+(** [datum_to_syntax ~ctx d] converts a raw datum to syntax, taking lexical
+    context (scopes) and source location from [ctx] — Racket's
+    [datum->syntax]. *)
+let datum_to_syntax ~ctx (d : Datum.t) : t =
+  of_datum ~scopes:ctx.scopes { Datum.d; loc = ctx.loc }
+
+let to_string s = Datum.to_string (to_datum s)
+let pp fmt s = Format.pp_print_string fmt (to_string s)
+
+(* -- scope operations ---------------------------------------------------- *)
+
+let rec map_scopes f s =
+  let e =
+    match s.e with
+    | Id _ | Atom _ -> s.e
+    | List xs -> List (List.map (map_scopes f) xs)
+    | DotList (xs, tl) -> DotList (List.map (map_scopes f) xs, map_scopes f tl)
+    | Vec xs -> Vec (List.map (map_scopes f) xs)
+  in
+  { s with e; scopes = f s.scopes }
+
+let add_scope sc s = map_scopes (Scope.Set.add sc) s
+let remove_scope sc s = map_scopes (Scope.Set.remove sc) s
+let flip_scope sc s = map_scopes (Scope.Set.flip sc) s
+
+(* -- accessors ----------------------------------------------------------- *)
+
+let is_id s = match s.e with Id _ -> true | _ -> false
+let sym s = match s.e with Id name -> Some name | _ -> None
+
+let sym_exn s =
+  match s.e with
+  | Id name -> name
+  | _ -> invalid_arg ("Stx.sym_exn: not an identifier: " ^ to_string s)
+
+(** [to_list] flattens a syntax list; Racket's [syntax->list].  Returns
+    [None] for non-lists and improper lists. *)
+let to_list s = match s.e with List xs -> Some xs | _ -> None
+
+let is_sym name s = match s.e with Id n -> String.equal n name | _ -> false
+
+(* -- syntax properties ---------------------------------------------------- *)
+
+let property_get key s = List.assoc_opt key s.props
+
+let property_put key v s = { s with props = (key, v) :: List.remove_assoc key s.props }
+
+(** Copy all properties of [src] onto [dst]; convenient when a macro rewrites
+    a form but must preserve out-of-band annotations. *)
+let copy_properties ~src dst =
+  List.fold_left (fun acc (k, v) -> property_put k v acc) dst src.props
+
+(* -- structural equality (ignoring scopes, locations, properties) -------- *)
+
+let equal_datum a b = Datum.equal (to_datum a) (to_datum b)

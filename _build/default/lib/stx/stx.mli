@@ -1,0 +1,85 @@
+(** Syntax objects: attributed ASTs (paper §2.2).
+
+    A syntax object pairs a datum with lexical context (a scope set), a
+    source location, and a table of {e syntax properties} — the out-of-band
+    channel that lets separate language extensions communicate without
+    interfering ([syntax-property-put] / [syntax-property-get] in the
+    paper). *)
+
+module Datum = Liblang_reader.Datum
+module Srcloc = Liblang_reader.Srcloc
+
+type t = {
+  e : e;
+  scopes : Scope.Set.t;
+  loc : Srcloc.t;
+  props : (string * t) list;
+}
+
+and e =
+  | Id of string           (** identifier *)
+  | Atom of Datum.atom     (** non-symbol atom *)
+  | List of t list
+  | DotList of t list * t
+  | Vec of t list
+
+(** {1 Construction} *)
+
+val mk : ?scopes:Scope.Set.t -> ?loc:Srcloc.t -> ?props:(string * t) list -> e -> t
+val id : ?scopes:Scope.Set.t -> ?loc:Srcloc.t -> ?props:(string * t) list -> string -> t
+val atom : ?scopes:Scope.Set.t -> ?loc:Srcloc.t -> Datum.atom -> t
+val int_ : ?loc:Srcloc.t -> int -> t
+val bool_ : ?loc:Srcloc.t -> bool -> t
+val str_ : ?loc:Srcloc.t -> string -> t
+val list : ?scopes:Scope.Set.t -> ?loc:Srcloc.t -> ?props:(string * t) list -> t list -> t
+
+(** {1 Conversions} *)
+
+val of_datum : ?scopes:Scope.Set.t -> Datum.annot -> t
+val to_datum : t -> Datum.t
+val to_annot : t -> Datum.annot
+
+(** [datum_to_syntax ~ctx d] converts a raw datum to syntax, taking lexical
+    context (scopes) and source location from [ctx] — Racket's
+    [datum->syntax]. *)
+val datum_to_syntax : ctx:t -> Datum.t -> t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** {1 Scope operations (hygiene)} *)
+
+val map_scopes : (Scope.Set.t -> Scope.Set.t) -> t -> t
+val add_scope : Scope.t -> t -> t
+val remove_scope : Scope.t -> t -> t
+
+(** [flip_scope] adds the scope where absent and removes it where present;
+    applied to a transformer's input and output, it distinguishes
+    macro-introduced syntax from use-site syntax. *)
+val flip_scope : Scope.t -> t -> t
+
+(** {1 Accessors} *)
+
+val is_id : t -> bool
+val sym : t -> string option
+val sym_exn : t -> string
+
+(** Racket's [syntax->list]: [None] for non-lists and improper lists. *)
+val to_list : t -> t list option
+
+val is_sym : string -> t -> bool
+
+(** {1 Syntax properties (the out-of-band channel, §3.1)} *)
+
+val property_get : string -> t -> t option
+val property_put : string -> t -> t -> t
+
+(** Copy all properties of [src] onto the second argument; used when a
+    rewrite must preserve out-of-band annotations. *)
+val copy_properties : src:t -> t -> t
+
+(** {1 Comparison} *)
+
+(** Structural equality of the underlying datums (ignores scopes,
+    locations, and properties). *)
+val equal_datum : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/typed/base_env.ml: Hashtbl Liblang_modules Liblang_stx List Option Printf String Types

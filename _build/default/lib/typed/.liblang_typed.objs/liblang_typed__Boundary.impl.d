@@ -1,0 +1,1 @@
+lib/typed/boundary.ml: Check Hashtbl Liblang_expander Liblang_modules Liblang_reader Liblang_runtime Liblang_stx List Printf Types

@@ -1,0 +1,1 @@
+lib/typed/check.ml: Base_env Fun Hashtbl Liblang_expander Liblang_reader Liblang_runtime Liblang_stx List Option Printf String Types

@@ -1,0 +1,1 @@
+lib/typed/optimize.ml: Base_env Check Hashtbl Liblang_expander Liblang_modules Liblang_reader Liblang_stx List Option Types

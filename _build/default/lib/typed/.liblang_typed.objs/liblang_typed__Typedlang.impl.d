@@ -1,0 +1,1 @@
+lib/typed/typedlang.ml: Boundary Check Hashtbl Liblang_expander Liblang_modules Liblang_reader Liblang_runtime Liblang_stx List Optimize Option Sys Types

@@ -1,0 +1,1 @@
+lib/typed/types.ml: Format Hashtbl Liblang_reader Liblang_stx List String

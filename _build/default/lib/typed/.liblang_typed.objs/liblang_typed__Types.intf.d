@@ -1,0 +1,1 @@
+lib/typed/types.mli: Format Hashtbl Liblang_reader Liblang_stx

@@ -1,0 +1,237 @@
+(** The type-driven optimizer (paper §7, figure 5).
+
+    A source-to-source pass over typechecked core forms.  Uses of generic
+    operations whose operand types were proved [Float] (or [Float-Complex])
+    rewrite to the unsafe type-specialized primitives; accesses to values
+    whose pair/vector shape is proved rewrite to tag-check-free accessors.
+    The unsafe primitives additionally signal the backend's unboxing
+    (see {!Liblang_runtime.Interp}). *)
+
+module Stx = Liblang_stx.Stx
+module Binding = Liblang_stx.Binding
+module Denote = Liblang_expander.Denote
+module Baselang = Liblang_modules.Baselang
+open Types
+
+(** Optimization levels, for the ablation benchmarks:
+    - [O0]: no rewriting (typecheck only);
+    - [O1]: rewrite, but the backend's float unboxing is disabled
+      separately via {!Liblang_runtime.Interp.unboxing_enabled};
+    - [O2]: full (default). *)
+let enabled = ref true
+
+(* rewrite statistics, for tests and reporting *)
+let stats : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let count what =
+  Hashtbl.replace stats what (1 + Option.value (Hashtbl.find_opt stats what) ~default:0)
+
+let reset_stats () = Hashtbl.reset stats
+let stat what = Option.value (Hashtbl.find_opt stats what) ~default:0
+let total_rewrites () = Hashtbl.fold (fun _ n acc -> acc + n) stats 0
+
+let u name = Baselang.bid name
+let sl = Stx.list
+
+let prim_name_of (op : Stx.t) : string option =
+  if not (Stx.is_id op) then None
+  else
+    match Binding.resolve op with
+    | Some b when Option.is_none (Check.lookup_type b) -> Base_env.prim_name_of b
+    | _ -> None
+
+let type_of (e : Stx.t) : Types.t option =
+  try Some (Types.unfold (Check.type_of_expr e))
+  with Check.Type_error _ | Types.Parse_error _ -> None
+
+(* Any is the dynamic type: subtype is permissive on it, so every guard
+   here must exclude it explicitly — the optimizer may only fire on types
+   the checker actually proved. *)
+let proved_subtype t sub = (not (equal t Any)) && subtype t sub
+
+let is_float e = match type_of e with Some Float -> true | _ -> false
+
+let is_cpx_able e =
+  match type_of e with
+  | Some t -> proved_subtype t FloatComplex || proved_subtype t Real
+  | None -> false
+
+let has_cpx es =
+  List.exists
+    (fun e -> match type_of e with Some t -> proved_subtype t FloatComplex | None -> false)
+    es
+
+let float_lit f =
+  sl [ u "quote"; Stx.atom (Liblang_reader.Datum.Float f) ]
+
+let fold_binary op_id args =
+  match args with
+  | first :: rest -> List.fold_left (fun acc e -> sl [ u "#%plain-app"; op_id; acc; e ]) first rest
+  | [] -> assert false
+
+let fl_binops = [ ("+", "unsafe-fl+"); ("-", "unsafe-fl-"); ("*", "unsafe-fl*"); ("/", "unsafe-fl/"); ("min", "unsafe-flmin"); ("max", "unsafe-flmax") ]
+let fl_cmps = [ ("<", "unsafe-fl<"); (">", "unsafe-fl>"); ("<=", "unsafe-fl<="); (">=", "unsafe-fl>="); ("=", "unsafe-fl=") ]
+
+let fl_unops =
+  [
+    ("abs", "unsafe-flabs");
+    ("sqrt", "unsafe-flsqrt");
+    ("sin", "unsafe-flsin");
+    ("cos", "unsafe-flcos");
+    ("tan", "unsafe-fltan");
+    ("atan", "unsafe-flatan");
+    ("exp", "unsafe-flexp");
+    ("log", "unsafe-fllog");
+    ("floor", "unsafe-flfloor");
+    ("ceiling", "unsafe-flceiling");
+    ("round", "unsafe-flround");
+    ("truncate", "unsafe-fltruncate");
+  ]
+
+let cpx_binops = [ ("+", "unsafe-c+"); ("-", "unsafe-c-"); ("*", "unsafe-c*"); ("/", "unsafe-c/") ]
+
+let core_kind (hd : Stx.t) : string option =
+  match Binding.resolve hd with
+  | None -> None
+  | Some b -> ( match Denote.get b with Some (Denote.DCore n) -> Some n | _ -> None)
+
+let rec optimize (s : Stx.t) : Stx.t =
+  if (not !enabled) || Option.is_some (Stx.property_get Check.ignore_key s) then s
+  else
+    match s.Stx.e with
+    | Stx.List (hd :: args) when Stx.is_id hd -> (
+        match core_kind hd with
+        | Some "#%plain-app" -> (
+            match args with
+            | op :: operands -> optimize_app s hd op operands
+            | [] -> s)
+        | Some ("quote" | "quote-syntax") -> s
+        | Some "if" -> (
+            match args with
+            | [ c; t; e ] -> (
+                let c' = optimize c in
+                (* propagate the checker's occurrence-typing narrowing, so
+                   e.g. (car l) after a null? test specializes *)
+                match Check.narrowing_of c with
+                | Some (b, then_t, else_t) ->
+                    let t' = Check.with_narrowed b then_t (fun () -> optimize t) in
+                    let e' = Check.with_narrowed b else_t (fun () -> optimize e) in
+                    { s with Stx.e = Stx.List [ hd; c'; t'; e' ] }
+                | None -> { s with Stx.e = Stx.List [ hd; c'; optimize t; optimize e ] })
+            | _ -> { s with Stx.e = Stx.List (hd :: List.map optimize args) })
+        | Some ("begin" | "#%expression" | "set!") ->
+            { s with Stx.e = Stx.List (hd :: List.map optimize args) }
+        | Some "#%plain-lambda" -> (
+            match args with
+            | formals :: body ->
+                { s with Stx.e = Stx.List (hd :: formals :: List.map optimize body) }
+            | [] -> s)
+        | Some ("let-values" | "letrec-values") -> (
+            match args with
+            | clauses :: body ->
+                let clauses' =
+                  match Stx.to_list clauses with
+                  | Some cs ->
+                      let opt_clause c =
+                        match Stx.to_list c with
+                        | Some [ ids; rhs ] -> { c with Stx.e = Stx.List [ ids; optimize rhs ] }
+                        | _ -> c
+                      in
+                      { clauses with Stx.e = Stx.List (List.map opt_clause cs) }
+                  | None -> clauses
+                in
+                { s with Stx.e = Stx.List (hd :: clauses' :: List.map optimize body) }
+            | [] -> s)
+        | Some "define-values" -> (
+            match args with
+            | [ ids; rhs ] -> { s with Stx.e = Stx.List [ hd; ids; optimize rhs ] }
+            | _ -> s)
+        | Some ("define-syntaxes" | "begin-for-syntax" | "#%provide" | "#%require") -> s
+        | _ -> s)
+    | _ -> s
+
+and optimize_app (s : Stx.t) (app_hd : Stx.t) (op : Stx.t) (operands : Stx.t list) : Stx.t =
+  let default () =
+    { s with Stx.e = Stx.List (app_hd :: op :: List.map optimize operands) }
+  in
+  match prim_name_of op with
+  | None -> default ()
+  | Some name -> (
+      let all_float = operands <> [] && List.for_all is_float operands in
+      let opt_operands () = List.map optimize operands in
+      match (name, operands, all_float) with
+      (* float specialization (figure 5) *)
+      | _, _ :: _ :: _, true when List.mem_assoc name fl_binops ->
+          count ("fl:" ^ name);
+          fold_binary (u (List.assoc name fl_binops)) (opt_operands ())
+      | "-", [ x ], true ->
+          count "fl:-";
+          sl [ u "#%plain-app"; u "unsafe-fl-"; float_lit 0.0; optimize x ]
+      | "/", [ x ], true ->
+          count "fl:/";
+          sl [ u "#%plain-app"; u "unsafe-fl/"; float_lit 1.0; optimize x ]
+      | _, [ _; _ ], true when List.mem_assoc name fl_cmps ->
+          count ("fl:" ^ name);
+          sl ((u "#%plain-app") :: u (List.assoc name fl_cmps) :: opt_operands ())
+      | _, [ _ ], true when List.mem_assoc name fl_unops ->
+          count ("fl:" ^ name);
+          sl ((u "#%plain-app") :: u (List.assoc name fl_unops) :: opt_operands ())
+      | "expt", [ _; _ ], true ->
+          count "fl:expt";
+          sl ((u "#%plain-app") :: u "unsafe-flexpt" :: opt_operands ())
+      | "add1", [ x ], true ->
+          count "fl:add1";
+          sl [ u "#%plain-app"; u "unsafe-fl+"; optimize x; float_lit 1.0 ]
+      | "sub1", [ x ], true ->
+          count "fl:sub1";
+          sl [ u "#%plain-app"; u "unsafe-fl-"; optimize x; float_lit 1.0 ]
+      (* float-complex specialization (§7.2's arity-raising analogue) *)
+      | _, _ :: _ :: _, _
+        when List.mem_assoc name cpx_binops
+             && List.for_all is_cpx_able operands
+             && has_cpx operands ->
+          count ("cpx:" ^ name);
+          fold_binary (u (List.assoc name cpx_binops)) (opt_operands ())
+      | "magnitude", [ x ], _ when type_of x = Some FloatComplex ->
+          count "cpx:magnitude";
+          sl [ u "#%plain-app"; u "unsafe-magnitude"; optimize x ]
+      | "real-part", [ x ], _ when type_of x = Some FloatComplex ->
+          count "cpx:real-part";
+          sl [ u "#%plain-app"; u "unsafe-real-part"; optimize x ]
+      | "imag-part", [ x ], _ when type_of x = Some FloatComplex ->
+          count "cpx:imag-part";
+          sl [ u "#%plain-app"; u "unsafe-imag-part"; optimize x ]
+      | ("exact->inexact" | "exact->float"), [ x ], _
+        when (match type_of x with Some t -> proved_subtype t Integer | None -> false) ->
+          count "fl:fx->fl";
+          sl [ u "#%plain-app"; u "unsafe-fx->fl"; optimize x ]
+      | "make-rectangular", [ _; _ ], true ->
+          count "cpx:make-rectangular";
+          sl ((u "#%plain-app") :: u "unsafe-make-rectangular" :: opt_operands ())
+      (* tag-check elimination (§3.2, the [first] example) *)
+      | ("car" | "first"), [ x ], _ when pair_shaped x ->
+          count "pair:car";
+          sl [ u "#%plain-app"; u "unsafe-car"; optimize x ]
+      | ("cdr" | "rest"), [ x ], _ when pair_shaped x ->
+          count "pair:cdr";
+          sl [ u "#%plain-app"; u "unsafe-cdr"; optimize x ]
+      (* vector specialization *)
+      | "vector-ref", [ v; i ], _ when vector_shaped v && integer_typed i ->
+          count "vec:ref";
+          sl [ u "#%plain-app"; u "unsafe-vector-ref"; optimize v; optimize i ]
+      | "vector-set!", [ v; i; x ], _ when vector_shaped v && integer_typed i ->
+          count "vec:set";
+          sl [ u "#%plain-app"; u "unsafe-vector-set!"; optimize v; optimize i; optimize x ]
+      | "vector-length", [ v ], _ when vector_shaped v ->
+          count "vec:length";
+          sl [ u "#%plain-app"; u "unsafe-vector-length"; optimize v ]
+      | _ -> default ())
+
+and pair_shaped e =
+  match type_of e with Some (ListT (_ :: _)) | Some (Pairof _) -> true | _ -> false
+
+and vector_shaped e = match type_of e with Some (Vectorof _) -> true | _ -> false
+and integer_typed e = match type_of e with Some t -> proved_subtype t Integer | None -> false
+
+(** Optimize every form of a typechecked module body. *)
+let optimize_module (forms : Stx.t list) : Stx.t list = List.map optimize forms

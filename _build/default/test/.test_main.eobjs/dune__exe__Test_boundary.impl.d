@@ -1,0 +1,1 @@
+test/test_boundary.ml: Alcotest Boundary Datum Expander Liblang_core Option Printf Reader Stx Test_util Types

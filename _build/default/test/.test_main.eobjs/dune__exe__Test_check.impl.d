@@ -1,0 +1,1 @@
+test/test_check.ml: Test_util

@@ -1,0 +1,1 @@
+test/test_contracts.ml: Alcotest Contracts Interp Liblang_core List Test_util Value

@@ -1,0 +1,1 @@
+test/test_expander.ml: Alcotest Datum Denote Expander Liblang_core List Modsys Printf Stx Test_util

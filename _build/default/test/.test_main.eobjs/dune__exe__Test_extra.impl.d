@@ -1,0 +1,1 @@
+test/test_extra.ml: Alcotest Printf Test_util

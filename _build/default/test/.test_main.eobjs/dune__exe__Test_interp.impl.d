@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Fun Interp Liblang_core List Modsys Naive Test_util

@@ -1,0 +1,1 @@
+test/test_langs.ml: Alcotest Baselang Denote Expander Liblang_core List Modsys Printf Stx Test_util

@@ -1,0 +1,1 @@
+test/test_modules.ml: Alcotest Ct_store Hashtbl Liblang_core List Modsys Prims Printf String Stx Test_util Value

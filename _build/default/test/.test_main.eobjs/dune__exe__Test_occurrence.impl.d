@@ -1,0 +1,1 @@
+test/test_occurrence.ml: Alcotest Liblang_core Test_util

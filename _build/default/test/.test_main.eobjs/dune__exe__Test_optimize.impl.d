@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Fun Hashtbl Liblang_core List Optimize Option Printf Programs String Test_util

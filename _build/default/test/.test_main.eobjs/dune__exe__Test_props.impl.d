@@ -1,0 +1,1 @@
+test/test_props.ml: Contracts Datum Float Interp Liblang_core List Numeric Printf QCheck QCheck_alcotest Reader Srcloc Test_util Types Value

@@ -1,0 +1,1 @@
+test/test_reader.ml: Alcotest Datum Float Liblang_core List Printf Reader Srcloc Test_util

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Test_util

@@ -1,0 +1,1 @@
+test/test_stx.ml: Alcotest Binding Datum Liblang_core List Option Reader Stx Test_util

@@ -1,0 +1,1 @@
+test/test_types.ml: Alcotest Datum Liblang_core List Option Reader Test_util Types

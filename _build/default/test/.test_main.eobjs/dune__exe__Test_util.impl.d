@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Compile Contracts Expander Liblang_core Modsys Printf String Types Value

@@ -1,0 +1,173 @@
+(** Typed/untyped integration tests (paper §6): [require/typed], the export
+    indirection with [typed-context?], blame assignment across module
+    boundaries, and §6.3's macro-export restriction. *)
+
+open Liblang_core.Core
+open Test_util
+
+let setup_typed_server () =
+  let name = fresh "b-server" in
+  declare ~name
+    (Printf.sprintf
+       "#lang typed/racket\n(: add-5 (Integer -> Integer))\n(define (add-5 x) (+ x 5))\n(provide add-5)");
+  name
+
+let exports =
+  [
+    Alcotest.test_case "typed client uses raw binding (§6.2)" `Quick (fun () ->
+        let srv = setup_typed_server () in
+        check_s "no contract in the way" "12"
+          (run (Printf.sprintf "#lang typed/racket\n(require %s)\n(display (add-5 7))" srv)));
+    Alcotest.test_case "untyped client: safe use passes" `Quick (fun () ->
+        let srv = setup_typed_server () in
+        check_s "safe" "17"
+          (run (Printf.sprintf "#lang racket\n(require %s)\n(display (add-5 12))" srv)));
+    Alcotest.test_case "untyped client: unsafe use blames the client" `Quick (fun () ->
+        let srv = setup_typed_server () in
+        let msg = run_err (Printf.sprintf "#lang racket\n(require %s)\n(add-5 \"bad\")" srv) in
+        check_b "contract violation" true (contains msg "contract");
+        check_b "blames untyped client" true (contains msg "untyped-client"));
+    Alcotest.test_case "typed export used higher-order from untyped code" `Quick (fun () ->
+        let srv = setup_typed_server () in
+        check_s "map over it" "(6 7 8)"
+          (run (Printf.sprintf "#lang racket\n(require %s)\n(display (map add-5 '(1 2 3)))" srv)));
+    Alcotest.test_case "typed export referenced as a value in typed code" `Quick (fun () ->
+        let srv = setup_typed_server () in
+        check_s "identifier position" "(6 7)"
+          (run
+             (Printf.sprintf "#lang typed/racket\n(require %s)\n(display (map add-5 (list 1 2)))"
+                srv)));
+    Alcotest.test_case "typed module exporting non-function value" `Quick (fun () ->
+        let srv = fresh "b-val" in
+        declare ~name:srv "#lang typed/racket\n(define limit : Integer 100)\n(provide limit)";
+        check_s "typed gets it" "100"
+          (run (Printf.sprintf "#lang typed/racket\n(require %s)\n(display limit)" srv));
+        check_s "untyped gets it" "100"
+          (run (Printf.sprintf "#lang racket\n(require %s)\n(display limit)" srv)));
+    Alcotest.test_case "provide before define works" `Quick (fun () ->
+        let srv = fresh "b-early" in
+        declare ~name:srv
+          "#lang typed/racket\n(provide step)\n(define (step [x : Integer]) : Integer (+ x 1))";
+        check_s "ok" "2"
+          (run (Printf.sprintf "#lang typed/racket\n(require %s)\n(display (step 1))" srv)));
+    Alcotest.test_case "typed client type-checks against imported type" `Quick (fun () ->
+        let srv = setup_typed_server () in
+        let msg =
+          run_err (Printf.sprintf "#lang typed/racket\n(require %s)\n(add-5 \"bad\")" srv)
+        in
+        check_b "static error, not contract" true (contains msg "wrong type"));
+    Alcotest.test_case "macros may not escape typed modules (§6.3)" `Quick (fun () ->
+        let srv = fresh "b-macro" in
+        let msg =
+          try
+            declare ~name:srv
+              "#lang typed/racket\n(define-syntax-rule (m) 1)\n(provide m)";
+            "no error"
+          with
+          | Expander.Expand_error (m, _) -> m
+          | Boundary.Boundary_error (m, _) -> m
+        in
+        check_b "rejected" true (contains msg "macros may not escape"));
+    Alcotest.test_case "chain: typed -> typed -> untyped" `Quick (fun () ->
+        let base = setup_typed_server () in
+        let mid = fresh "b-mid" in
+        declare ~name:mid
+          (Printf.sprintf
+             "#lang typed/racket\n(require %s)\n(: add-10 (Integer -> Integer))\n(define (add-10 x) (add-5 (add-5 x)))\n(provide add-10)"
+             base);
+        check_s "typed chain" "11"
+          (run (Printf.sprintf "#lang typed/racket\n(require %s)\n(display (add-10 1))" mid));
+        let msg = run_err (Printf.sprintf "#lang racket\n(require %s)\n(add-10 'x)" mid) in
+        check_b "still protected at the end" true (contains msg "contract"));
+  ]
+
+let imports =
+  [
+    Alcotest.test_case "require/typed: well-typed import works (fig. 4)" `Quick (fun () ->
+        let umod = fresh "b-ulib" in
+        declare ~name:umod "#lang racket\n(provide dbl)\n(define (dbl x) (* 2 x))";
+        check_s "use" "42"
+          (run
+             (Printf.sprintf
+                "#lang typed/racket\n(require/typed %s [dbl (Integer -> Integer)])\n(display (dbl 21))"
+                umod)));
+    Alcotest.test_case "require/typed: lying untyped code blames the untyped module" `Quick
+      (fun () ->
+        let umod = fresh "b-liar" in
+        declare ~name:umod "#lang racket\n(provide badfn)\n(define (badfn x) \"oops\")";
+        let msg =
+          run_err
+            (Printf.sprintf
+               "#lang typed/racket\n(require/typed %s [badfn (Integer -> Integer)])\n(display (badfn 1))"
+               umod)
+        in
+        check_b "contract" true (contains msg "contract");
+        check_b "blames untyped library" true (contains msg umod));
+    Alcotest.test_case "require/typed: misuse in typed code is a static error" `Quick (fun () ->
+        let umod = fresh "b-ulib2" in
+        declare ~name:umod "#lang racket\n(provide f)\n(define (f x) x)";
+        let msg =
+          run_err
+            (Printf.sprintf
+               "#lang typed/racket\n(require/typed %s [f (String -> String)])\n(f 42)" umod)
+        in
+        check_b "static" true (contains msg "wrong type"));
+    Alcotest.test_case "require/typed: several clauses" `Quick (fun () ->
+        let umod = fresh "b-multi" in
+        declare ~name:umod "#lang racket\n(provide a b)\n(define (a x) (+ x 1))\n(define (b x) (* x 2))";
+        check_s "both" "8"
+          (run
+             (Printf.sprintf
+                "#lang typed/racket\n(require/typed %s [a (Integer -> Integer)] [b (Integer -> Integer)])\n(display (b (a 3)))"
+                umod)));
+    Alcotest.test_case "require/typed of a first-order value" `Quick (fun () ->
+        let umod = fresh "b-const" in
+        declare ~name:umod "#lang racket\n(provide n)\n(define n 41)";
+        check_s "imported with checked type" "42"
+          (run
+             (Printf.sprintf "#lang typed/racket\n(require/typed %s [n Integer])\n(display (+ n 1))"
+                umod)));
+    Alcotest.test_case "require/typed of a value with a wrong type blames immediately" `Quick
+      (fun () ->
+        let umod = fresh "b-badconst" in
+        declare ~name:umod "#lang racket\n(provide s)\n(define s \"not a number\")";
+        let msg =
+          run_err
+            (Printf.sprintf "#lang typed/racket\n(require/typed %s [s Integer])\n(display s)" umod)
+        in
+        check_b "contract" true (contains msg "contract"));
+    Alcotest.test_case "plain require of untyped binding into typed code is untyped" `Quick
+      (fun () ->
+        let umod = fresh "b-plain" in
+        declare ~name:umod "#lang racket\n(provide mystery)\n(define (mystery x) x)";
+        let msg =
+          run_err
+            (Printf.sprintf "#lang typed/racket\n(require %s)\n(display (mystery 1))" umod)
+        in
+        check_b "untyped variable error" true (contains msg "untyped variable"));
+  ]
+
+let type_to_contract_tests =
+  let tc ty = Stx.to_string (Boundary.type_to_contract (Types.of_datum (Option.get (Reader.read_one ty)).Datum.d)) in
+  [
+    Alcotest.test_case "base types map to flat contracts" `Quick (fun () ->
+        check_b "int" true (contains (tc "Integer") "integer-contract");
+        check_b "float" true (contains (tc "Float") "flonum-contract");
+        check_b "any" true (contains (tc "Any") "any/c"));
+    Alcotest.test_case "arrow type maps to arrow-contract" `Quick (fun () ->
+        let s = tc "(Integer -> Float)" in
+        check_b "arrow" true (contains s "arrow-contract");
+        check_b "dom" true (contains s "integer-contract");
+        check_b "rng" true (contains s "flonum-contract"));
+    Alcotest.test_case "structural types" `Quick (fun () ->
+        check_b "listof" true (contains (tc "(Listof Integer)") "listof-contract");
+        check_b "pairof" true (contains (tc "(Pairof Integer Float)") "pair-contract");
+        check_b "vectorof" true (contains (tc "(Vectorof Float)") "vectorof-contract");
+        check_b "union" true (contains (tc "(U Integer Boolean)") "or-contract"));
+    Alcotest.test_case "union of functions has no contract" `Quick (fun () ->
+        match tc "(U (Integer -> Integer) Boolean)" with
+        | _ -> Alcotest.fail "expected failure"
+        | exception Types.Parse_error m -> check_b "msg" true (contains m "union"));
+  ]
+
+let suite = exports @ imports @ type_to_contract_tests

@@ -1,0 +1,141 @@
+(** Typechecker tests (paper §4): positive programs that must check,
+    negative programs with the error the checker must produce, annotation
+    forms, inference, and the extended-language story (macros reduce to
+    core forms before checking). *)
+
+open Test_util
+
+(* shorthand: a typed program expected to print [expect] *)
+let tp name body expect = t_run name ("#lang typed/racket\n" ^ body) expect
+
+(* a typed program expected to fail with a type error containing [frag] *)
+let te name body frag = t_err name ("#lang typed/racket\n" ^ body) frag
+
+let annotations =
+  [
+    tp "define with colon" "(define x : Integer 3)\n(display (+ x 4))" "7";
+    tp "define: alias (§3.1)" "(define: y : Integer 5)\n(display y)" "5";
+    tp "define without annotation infers" "(define z 3.5)\n(display (flonum? z))" "#t";
+    tp "function definition with annotations"
+      "(define (f [z : Integer]) : Integer (* 2 z))\n(display (f 21))" "42";
+    tp "separate (: id T) declaration (§4.4)"
+      "(: f (Number -> Number))\n(define (f z) (* 2 z))\n(display (f 7))" "14";
+    tp "declaration after the define also works"
+      "(define (g z) (* 3 z))\n(: g (Integer -> Integer))\n(display (g 5))" "15";
+    tp "curried colon shorthand" "(: h : Integer -> Integer)\n(define (h x) (+ x 1))\n(display (h 1))"
+      "2";
+    tp "annotated lambda" "(display ((lambda ([x : Float]) (* x x)) 3.0))" "9.0";
+    tp "lambda infers from expected type"
+      "(: apply1 ((Integer -> Integer) -> Integer))\n(define (apply1 f) (f 10))\n(display (apply1 (lambda (x) (+ x 1))))"
+      "11";
+    tp "ann ascribes" "(display (ann 3 Real))" "3";
+    tp "ann widens" "(define x (ann 3 Number))\n(display x)" "3";
+    te "ann rejects wrong type" "(display (ann 3.5 Integer))" "wrong type";
+    tp "let with annotated clause" "(display (let ([x : Float 2.0]) (* x x)))" "4.0";
+    tp "let infers unannotated clause" "(display (let ([x 2.0]) (flonum? x)))" "#t";
+    tp "let: named with return type"
+      "(display (let loop : Integer ([i : Integer 0]) (if (= i 3) i (loop (+ i 1)))))" "3";
+    te "missing lambda annotation" "(display ((lambda (x) x) 1))" "missing type annotation";
+    te "rest args rejected" "(define (f . xs) xs)" "rest arguments";
+  ]
+
+let checking =
+  [
+    te "paper's example: 3.7 is not an Integer" "(define w : Integer 3.7)" "wrong type";
+    te "argument type error" "(define (f [x : Integer]) : Integer x)\n(f \"hi\")" "wrong type";
+    te "arity error" "(define (f [x : Integer]) : Integer x)\n(f 1 2)" "wrong number of arguments";
+    te "body doesn't match return type" "(define (f [x : Integer]) : Float x)" "wrong type";
+    te "applying a non-function" "(define x : Integer 3)\n(x 1)" "not a function type";
+    te "untyped variable (fig. 3)" "(define-syntax-rule (hide e) e)\n(display (hide nonexistent))"
+      "unbound";
+    te "if branches join then mismatch"
+      "(define b : Boolean #t)\n(define x : Integer (if b 1 2.5))" "wrong type";
+    tp "if branches join to Real"
+      "(define b : Boolean #t)\n(define x : Real (if b 1 2.5))\n(display x)" "1";
+    te "set! respects variable type" "(define x : Integer 1)\n(set! x 2.5)" "wrong type";
+    tp "set! accepts subtype" "(define x : Real 1)\n(set! x 2.5)\n(display x)" "2.5";
+    tp "recursion through annotation"
+      "(: fact (Integer -> Integer))\n(define (fact n) (if (= n 0) 1 (* n (fact (- n 1)))))\n(display (fact 5))"
+      "120";
+    tp "mutual recursion (two-pass, §4.4)"
+      "(: ev? (Integer -> Boolean))\n(: od? (Integer -> Boolean))\n(define (ev? n) (if (= n 0) #t (od? (- n 1))))\n(define (od? n) (if (= n 0) #f (ev? (- n 1))))\n(display (ev? 10))"
+      "#t";
+    tp "forward reference to annotated define"
+      "(define (f) : Integer (g))\n(define (g) : Integer 42)\n(display (f))" "42";
+    te "quotient needs integers" "(display (quotient 7.0 2))" "wrong type";
+    te "string-length of number" "(string-length 42)" "wrong type";
+    tp "higher-order primitive fallback" "(display (sort (list 3 1 2) <))" "(1 2 3)";
+    tp "map with annotated lambda" "(display (map (lambda ([x : Integer]) (* x x)) (list 1 2 3)))"
+      "(1 4 9)";
+    te "map function/element mismatch"
+      "(display (map (lambda ([x : String]) x) (list 1 2)))" "wrong type";
+    tp "vectors are invariant but usable"
+      "(define v : (Vectorof Integer) (vector 1 2 3))\n(vector-set! v 0 9)\n(display (vector-ref v 0))"
+      "9";
+    te "vector-set! wrong element type"
+      "(define v : (Vectorof Integer) (vector 1 2))\n(vector-set! v 0 \"s\")" "vector-set!";
+    tp "list type grows by join" "(define l : (Listof Real) (cons 1 (cons 2.5 '())))\n(display l)"
+      "(1 2.5)";
+    te "car of empty-typed" "(display (car '()))" "expects a pair";
+    tp "begin types as last" "(define x : Integer (begin (void) 5))\n(display x)" "5";
+  ]
+
+let numeric_rules =
+  [
+    tp "int ops give Integer" "(define x : Integer (+ 1 (* 2 3)))\n(display x)" "7";
+    tp "float ops give Float" "(define x : Float (+ 1.0 (* 2.0 3.0)))\n(display x)" "7.0";
+    tp "mixed gives Float" "(define x : Float (+ 1 2.5))\n(display x)" "3.5";
+    tp "division of integers is Real, not Integer"
+      "(define x : Real (/ 10 4))\n(display x)" "2.5";
+    te "division of integers is not Integer" "(define x : Integer (/ 10 4))" "wrong type";
+    tp "complex arithmetic" "(define z : Float-Complex (* 1.0+1.0i 2.0+0.0i))\n(display z)"
+      "2.0+2.0i";
+    tp "magnitude of complex is Float"
+      "(define m : Float (magnitude 3.0+4.0i))\n(display m)" "5.0";
+    tp "real-part of complex is Float"
+      "(display (+ (real-part 1.5+2.0i) (imag-part 1.5+2.0i)))" "3.5";
+    tp "make-rectangular is Float-Complex"
+      "(define z : Float-Complex (make-rectangular 1.0 2.0))\n(display z)" "1.0+2.0i";
+    tp "comparisons are Boolean" "(define b : Boolean (< 1 2.5))\n(display b)" "#t";
+    te "comparison of complex rejected" "(display (< 1.0+2.0i 3))" "expects real";
+    tp "exact->inexact" "(define f : Float (exact->inexact 3))\n(display f)" "3.0";
+    tp "sqrt on Float stays Float (documented simplification)"
+      "(define r : Float (sqrt 2.0))\n(display (flonum? r))" "#t";
+    tp "quotient remainder modulo" "(display (list (quotient 7 2) (remainder 7 2) (modulo -7 2)))"
+      "(3 1 1)";
+  ]
+
+let extended_language =
+  [
+    (* §3.2: "checking an extended language" — these all go through macros
+       that the checker never heard of; local-expand reduces them to core *)
+    tp "match is checkable (paper example)"
+      "(display (match (list 1 2 3) [(list x y z) (+ x y z)]))" "6";
+    tp "cond through macro" "(display (cond [(= 1 2) 'a] [(= 1 1) 'b] [else 'c]))" "b";
+    tp "named let through macro"
+      "(display (let loop : Integer ([i : Integer 0] [acc : Integer 0]) (if (= i 10) acc (loop (+ i 1) (+ acc i)))))"
+      "45";
+    tp "user syntax-rules macro in typed code"
+      "(define-syntax-rule (twice e) (+ e e))\n(display (twice 21))" "42";
+    tp "user macro producing annotated binder"
+      "(define-syntax-rule (deffloat n v) (define n : Float v))\n(deffloat pi-ish 3.14)\n(display pi-ish)"
+      "3.14";
+    te "macro-hidden type errors are still caught"
+      "(define-syntax-rule (sneaky) (+ 1 \"two\"))\n(display (sneaky))" "expects numbers";
+    tp "for-each and begin" "(for-each display (list 1 2 3))" "123";
+    tp "when/unless type as Void-ish"
+      "(define (f [b : Boolean]) : Void (when b (display 'yes)))\n(f #t)" "yes";
+  ]
+
+let dynamic_any =
+  [
+    tp "Any-typed values flow dynamically"
+      "(define (f [x : Any]) : Integer (+ (car x) 1))\n(display (f (list 41)))" "42";
+    tp "Any as tree node type (binarytrees pattern)"
+      "(define (mk [d : Integer]) : Any (if (= d 0) 7 (cons (mk (- d 1)) (mk (- d 1)))))\n(define (sum [t : Any]) : Integer (if (pair? t) (+ (sum (car t)) (sum (cdr t))) t))\n(display (sum (mk 3)))"
+      "56";
+    tp "optimizer never fires on Any"
+      "(define (f [x : Any] [y : Any]) : Any (* x y))\n(display (f 2.0+1.0i 2.0))" "4.0+2.0i";
+  ]
+
+let suite = annotations @ checking @ numeric_rules @ extended_language @ dynamic_any

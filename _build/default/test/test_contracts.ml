@@ -1,0 +1,125 @@
+(** Contract tests: flat contracts, function contracts, blame assignment
+    (positive vs negative party), and the structural combinators (§6). *)
+
+open Liblang_core.Core
+open Test_util
+module C = Contracts
+
+let proj c v ~pos ~neg = C.project c v ~pos ~neg
+
+let blame_of f =
+  match f () with
+  | _ -> None
+  | exception C.Contract_violation { blame; _ } -> Some blame
+
+let vi n = Value.Int n
+let vs s = Value.string_ s
+
+let flat_tests =
+  [
+    Alcotest.test_case "flat passes conforming value" `Quick (fun () ->
+        check_b "int ok" true (proj C.integer_c (vi 5) ~pos:"p" ~neg:"n" = vi 5));
+    Alcotest.test_case "flat rejects, blaming positive" `Quick (fun () ->
+        check_b "blames p" true
+          (blame_of (fun () -> proj C.integer_c (vs "no") ~pos:"p" ~neg:"n") = Some "p"));
+    Alcotest.test_case "any/c accepts everything" `Quick (fun () ->
+        List.iter
+          (fun v -> check_b "ok" true (proj C.any_c v ~pos:"p" ~neg:"n" == v))
+          [ vi 1; vs "x"; Value.Bool false; Value.Nil ]);
+    Alcotest.test_case "base type contracts" `Quick (fun () ->
+        let ok c v = blame_of (fun () -> proj c v ~pos:"p" ~neg:"n") = None in
+        check_b "float" true (ok C.flonum_c (Value.Float 1.5));
+        check_b "float rejects int" false (ok C.flonum_c (vi 1));
+        check_b "number takes cpx" true (ok C.number_c (Value.Cpx (1., 2.)));
+        check_b "bool" true (ok C.boolean_c (Value.Bool true));
+        check_b "symbol" true (ok C.symbol_c (Value.Sym "s"));
+        check_b "string rejects symbol" false (ok C.string_c (Value.Sym "s"));
+        check_b "null" true (ok C.null_c Value.Nil));
+    Alcotest.test_case "or/c passes if any branch passes" `Quick (fun () ->
+        let c = C.or_c [ C.integer_c; C.flonum_c ] in
+        check_b "int" true (blame_of (fun () -> proj c (vi 1) ~pos:"p" ~neg:"n") = None);
+        check_b "float" true
+          (blame_of (fun () -> proj c (Value.Float 1.) ~pos:"p" ~neg:"n") = None);
+        check_b "string blames p" true
+          (blame_of (fun () -> proj c (vs "x") ~pos:"p" ~neg:"n") = Some "p"));
+  ]
+
+let arrow_tests =
+  [
+    Alcotest.test_case "arrow passes conforming call" `Quick (fun () ->
+        let f = Value.prim "inc" (function [ Value.Int n ] -> vi (n + 1) | _ -> assert false) in
+        let wrapped = proj (C.arrow [ C.integer_c ] C.integer_c) f ~pos:"srv" ~neg:"cli" in
+        check_b "result" true (Interp.apply1 wrapped (vi 1) = vi 2));
+    Alcotest.test_case "bad argument blames the negative party (caller)" `Quick (fun () ->
+        let f = Value.prim "id" (fun vs -> List.hd vs) in
+        let wrapped = proj (C.arrow [ C.integer_c ] C.integer_c) f ~pos:"srv" ~neg:"cli" in
+        check_b "blames cli" true
+          (blame_of (fun () -> Interp.apply1 wrapped (vs "oops")) = Some "cli"));
+    Alcotest.test_case "bad result blames the positive party (provider)" `Quick (fun () ->
+        let f = Value.prim "liar" (fun _ -> vs "not an int") in
+        let wrapped = proj (C.arrow [ C.integer_c ] C.integer_c) f ~pos:"srv" ~neg:"cli" in
+        check_b "blames srv" true (blame_of (fun () -> Interp.apply1 wrapped (vi 1)) = Some "srv"));
+    Alcotest.test_case "non-procedure blames positive immediately" `Quick (fun () ->
+        check_b "blames srv" true
+          (blame_of (fun () -> proj (C.arrow [ C.integer_c ] C.integer_c) (vi 5) ~pos:"srv" ~neg:"cli")
+          = Some "srv"));
+    Alcotest.test_case "wrong arity blames negative" `Quick (fun () ->
+        let f = Value.prim "two" (fun _ -> vi 0) in
+        let wrapped = proj (C.arrow [ C.integer_c; C.integer_c ] C.integer_c) f ~pos:"s" ~neg:"c" in
+        check_b "blames c" true (blame_of (fun () -> Interp.apply1 wrapped (vi 1)) = Some "c"));
+    Alcotest.test_case "higher-order: function-typed argument, blame swaps twice" `Quick
+      (fun () ->
+        (* (-> (-> Integer Integer) Integer): if the SERVER calls the
+           client's function with a bad argument, the server is to blame *)
+        let c = C.arrow [ C.arrow [ C.integer_c ] C.integer_c ] C.integer_c in
+        let server_fn =
+          Value.prim "apply-badly" (function
+            | [ g ] -> Interp.apply1 g (vs "bad")
+            | _ -> assert false)
+        in
+        let wrapped = proj c server_fn ~pos:"srv" ~neg:"cli" in
+        let client_g = Value.prim "g" (fun _ -> vi 0) in
+        check_b "blames srv" true (blame_of (fun () -> Interp.apply1 wrapped client_g) = Some "srv"));
+  ]
+
+let structural_tests =
+  [
+    Alcotest.test_case "listof passes and rejects" `Quick (fun () ->
+        let c = C.listof C.integer_c in
+        let ok = Value.of_list [ vi 1; vi 2 ] in
+        check_b "ok" true (blame_of (fun () -> proj c ok ~pos:"p" ~neg:"n") = None);
+        let bad = Value.of_list [ vi 1; vs "x" ] in
+        check_b "element blame" true (blame_of (fun () -> proj c bad ~pos:"p" ~neg:"n") = Some "p");
+        check_b "non-list" true (blame_of (fun () -> proj c (vi 1) ~pos:"p" ~neg:"n") = Some "p"));
+    Alcotest.test_case "empty list satisfies listof" `Quick (fun () ->
+        check_b "nil ok" true
+          (blame_of (fun () -> proj (C.listof C.integer_c) Value.Nil ~pos:"p" ~neg:"n") = None));
+    Alcotest.test_case "pair contract" `Quick (fun () ->
+        let c = C.pair_c C.integer_c C.string_c in
+        check_b "ok" true
+          (blame_of (fun () -> proj c (Value.cons (vi 1) (vs "x")) ~pos:"p" ~neg:"n") = None);
+        check_b "bad cdr" true
+          (blame_of (fun () -> proj c (Value.cons (vi 1) (vi 2)) ~pos:"p" ~neg:"n") = Some "p"));
+    Alcotest.test_case "vectorof" `Quick (fun () ->
+        let c = C.vectorof C.integer_c in
+        check_b "ok" true
+          (blame_of (fun () -> proj c (Value.Vec [| vi 1; vi 2 |]) ~pos:"p" ~neg:"n") = None);
+        check_b "bad elem" true
+          (blame_of (fun () -> proj c (Value.Vec [| vs "x" |]) ~pos:"p" ~neg:"n") = Some "p"));
+  ]
+
+(* Contracts used from the object language, as the typed library does. *)
+let object_language =
+  [
+    t_ev "contract prim passes" "(contract integer-contract 42 'pos 'neg)" "42";
+    t_ev "flat-contract from predicate" "(contract (flat-contract \"even\" even?) 4 'p 'n)" "4";
+    t_ev "arrow-contract wraps"
+      "((contract (arrow-contract (list integer-contract) integer-contract) add1 'p 'n) 5)" "6";
+    t_ev "listof-contract" "(contract (listof-contract integer-contract) '(1 2 3) 'p 'n)" "(1 2 3)";
+    Alcotest.test_case "violation from object language carries blame" `Quick (fun () ->
+        match ev "(contract integer-contract \"s\" 'server 'client)" with
+        | _ -> Alcotest.fail "expected violation"
+        | exception C.Contract_violation { blame; _ } -> check_s "blame" "server" blame);
+  ]
+
+let suite = flat_tests @ arrow_tests @ structural_tests @ object_language

@@ -1,0 +1,191 @@
+(** Expander tests: macros, hygiene, [syntax-rules] ellipses, phase-1
+    procedural macros, [local-expand], syntax properties across rewriting,
+    and the implicit [#%app] / [#%datum] hooks. *)
+
+open Liblang_core.Core
+open Test_util
+
+let syntax_rules =
+  [
+    t_run "simple rule" "#lang racket\n(define-syntax-rule (twice e) (begin e e))\n(twice (display 1))" "11";
+    t_run "rule with multiple pattern vars"
+      "#lang racket\n(define-syntax-rule (swap-args f a b) (f b a))\n(display (swap-args - 1 10))" "9";
+    t_run "ellipsis basic"
+      "#lang racket\n(define-syntax my-list (syntax-rules () [(_ x ...) (list x ...)]))\n(display (my-list 1 2 3))"
+      "(1 2 3)";
+    t_run "ellipsis empty"
+      "#lang racket\n(define-syntax my-list (syntax-rules () [(_ x ...) (list x ...)]))\n(display (my-list))"
+      "()";
+    t_run "ellipsis pairs"
+      "#lang racket\n(define-syntax sums (syntax-rules () [(_ (a b) ...) (list (+ a b) ...)]))\n(display (sums (1 2) (3 4) (5 6)))"
+      "(3 7 11)";
+    t_run "ellipsis with tail pattern"
+      "#lang racket\n(define-syntax keep-last (syntax-rules () [(_ x ... y) y]))\n(display (keep-last 1 2 3))"
+      "3";
+    t_run "nested ellipses"
+      "#lang racket\n(define-syntax flat (syntax-rules () [(_ ((x ...) ...)) (list x ... ...)]))\n(display (flat ((1 2) (3) ())))"
+      "(1 2 3)";
+    t_run "template reuses var twice"
+      "#lang racket\n(define-syntax dup (syntax-rules () [(_ x) (list x x)]))\n(display (dup (+ 1 2)))"
+      "(3 3)";
+    t_run "multiple rules first match wins"
+      "#lang racket\n(define-syntax m (syntax-rules () [(_ ) 'zero] [(_ a) 'one] [(_ a b) 'two]))\n(display (list (m) (m 1) (m 1 2)))"
+      "(zero one two)";
+    t_run "literals match by binding"
+      "#lang racket\n(define-syntax at (syntax-rules (=>) [(_ a => b) (list a b)] [(_ a b) 'no-arrow]))\n(display (list (at 1 => 2) (at 1 2)))"
+      "((1 2) no-arrow)";
+    t_run "recursive macro"
+      "#lang racket\n(define-syntax my-and (syntax-rules () [(_) #t] [(_ e) e] [(_ e r ...) (if e (my-and r ...) #f)]))\n(display (list (my-and) (my-and 1 2) (my-and 1 #f 2)))"
+      "(#t 2 #f)";
+    t_run "dotted pattern"
+      "#lang racket\n(define-syntax headof (syntax-rules () [(_ (h . t)) 'h]))\n(display (headof (a b c)))"
+      "a";
+    t_err "no matching pattern"
+      "#lang racket\n(define-syntax one-arg (syntax-rules () [(_ x) x]))\n(one-arg 1 2)"
+      "no matching syntax-rules pattern";
+    t_err "mismatched ellipsis depth"
+      "#lang racket\n(define-syntax bad (syntax-rules () [(_ x ...) x]))\n(bad 1 2)"
+      "ellipsis";
+  ]
+
+let hygiene =
+  [
+    t_run "macro temp does not capture user var"
+      "#lang racket\n(define-syntax-rule (or2 a b) (let ([t a]) (if t t b)))\n(define t 42)\n(display (or2 #f t))"
+      "42";
+    Alcotest.test_case "macro from another module keeps its own references" `Quick (fun () ->
+        let srv = fresh "hyg-srv" in
+        declare ~name:srv "#lang racket\n(provide five)\n(define-syntax-rule (five) (+ 2 3))";
+        (* the client shadows +, but the imported macro still sees racket's + *)
+        check_s "definition-site reference" "5"
+          (run (Printf.sprintf "#lang racket\n(require %s)\n(define + *)\n(display (five))" srv)));
+    t_run "module-level shadowing applies to locally-defined macros (Racket semantics)"
+      "#lang racket\n(define-syntax-rule (five) (+ 2 3))\n(define + *)\n(display (five))"
+      "6";
+    t_run "nested macro uses stay separate"
+      "#lang racket\n(define-syntax-rule (m x) (let ([v 1]) (+ v x)))\n(display (m (m 10)))"
+      "12";
+    t_run "swap classic"
+      "#lang racket\n(define-syntax-rule (swap! a b) (let ([tmp a]) (set! a b) (set! b tmp)))\n(define tmp 1)(define b 2)\n(swap! tmp b)\n(display (list tmp b))"
+      "(2 1)";
+    t_run "macro-introduced binder visible to macro-introduced reference"
+      "#lang racket\n(define-syntax-rule (with-hundred e) (let ([h 100]) e))\n(display (with-hundred 5))"
+      "5";
+    t_run "macro defining macro"
+      "#lang racket\n(define-syntax-rule (def-const name v) (define-syntax-rule (name) v))\n(def-const seven 7)\n(display (seven))"
+      "7";
+  ]
+
+let procedural =
+  [
+    t_run "phase-1 procedure with quasisyntax"
+      "#lang racket\n(define-syntax (double stx)\n  (let ([arg (cadr (syntax->list stx))])\n    #`(+ #,arg #,arg)))\n(display (double 21))"
+      "42";
+    t_run "phase-1 computation happens at compile time"
+      "#lang racket\n(define-syntax (compile-time-sum stx)\n  #`(quote #,(datum->syntax stx (+ 2 3))))\n(display (compile-time-sum))"
+      "5";
+    t_run "syntax-e and syntax->datum"
+      "#lang racket\n(define-syntax (count-args stx)\n  #`(quote #,(datum->syntax stx (length (cdr (syntax->list stx))))))\n(display (count-args a b c))"
+      "3";
+    t_run "unsyntax-splicing"
+      "#lang racket\n(define-syntax (rev stx)\n  (let ([args (cdr (syntax->list stx))])\n    #`(list #,@(reverse args))))\n(display (rev 1 2 3))"
+      "(3 2 1)";
+    t_run "free-identifier=? in a transformer"
+      "#lang racket\n(define-syntax (is-plus? stx)\n  (let ([id (cadr (syntax->list stx))])\n    (if (free-identifier=? id #'+) #''yes #''no)))\n(display (list (is-plus? +) (is-plus? -)))"
+      "(yes no)";
+    t_run "syntax-property round trip through phase 1"
+      "#lang racket\n(define-syntax (tag stx)\n  (let ([e (cadr (syntax->list stx))])\n    (syntax-property-put e 'color #'red)))\n(define-syntax (read-tag stx)\n  (let ([e (cadr (syntax->list stx))])\n    (let ([c (syntax-property-get (local-expand e 'expression '()) 'color)])\n      (if c #''tagged #''plain))))\n(display (read-tag (tag 5)))"
+      "tagged";
+    t_err "transformer returning non-syntax"
+      "#lang racket\n(define-syntax (bad stx) 42)\n(bad)"
+      "transformer";
+    t_err "runaway macro"
+      "#lang racket\n(define-syntax (loop stx) stx)\n(loop)"
+      "does not terminate";
+  ]
+
+let local_expand_tests =
+  [
+    Alcotest.test_case "local-expand reaches core forms" `Quick (fun () ->
+        let out = expand_expr_string "(let ([x 1]) (when x (displayln x)))" in
+        check_b "has let-values" true (contains out "let-values");
+        check_b "has if" true (contains out "(if ");
+        check_b "no when left" false (contains out "(when "));
+    Alcotest.test_case "expansion wraps literals in quote" `Quick (fun () ->
+        check_s "lit" "'5" (expand_expr_string "5"));
+    Alcotest.test_case "application becomes #%plain-app" `Quick (fun () ->
+        check_s "app" "(#%plain-app + '1 '2)" (expand_expr_string "(+ 1 2)"));
+    Alcotest.test_case "lambda becomes #%plain-lambda" `Quick (fun () ->
+        check_b "plain-lambda" true
+          (contains (expand_expr_string "(lambda (x) x)") "#%plain-lambda"));
+    t_run "local-expand from phase 1 sees through macros"
+      "#lang racket\n(define-syntax-rule (function args body) (lambda args body))\n(define-syntax (is-lambda? stx)\n  (let ([e (cadr (syntax->list stx))])\n    (let ([core (local-expand e 'expression '())])\n      (let ([head (car (syntax->list core))])\n        (if (free-identifier=? head #'#%plain-lambda) #''yes #''no)))))\n(display (list (is-lambda? (lambda (x) x)) (is-lambda? (function (x) x)) (is-lambda? (+ 1 2))))"
+      "(yes yes no)";
+  ]
+
+(* A language can rebind the implicit hooks: #%app (seen in the lazy
+   language) and #%datum. *)
+let hooks =
+  [
+    t_run "#%app hook: lazy application" "#lang lazy\n(define (k x) 'constant)\n(display (k (error \"not evaluated\")))"
+      "constant";
+    Alcotest.test_case "#%datum hook: a language that doubles literals" `Quick (fun () ->
+        let doubler form =
+          match Stx.to_list form with
+          | Some [ _; lit ] -> (
+              match lit.Stx.e with
+              | Stx.Atom (Datum.Int n) ->
+                  Stx.list [ Expander.core_id "quote"; Stx.int_ (2 * n) ]
+              | _ -> Stx.list [ Expander.core_id "quote"; lit ])
+          | _ -> failwith "bad #%datum use"
+        in
+        let name = fresh "doubling-lang" in
+        let _m, _ =
+          Modsys.declare_builtin ~name
+            ~reexports:
+              (List.filter_map
+                 (fun (e : Modsys.export) ->
+                   if e.Modsys.ext_name = "#%datum" then None
+                   else Some (e.Modsys.ext_name, e.Modsys.binding))
+                 (Modsys.find "racket").Modsys.exports)
+            ~macros:[ ("#%datum", Denote.Native ("#%datum", doubler)) ]
+            ()
+        in
+        let out = run_string (Printf.sprintf "#lang %s\n(display (+ 1 2))\n" name) in
+        (* 1 and 2 read as 2 and 4 *)
+        check_s "doubled literals" "6" out);
+  ]
+
+(* Syntax properties survive macro rewriting (the §3.1 requirement). *)
+let out_of_band =
+  [
+    (* expansion is outside-in, so the observer must local-expand its
+       argument before reading the inner macro's out-of-band annotation —
+       exactly the discipline of §3.1 + §2.2 *)
+    t_run "define: style annotation survives to a later observer"
+      "#lang racket\n(define-syntax (annotate stx)\n  (let ([e (cadr (syntax->list stx))])\n    (syntax-property-put e 'note #'hello)))\n(define-syntax (observe stx)\n  (let ([e (cadr (syntax->list stx))])\n    (let ([n (syntax-property-get (local-expand e 'expression '()) 'note)])\n      (if n #`(quote #,n) #''missing))))\n(display (observe (annotate 42)))"
+      "hello";
+  ]
+
+let module_body =
+  [
+    t_run "definitions may come after uses (two-pass)"
+      "#lang racket\n(define (f) (g))\n(define (g) 'late)\n(display (f))"
+      "late";
+    t_run "macros usable before their definition site in same module... (forward macro)"
+      "#lang racket\n(define (user) (m))\n(define-syntax-rule (m) 'expanded)\n(display (user))"
+      "expanded";
+    t_run "begin splices at module level"
+      "#lang racket\n(begin (define a 1) (define b 2))\n(display (+ a b))"
+      "3";
+    t_run "begin-for-syntax runs at compile time"
+      "#lang racket\n(begin-for-syntax (void))\n(display 'ok)"
+      "ok";
+    t_err "define in expression position" "#lang racket\n(display (define x 1))"
+      "not allowed in an expression context";
+    t_err "set! of unbound" "#lang racket\n(set! nope 1)" "unbound";
+    t_err "set! of macro" "#lang racket\n(define-syntax-rule (m) 1)\n(set! m 2)" "syntactic";
+  ]
+
+let suite =
+  syntax_rules @ hygiene @ procedural @ local_expand_tests @ hooks @ out_of_band @ module_body

@@ -1,0 +1,240 @@
+(** Second coverage batch: multiple values, deep environments, module edge
+    cases, typed edge cases, cross-module define-type, lazy/limited
+    interactions, and error-message quality. *)
+
+open Test_util
+
+let multiple_values =
+  [
+    t_ev "let-values destructures" "(let-values ([(a b) (values 1 2)]) (+ a b))" "3";
+    t_ev "let-values several clauses" "(let-values ([(a b) (values 1 2)] [(c) 3]) (list a b c))"
+      "(1 2 3)";
+    t_ev "letrec-values" "(letrec-values ([(f g) (values (lambda (n) (if (= n 0) 'f (g (- n 1)))) (lambda (n) (f n)))]) (f 3))"
+      "f";
+    t_ev_err "too many values for context" "(let-values ([(a) (values 1 2)]) a)" "expected 1 value";
+    t_ev_err "too few values" "(let-values ([(a b c) (values 1 2)]) a)" "expected 3 values";
+    t_run "module-level define-values with multiple values"
+      "#lang racket\n(define-values (a b c) (values 1 2 3))\n(display (list c b a))" "(3 2 1)";
+    t_err "module-level define-values arity mismatch"
+      "#lang racket\n(define-values (a b) (values 1 2 3))\n(display a)" "expected 2 values";
+  ]
+
+let environments =
+  [
+    t_ev "deep lexical nesting (depth > 3)"
+      "(let ([a 1]) (let ([b 2]) (let ([c 3]) (let ([d 4]) (let ([e 5]) (+ a (+ b (+ c (+ d e)))))))))"
+      "15";
+    t_ev "deep float nesting exercises LD leaves"
+      "(let ([a 1.0]) (let ([b 2.0]) (let ([c 3.0]) (let ([d 4.0]) (unsafe-fl+ a (unsafe-fl* b (unsafe-fl- c d)))))))"
+      "-1.0";
+    t_ev "zero-argument lambda" "((lambda () 'thunk))" "thunk";
+    t_ev "six arguments (generic apply path)"
+      "((lambda (a b c d e f) (list f e d c b a)) 1 2 3 4 5 6)" "(6 5 4 3 2 1)";
+    t_ev "seven arguments" "((lambda (a b c d e f g) g) 1 2 3 4 5 6 7)" "7";
+    t_ev "closure over loop variable snapshots by frame"
+      "(let loop ([i 0] [fs '()]) (if (= i 3) (map (lambda (f) (f)) (reverse fs)) (loop (+ i 1) (cons (lambda () i) fs))))"
+      "(0 1 2)";
+    t_ev "letrec with non-lambda rhs evaluates in order"
+      "(letrec ([a 1] [b (+ a 1)]) (list a b))" "(1 2)";
+    t_ev "mutation through deep frames"
+      "(let ([x 0]) (let ([f (lambda () (let ([y 1]) (let ([z 2]) (set! x (+ y z)))))]) (f) x))"
+      "3";
+  ]
+
+let module_edges =
+  [
+    Alcotest.test_case "requiring a module that requires its requirer fails cleanly" `Quick
+      (fun () ->
+        (* modules compile in declaration order, so a forward reference is an
+           unknown module, not a hang *)
+        let m = fresh "cyc" in
+        let msg =
+          run_err (Printf.sprintf "#lang racket\n(require %s-not-yet)\n(display 1)" m)
+        in
+        check_b "unknown" true (contains msg "unknown module"));
+    Alcotest.test_case "redeclaring a module replaces it for new clients" `Quick (fun () ->
+        let srv = fresh "redecl" in
+        declare ~name:srv "#lang racket\n(provide v)\n(define v 1)";
+        check_s "old" "1" (run (Printf.sprintf "#lang racket\n(require %s)\n(display v)" srv));
+        declare ~name:srv "#lang racket\n(provide v)\n(define v 2)";
+        check_s "new" "2" (run (Printf.sprintf "#lang racket\n(require %s)\n(display v)" srv)));
+    Alcotest.test_case "two provides of the same binding" `Quick (fun () ->
+        let srv = fresh "dualprov" in
+        declare ~name:srv
+          "#lang racket\n(provide f)\n(provide (rename-out [f g]))\n(define (f x) (* x 10))";
+        check_s "both names" "(10 20)"
+          (run (Printf.sprintf "#lang racket\n(require %s)\n(display (list (f 1) (g 2)))" srv)));
+    Alcotest.test_case "require inside begin splices" `Quick (fun () ->
+        let srv = fresh "breq" in
+        declare ~name:srv "#lang racket\n(provide v)\n(define v 7)";
+        check_s "works" "7"
+          (run (Printf.sprintf "#lang racket\n(begin (require %s))\n(display v)" srv)));
+    Alcotest.test_case "macro-generated require" `Quick (fun () ->
+        let srv = fresh "mreq" in
+        declare ~name:srv "#lang racket\n(provide v)\n(define v 'via-macro)";
+        check_s "works" "via-macro"
+          (run
+             (Printf.sprintf
+                "#lang racket\n(define-syntax-rule (pull m) (require m))\n(pull %s)\n(display v)"
+                srv)));
+  ]
+
+let typed_edges =
+  [
+    t_err "empty union type" "#lang typed/racket\n(define x : (U) 1)" "empty union";
+    t_run "Void-typed define"
+      "#lang typed/racket\n(define (shout) : Void (display 'hi))\n(shout)" "hi";
+    t_run "ann in operator position"
+      "#lang typed/racket\n(display ((ann add1 (Integer -> Integer)) 1))" "2";
+    t_run "nested function types"
+      "#lang typed/racket\n(: compose2 ((Integer -> Integer) (Integer -> Integer) -> (Integer -> Integer)))\n(define (compose2 f g) (lambda (x) (f (g x))))\n(display ((compose2 add1 add1) 40))"
+      "42";
+    t_run "typed module with zero provides"
+      "#lang typed/racket\n(define x : Integer 1)\n(display x)" "1";
+    t_err "type error reports source location"
+      "#lang typed/racket\n(define bad : Integer \"str\")" ":2:";
+    Alcotest.test_case "define-type persists across modules (§5)" `Quick (fun () ->
+        let srv = fresh "dt-srv" in
+        declare ~name:srv
+          (Printf.sprintf
+             "#lang typed/racket\n(define-type MyPair%s (Pairof Integer Integer))\n(: mk (Integer -> MyPair%s))\n(define (mk n) (cons n n))\n(provide mk)"
+             srv srv);
+        check_s "client uses the named type" "(3 . 3)"
+          (run
+             (Printf.sprintf
+                "#lang typed/racket\n(require %s)\n(define p : MyPair%s (mk 3))\n(display p)" srv
+                srv)));
+    t_run "higher-order typed export used from typed client"
+      "#lang typed/racket\n(: twice ((Integer -> Integer) Integer -> Integer))\n(define (twice f x) (f (f x)))\n(display (twice (lambda ([n : Integer]) (* n 3)) 2))"
+      "18";
+    Alcotest.test_case "higher-order contract across the boundary" `Quick (fun () ->
+        let srv = fresh "ho-srv" in
+        declare ~name:srv
+          "#lang typed/racket\n(: twice ((Integer -> Integer) Integer -> Integer))\n(define (twice f x) (f (f x)))\n(provide twice)";
+        check_s "untyped caller passes a function" "9"
+          (run (Printf.sprintf "#lang racket\n(require %s)\n(display (twice add1 7))" srv));
+        let msg =
+          run_err
+            (Printf.sprintf
+               "#lang racket\n(require %s)\n(display (twice (lambda (n) \"not int\") 7))" srv)
+        in
+        check_b "bad callback caught by contract" true (contains msg "contract"));
+    t_run "typed code may shadow a primitive"
+      "#lang typed/racket\n(define (add1 [x : Integer]) : Integer (+ x 100))\n(display (add1 1))"
+      "101";
+    t_run "string operations typed end to end"
+      "#lang typed/racket\n(define (shout [s : String]) : String (string-append (string-upcase s) \"!\"))\n(display (shout \"hey\"))"
+      "HEY!";
+    t_run "char and symbol types"
+      "#lang typed/racket\n(define c : Char #\\a)\n(define s : Symbol 'sym)\n(display (list (char->integer c) (symbol->string s)))"
+      "(97 sym)";
+  ]
+
+let lazy_and_limited =
+  [
+    t_run "lazy with typed-style workload (untyped lazy)"
+      "#lang lazy\n(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))\n(display (fib 10))"
+      "55";
+    t_run "lazy map forces lazily through prim"
+      "#lang lazy\n(display (map add1 (list 1 2 3)))" "(2 3 4)";
+    t_run "limited language supports recursion"
+      "#lang limited\n(define (len l) (if (null? l) 0 (+ 1 (len (cdr l)))))\n(display (len (list 1 2 3)))"
+      "3";
+  ]
+
+let error_quality =
+  [
+    t_ev_err "arity error names the function"
+      "(letrec ([my-fn (lambda (a b) a)]) (my-fn 1))" "my-fn";
+    t_ev_err "car error shows the value" "(car 42)" "42";
+    t_err "unbound identifier error names it" "#lang racket\n(display undefined-xyz)" "undefined-xyz";
+    t_err "syntax error shows the macro name"
+      "#lang racket\n(define-syntax-rule (pair a b) (cons a b))\n(pair 1)" "no matching";
+    Alcotest.test_case "type error message format matches the paper's" `Quick (fun () ->
+        (* paper §4.1: "typecheck: wrong type in: 3.7" *)
+        let msg = run_err "#lang typed/racket\n(define w : Integer 3.7)" in
+        check_b "typecheck:" true (contains msg "typecheck:");
+        check_b "wrong type" true (contains msg "wrong type");
+        check_b "in: 3.7" true (contains msg "3.7"));
+  ]
+
+let quasiquote_extra =
+  [
+    t_ev "nested quasiquote levels" "`(1 `(2 ,(+ 1 2)))" "(1 `(2 ,(+ 1 2)))";
+    t_ev "unquote under two levels stays quoted" "`(a `(b ,(c)))" "(a `(b ,(c)))";
+    t_ev "double unquote escapes" "(let ([x 5]) `(a `(b ,,x)))" "(a `(b ,5))";
+    t_ev "splicing into middle" "`(1 ,@(list 2 3) 4)" "(1 2 3 4)";
+    t_ev "splicing at end" "`(1 ,@(list 2 3))" "(1 2 3)";
+    t_ev "vector quasiquote" "`#(1 ,(+ 1 1) 3)" "#(1 2 3)";
+    t_ev "improper tail" "`(1 . ,(+ 1 1))" "(1 . 2)";
+    t_ev "empty quasiquote" "`()" "()";
+  ]
+
+let match_extra =
+  [
+    t_ev "match literal" "(match 5 [5 'five] [_ 'other])" "five";
+    t_ev "match string literal" "(match \"hi\" [\"hi\" 'greeting] [_ 'other])" "greeting";
+    t_ev "match quoted symbol" "(match 'red ['blue 1] ['red 2])" "2";
+    t_ev "match wildcard" "(match 99 [_ 'anything])" "anything";
+    t_ev "match vector" "(match (vector 1 2) [(vector a b) (+ a b)])" "3";
+    t_ev "match vector wrong length falls through" "(match (vector 1) [(vector a b) 'two] [_ 'no])"
+      "no";
+    t_ev "match predicate" "(match 4 [(? even?) 'even] [_ 'odd])" "even";
+    t_ev "match predicate with subpattern" "(match 4 [(? even? n) (* n 10)])" "40";
+    t_ev "match nested" "(match '(1 (2 3)) [(list a (list b c)) (list c b a)])" "(3 2 1)";
+    t_ev "match cons chains" "(match '(1 2 3) [(cons a (cons b _)) (+ a b)])" "3";
+    t_ev "first clause wins" "(match 1 [x 'var] [1 'lit])" "var";
+    t_ev_err "no clause matches" "(match 5 [6 'six])" "no matching clause";
+  ]
+
+let suite =
+  multiple_values @ environments @ module_edges @ typed_edges @ lazy_and_limited @ error_quality
+  @ quasiquote_extra @ match_extra
+
+let comprehensions =
+  [
+    t_ev "for/list over in-range" "(for/list ([i (in-range 4)]) (* i i))" "(0 1 4 9)";
+    t_ev "for/list over in-range with bounds" "(for/list ([i (in-range 2 5)]) i)" "(2 3 4)";
+    t_ev "for/list over in-list" "(for/list ([x (in-list '(a b))]) (list x x))" "((a a) (b b))";
+    t_ev "for/sum" "(for/sum ([i (in-range 5)]) i)" "10";
+    t_ev "for/sum over list" "(for/sum ([x (in-list '(1 2 3))]) (* x 10))" "60";
+    t_run "typed let* with annotations"
+      "#lang typed/racket\n(display (let* ([x : Float 2.0] [y : Float (* x x)]) (+ x y)))" "6.0";
+    t_run "typed let* mixes annotated and inferred"
+      "#lang typed/racket\n(display (let* ([x 3] [y : Integer (+ x 1)]) (* x y)))" "12";
+    t_run "typed for/list"
+      "#lang typed/racket\n(display (for/list ([x (in-list (list 1 2 3))]) (* x x)))" "(1 4 9)";
+  ]
+
+let suite = suite @ comprehensions
+
+let library_depth =
+  [
+    t_ev "take" "(take '(1 2 3 4) 2)" "(1 2)";
+    t_ev "take zero" "(take '(1) 0)" "()";
+    t_ev_err "take too many" "(take '(1) 5)" "too short";
+    t_ev "drop" "(drop '(1 2 3 4) 2)" "(3 4)";
+    t_ev "remove first occurrence" "(remove 2 '(1 2 3 2))" "(1 3 2)";
+    t_ev "remove missing" "(remove 9 '(1 2))" "(1 2)";
+    t_ev "count" "(count even? '(1 2 3 4 5 6))" "3";
+    t_ev "flatten" "(flatten '(1 (2 (3 4)) 5))" "(1 2 3 4 5)";
+    t_ev "range" "(range 4)" "(0 1 2 3)";
+    t_ev "range bounds" "(range 2 5)" "(2 3 4)";
+    t_ev "range empty" "(range 5 2)" "()";
+    t_ev "last-pair" "(last-pair '(1 2 3))" "(3)";
+    t_ev "string-contains?" "(list (string-contains? \"hello\" \"ell\") (string-contains? \"hello\" \"z\"))"
+      "(#t #f)";
+    t_ev "string-split" "(string-split \"a,b,,c\" \",\")" "(\"a\" \"b\" \"c\")";
+    t_ev "string-join" "(string-join '(\"a\" \"b\" \"c\") \"-\")" "\"a-b-c\"";
+    t_ev "with-output-to-string" "(with-output-to-string (lambda () (display 'inner)))" "\"inner\"";
+    t_run "time macro prints and returns"
+      "#lang racket\n(define r (with-output-to-string (lambda () (display (time (+ 20 22))))))\n(display (string-contains? r \"cpu time\"))(display \" \")(display (string-contains? r \"42\"))"
+      "#t #t";
+    t_run "typed take/drop/count"
+      "#lang typed/racket\n(define l : (Listof Integer) (range 10))\n(display (list (take l 3) (drop l 7) (count even? l)))"
+      "((0 1 2) (7 8 9) 5)";
+    t_run "typed string-split/join round trip"
+      "#lang typed/racket\n(display (string-join (string-split \"x y z\" \" \") \"+\"))" "x+y+z";
+  ]
+
+let suite = suite @ library_depth

@@ -1,0 +1,99 @@
+(** Tests for the additional languages-as-libraries: count, lazy, limited —
+    and the language-registration machinery itself. *)
+
+open Liblang_core.Core
+open Test_util
+
+let count_lang =
+  [
+    t_run "paper's exact example (§2.3)"
+      "#lang count\n(printf \"*~a\" (+ 1 2))\n(printf \"*~a\" (- 4 3))"
+      "Found 2 expressions.*3*1";
+    t_run "count of zero forms" "#lang count\n" "Found 0 expressions.";
+    t_run "count sees source-level forms, not expansions"
+      "#lang count\n(define-syntax-rule (twice e) (begin e e))\n(twice (display \"x\"))"
+      "Found 2 expressions.xx";
+    t_run "count language still has full racket"
+      "#lang count\n(display (map add1 '(1 2)))" "Found 1 expressions.(2 3)";
+  ]
+
+let lazy_lang =
+  [
+    t_run "unused argument is never evaluated"
+      "#lang lazy\n(define (k x) 5)\n(display (k (error \"boom\")))" "5";
+    t_run "used arguments are evaluated" "#lang lazy\n(define (sq x) (* x x))\n(display (sq 4))"
+      "16";
+    t_run "call-by-need memoizes"
+      "#lang lazy\n(define (both x) (+ x x))\n(display (both (begin (display \"!\") 21)))" "!42";
+    t_run "if forces its condition"
+      "#lang lazy\n(define (choose c) (if c 'yes 'no))\n(display (choose (> 2 1)))" "yes";
+    t_run "if does not force the untaken branch"
+      "#lang lazy\n(define (choose c a b) (if c a b))\n(display (choose #t 'ok (error \"untaken\")))"
+      "ok";
+    t_run "explicit force with !"
+      "#lang lazy\n(define (wrap x) x)\n(define p (wrap (begin (display \"e\") 3)))\n(display (! p))"
+      "e3";
+    t_run "laziness cuts off divergence"
+      "#lang lazy\n(define (forever) (forever))\n(define (pick a b) a)\n(display (pick 'done (forever)))"
+      "done";
+    t_run "primitives force their arguments through user calls"
+      "#lang lazy\n(define (add a b) (+ a b))\n(display (add (* 2 3) (* 10 2)))" "26";
+  ]
+
+let limited_lang =
+  [
+    t_run "whitelisted forms work" "#lang limited\n(define (f x) (+ x 1))\n(display (f 1))" "2";
+    t_run "cond and lists available"
+      "#lang limited\n(display (cond [(null? '()) 'empty] [else 'nonempty]))" "empty";
+    t_err "match is not in the teaching language" "#lang limited\n(match 1 [x x])" "unbound";
+    t_err "vectors are not in the teaching language" "#lang limited\n(vector 1 2)" "unbound";
+    t_err "set! is not in the teaching language" "#lang limited\n(define x 1)\n(set! x 2)"
+      "unbound";
+  ]
+
+let registration =
+  [
+    Alcotest.test_case "a language built at runtime from the public API" `Quick (fun () ->
+        (* a 'verbose' language: prints every top-level form before running *)
+        let mb form =
+          match Stx.to_list form with
+          | Some (_ :: body) ->
+              let announce f =
+                Stx.list
+                  [
+                    Baselang.bid "begin";
+                    Stx.list
+                      [
+                        Baselang.bid "displayln";
+                        Stx.list [ Baselang.bid "quote"; Stx.str_ (Stx.to_string f) ];
+                      ];
+                    f;
+                  ]
+              in
+              Stx.list ((Expander.core_id "#%plain-module-begin") :: List.map announce body)
+          | Some [] | None -> failwith "bad"
+        in
+        let name = fresh "verbose-lang" in
+        let _m, _ =
+          Modsys.declare_builtin ~name
+            ~reexports:
+              (List.filter_map
+                 (fun (e : Modsys.export) ->
+                   if e.Modsys.ext_name = "#%module-begin" then None
+                   else Some (e.Modsys.ext_name, e.Modsys.binding))
+                 (Modsys.find "racket").Modsys.exports)
+            ~macros:[ ("#%module-begin", Denote.Native ("#%module-begin", mb)) ]
+            ()
+        in
+        let out = run_string (Printf.sprintf "#lang %s\n(display (+ 1 2))\n" name) in
+        check_b "announces the form" true (contains out "(display (+ 1 2))");
+        check_b "then runs it" true (contains out "3"));
+    Alcotest.test_case "language aliases resolve to the same module" `Quick (fun () ->
+        check_b "typed alias" true (Modsys.find "typed" == Modsys.find "typed/racket");
+        check_b "simple-type alias" true (Modsys.find "simple-type" == Modsys.find "typed/racket"));
+    t_run "simple-type language name from the paper (§4.1)"
+      "#lang simple-type\n(define x : Integer 1)\n(define y : Integer 2)\n(define (f [z : Integer]) : Integer (* x (+ y z)))\n(display (f 4))"
+      "6";
+  ]
+
+let suite = count_lang @ lazy_lang @ limited_lang @ registration

@@ -1,0 +1,21 @@
+(** Test runner: all suites. *)
+
+let () =
+  Alcotest.run "liblang"
+    [
+      ("reader", Test_reader.suite);
+      ("syntax-objects", Test_stx.suite);
+      ("runtime", Test_runtime.suite);
+      ("evaluator", Test_interp.suite);
+      ("expander", Test_expander.suite);
+      ("modules", Test_modules.suite);
+      ("contracts", Test_contracts.suite);
+      ("types", Test_types.suite);
+      ("typechecker", Test_check.suite);
+      ("occurrence-typing", Test_occurrence.suite);
+      ("boundary", Test_boundary.suite);
+      ("optimizer", Test_optimize.suite);
+      ("languages", Test_langs.suite);
+      ("extra", Test_extra.suite);
+      ("properties", Test_props.suite);
+    ]

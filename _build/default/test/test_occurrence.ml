@@ -1,0 +1,76 @@
+(** Occurrence typing (simplified): [(if (pred x) … …)] narrows the type of
+    [x] per branch — the Typed Racket idiom support the paper's §3 calls
+    "a type system that accommodates the idioms of Racket". *)
+
+open Test_util
+
+let tp name body expect = t_run name ("#lang typed/racket\n" ^ body) expect
+let te name body frag = t_err name ("#lang typed/racket\n" ^ body) frag
+
+let narrowing =
+  [
+    tp "flonum? narrows a union"
+      "(define (f [x : (U Float String)]) : Float (if (flonum? x) (+ x 1.0) 0.0))\n(display (list (f 2.5) (f \"s\")))"
+      "(3.5 0.0)";
+    tp "else branch gets the complement"
+      "(define (f [x : (U Float String)]) : String (if (flonum? x) \"num\" (string-append x \"!\")))\n(display (f \"hi\"))"
+      "hi!";
+    tp "number? narrows Any (the dynamic type)"
+      "(define (f [x : Any]) : Integer (if (exact-integer? x) (+ x 1) 0))\n(display (list (f 41) (f \"no\")))"
+      "(42 0)";
+    tp "null? on a list: else branch may take car"
+      "(define (sum [l : (Listof Integer)]) : Integer (if (null? l) 0 (+ (car l) (sum (cdr l)))))\n(display (sum (list 1 2 3)))"
+      "6";
+    tp "pair? on a list enables car in the then branch"
+      "(define (head-or [l : (Listof Integer)] [d : Integer]) : Integer (if (pair? l) (car l) d))\n(display (list (head-or (list 7) 0) (head-or '() 9)))"
+      "(7 9)";
+    tp "not inverts the narrowing"
+      "(define (f [x : (U Float String)]) : Float (if (not (flonum? x)) 0.0 (+ x 1.0)))\n(display (f 1.0))"
+      "2.0";
+    tp "string? narrows for string operations"
+      "(define (len [x : (U String Integer)]) : Integer (if (string? x) (string-length x) x))\n(display (list (len \"abcd\") (len 7)))"
+      "(4 7)";
+    te "without the test, the union member operation fails"
+      "(define (f [x : (U Float String)]) : Float (+ x 1.0))" "expects numbers";
+    te "narrowing does not leak outside the branch"
+      "(define (f [x : (U Float String)]) : Float (begin (if (flonum? x) (+ x 1.0) 0.0) (+ x 1.0)))"
+      "expects numbers";
+    tp "nested narrowing"
+      "(define (f [x : (U Integer Float String)]) : Real\n  (if (string? x) 0 (if (flonum? x) (+ x 0.5) (+ x 1))))\n(display (list (f \"s\") (f 1.5) (f 10)))"
+      "(0 2.0 11)";
+  ]
+
+let soundness =
+  [
+    (* a set! variable must not be narrowed: the classic counterexample *)
+    te "assigned variables are not narrowed"
+      "(define (f [x : (U Float String)]) : Float\n  (if (flonum? x)\n      (begin (set! x \"gotcha\") (+ x 1.0))\n      0.0))"
+      "expects numbers";
+    tp "assignment in the other branch also disables narrowing"
+      "(define (f [x : (U Float String)]) : Float\n  (if (flonum? x) 1.0 (begin (set! x \"s\") 0.0)))\n(display (f 2.0))"
+      "1.0";
+  ]
+
+(* Narrowing feeds the optimizer: the loop below gets unsafe-car after the
+   null? test — the §3.2 tag-check elimination on real list code. *)
+let optimizer_integration =
+  [
+    Alcotest.test_case "null? test enables unsafe-car in loops" `Quick (fun () ->
+        Liblang_core.Core.Optimize.reset_stats ();
+        declare ~name:(fresh "occ-opt")
+          "#lang typed/racket\n(define (sum [l : (Listof Integer)]) : Integer (if (null? l) 0 (+ (car l) (sum (cdr l)))))";
+        check_b "unsafe-car fired" true (Liblang_core.Core.Optimize.stat "pair:car" >= 1);
+        check_b "unsafe-cdr fired" true (Liblang_core.Core.Optimize.stat "pair:cdr" >= 1));
+    Alcotest.test_case "flonum? narrowing enables float specialization" `Quick (fun () ->
+        Liblang_core.Core.Optimize.reset_stats ();
+        declare ~name:(fresh "occ-opt2")
+          "#lang typed/racket\n(define (f [x : (U Float String)]) : Float (if (flonum? x) (* x 2.0) 0.0))";
+        check_b "unsafe-fl* fired" true (Liblang_core.Core.Optimize.stat "fl:*" >= 1));
+    t_agree "narrowed list loop agrees with untyped"
+      ~untyped:
+        "(define (sum l) (if (null? l) 0 (+ (car l) (sum (cdr l)))))\n(display (sum '(1 2 3 4 5)))"
+      ~typed:
+        "(define (sum [l : (Listof Integer)]) : Integer (if (null? l) 0 (+ (car l) (sum (cdr l)))))\n(display (sum '(1 2 3 4 5)))";
+  ]
+
+let suite = narrowing @ soundness @ optimizer_integration

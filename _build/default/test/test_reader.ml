@@ -1,0 +1,146 @@
+(** Reader tests: datum syntax, locations, comments, error reporting. *)
+
+open Liblang_core.Core
+open Test_util
+
+let read1 src =
+  match Reader.read_one src with
+  | Some a -> Datum.to_string a.Datum.d
+  | None -> "<eof>"
+
+let t name src expect =
+  Alcotest.test_case name `Quick (fun () -> check_s name expect (read1 src))
+
+let terr name src fragment =
+  Alcotest.test_case name `Quick (fun () ->
+      match read1 src with
+      | out -> Alcotest.failf "%s: expected reader error, got %s" name out
+      | exception Reader.Error (m, _) ->
+          if not (contains m fragment) then
+            Alcotest.failf "%s: expected error containing %S, got %S" name fragment m)
+
+let atoms =
+  [
+    t "fixnum" "42" "42";
+    t "negative fixnum" "-17" "-17";
+    t "explicit positive" "+17" "17";
+    t "hex" "#x2a" "42";
+    t "hex negative" "#x-2a" "-42";
+    t "binary" "#b1010" "10";
+    t "octal" "#o17" "15";
+    t "decimal radix" "#d42" "42";
+    t "flonum" "3.5" "3.5";
+    t "flonum integral shows point" "3.0" "3.0";
+    t "leading dot" ".5" "0.5";
+    t "trailing dot" "5." "5.0";
+    t "exponent" "1e3" "1000.0";
+    t "negative exponent" "2.5e-2" "0.025";
+    t "+inf.0" "+inf.0" "+inf.0";
+    t "-inf.0" "-inf.0" "-inf.0";
+    t "+nan.0" "+nan.0" "+nan.0";
+    t "complex" "1.0+2.0i" "1.0+2.0i";
+    t "complex negative imag" "1.0-2.0i" "1.0-2.0i";
+    t "complex int parts" "1+2i" "1.0+2.0i";
+    t "pure imaginary" "+2.0i" "0.0+2.0i";
+    t "complex with exponents" "1e2+5e-1i" "100.0+0.5i";
+    t "symbol" "foo" "foo";
+    t "symbol with dashes" "list->vector" "list->vector";
+    t "symbol +" "+" "+";
+    t "symbol -" "-" "-";
+    t "symbol ..." "..." "...";
+    t "symbol 1+" "1+" "1+";
+    t "hash-percent symbol" "#%app" "#%app";
+    t "true" "#t" "#t";
+    t "true long" "#true" "#t";
+    t "false" "#f" "#f";
+    t "string" {|"hello"|} {|"hello"|};
+    t "string with escapes" {|"a\nb\t\"c\\"|} "\"a\\nb\\t\\\"c\\\\\"";
+    t "char" "#\\a" "#\\a";
+    t "char space" "#\\space" "#\\space";
+    t "char newline" "#\\newline" "#\\newline";
+    t "char tab" "#\\tab" "#\\tab";
+    t "char open paren" "#\\(" "#\\(";
+  ]
+
+let lists =
+  [
+    t "empty list" "()" "()";
+    t "flat list" "(1 2 3)" "(1 2 3)";
+    t "nested" "(a (b (c)) d)" "(a (b (c)) d)";
+    t "brackets" "[a b]" "(a b)";
+    t "mixed brackets" "(let ([x 1]) x)" "(let ((x 1)) x)";
+    t "dotted pair" "(a . b)" "(a . b)";
+    t "dotted list" "(a b . c)" "(a b . c)";
+    t "dotted collapse" "(a . (b c))" "(a b c)";
+    t "dotted collapse nested" "(a . (b . (c . ())))" "(a b c)";
+    t "vector" "#(1 2 3)" "#(1 2 3)";
+    t "empty vector" "#()" "#()";
+    t "quote sugar" "'x" "'x";
+    t "quote list" "'(1 2)" "'(1 2)";
+    t "quasiquote sugar" "`x" "`x";
+    t "unquote sugar" ",x" ",x";
+    t "unquote-splicing sugar" ",@x" ",@x";
+    t "nested quotes" "''x" "''x";
+    t "syntax quote" "#'x" "(syntax x)";
+    t "quasisyntax" "#`x" "(quasisyntax x)";
+    t "unsyntax" "#,x" "(unsyntax x)";
+  ]
+
+let comments =
+  [
+    t "line comment" "; hi\n42" "42";
+    t "block comment" "#| hi |# 42" "42";
+    t "nested block comment" "#| a #| b |# c |# 42" "42";
+    t "datum comment" "#;(skipped) 42" "42";
+    t "datum comment in list" "(1 #;2 3)" "(1 3)";
+    t "comment between" "(1 ; x\n 2)" "(1 2)";
+  ]
+
+let errors =
+  [
+    terr "unterminated list" "(1 2" "unterminated";
+    terr "unterminated string" {|"abc|} "unterminated string";
+    terr "stray close" ")" "close paren";
+    terr "unterminated block comment" "#| hi" "unterminated block comment";
+    terr "bad boolean" "#tx" "bad boolean";
+    terr "dotted head" "(. x)" "dotted";
+    terr "bad radix" "#xZZ" "bad radix";
+    terr "unknown hash" "#armadillo" "unknown reader syntax";
+  ]
+
+let multiple =
+  [
+    Alcotest.test_case "read_all counts" `Quick (fun () ->
+        check_i "count" 3 (List.length (Reader.read_all "1 (2 3) four")));
+    Alcotest.test_case "read_all empty" `Quick (fun () ->
+        check_i "count" 0 (List.length (Reader.read_all "  ; nothing\n")));
+    Alcotest.test_case "locations" `Quick (fun () ->
+        match Reader.read_all ~file:"f.rkt" "x\n  yy" with
+        | [ a; b ] ->
+            check_i "line a" 1 a.Datum.loc.Srcloc.line;
+            check_i "line b" 2 b.Datum.loc.Srcloc.line;
+            check_i "col b" 2 b.Datum.loc.Srcloc.col;
+            check_i "span b" 2 b.Datum.loc.Srcloc.span
+        | _ -> Alcotest.fail "expected 2 datums");
+    Alcotest.test_case "#lang line split" `Quick (fun () ->
+        match Reader.split_lang_line "#lang racket\n(+ 1 2)" with
+        | Some ("racket", rest) -> check_i "rest datums" 1 (List.length (Reader.read_all rest))
+        | _ -> Alcotest.fail "expected #lang split");
+    Alcotest.test_case "#lang with slash" `Quick (fun () ->
+        match Reader.split_lang_line "#lang typed/racket\n" with
+        | Some ("typed/racket", _) -> ()
+        | _ -> Alcotest.fail "expected typed/racket");
+    Alcotest.test_case "no #lang line" `Quick (fun () ->
+        check_b "none" true (Reader.split_lang_line "(display 1)" = None));
+    Alcotest.test_case "float round-trip" `Quick (fun () ->
+        List.iter
+          (fun f ->
+            let s = Datum.float_to_string f in
+            match Reader.parse_number s with
+            | Some (Datum.Float f') ->
+                check_b (Printf.sprintf "%s round-trips" s) true (Float.equal f f')
+            | _ -> Alcotest.failf "%s did not parse as float" s)
+          [ 0.1; 1.5; -3.25; 1e100; 1e-100; 0.30000000000000004; Float.pi ]);
+  ]
+
+let suite = atoms @ lists @ comments @ errors @ multiple

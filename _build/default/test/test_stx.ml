@@ -1,0 +1,142 @@
+(** Syntax objects, scope sets, properties, and the binding table. *)
+
+open Liblang_core.Core
+module Scope = Liblang_core.Core.Scope
+open Test_util
+
+let stx_of src =
+  match Reader.read_one src with Some d -> Stx.of_datum d | None -> failwith "empty"
+
+let conversions =
+  [
+    Alcotest.test_case "datum->syntax->datum round trip" `Quick (fun () ->
+        List.iter
+          (fun src ->
+            let s = stx_of src in
+            check_s src src (Datum.to_string (Stx.to_datum s)))
+          [ "(a (b 1) 2.5 \"s\" #\\c #t)"; "#(1 2)"; "(a . b)"; "()" ]);
+    Alcotest.test_case "syntax->list on proper list" `Quick (fun () ->
+        match Stx.to_list (stx_of "(a b c)") with
+        | Some xs -> check_i "length" 3 (List.length xs)
+        | None -> Alcotest.fail "expected a list");
+    Alcotest.test_case "syntax->list on atom" `Quick (fun () ->
+        check_b "none" true (Stx.to_list (stx_of "a") = None));
+    Alcotest.test_case "syntax->list on dotted" `Quick (fun () ->
+        check_b "none" true (Stx.to_list (stx_of "(a . b)") = None));
+    Alcotest.test_case "sym accessors" `Quick (fun () ->
+        check_b "id" true (Stx.is_id (stx_of "foo"));
+        check_s "name" "foo" (Stx.sym_exn (stx_of "foo"));
+        check_b "not id" false (Stx.is_id (stx_of "42")));
+    Alcotest.test_case "datum_to_syntax adopts context scopes" `Quick (fun () ->
+        let sc = Scope.fresh () in
+        let ctx = Stx.id ~scopes:(Scope.Set.singleton sc) "ctx" in
+        let s = Stx.datum_to_syntax ~ctx (Datum.Atom (Datum.Sym "x")) in
+        check_b "scope copied" true (Scope.Set.mem sc s.Stx.scopes));
+  ]
+
+let scopes =
+  [
+    Alcotest.test_case "add_scope is recursive" `Quick (fun () ->
+        let sc = Scope.fresh () in
+        let s = Stx.add_scope sc (stx_of "(a (b c))") in
+        match s.Stx.e with
+        | Stx.List [ a; inner ] ->
+            check_b "outer" true (Scope.Set.mem sc s.Stx.scopes);
+            check_b "a" true (Scope.Set.mem sc a.Stx.scopes);
+            check_b "inner" true (Scope.Set.mem sc inner.Stx.scopes)
+        | _ -> Alcotest.fail "shape");
+    Alcotest.test_case "flip twice is identity" `Quick (fun () ->
+        let sc = Scope.fresh () in
+        let s = stx_of "x" in
+        let s' = Stx.flip_scope sc (Stx.flip_scope sc s) in
+        check_b "same scopes" true (Scope.Set.equal s.Stx.scopes s'.Stx.scopes));
+    Alcotest.test_case "flip adds when absent, removes when present" `Quick (fun () ->
+        let sc = Scope.fresh () in
+        let s = stx_of "x" in
+        let once = Stx.flip_scope sc s in
+        check_b "added" true (Scope.Set.mem sc once.Stx.scopes);
+        let twice = Stx.flip_scope sc once in
+        check_b "removed" false (Scope.Set.mem sc twice.Stx.scopes));
+    Alcotest.test_case "remove_scope" `Quick (fun () ->
+        let sc = Scope.fresh () in
+        let s = Stx.remove_scope sc (Stx.add_scope sc (stx_of "x")) in
+        check_b "gone" false (Scope.Set.mem sc s.Stx.scopes));
+  ]
+
+let properties =
+  [
+    Alcotest.test_case "put and get" `Quick (fun () ->
+        let s = stx_of "x" in
+        let s = Stx.property_put "k" (stx_of "payload") s in
+        match Stx.property_get "k" s with
+        | Some p -> check_s "payload" "payload" (Stx.to_string p)
+        | None -> Alcotest.fail "missing property");
+    Alcotest.test_case "missing key" `Quick (fun () ->
+        check_b "none" true (Stx.property_get "nope" (stx_of "x") = None));
+    Alcotest.test_case "put replaces" `Quick (fun () ->
+        let s = stx_of "x" in
+        let s = Stx.property_put "k" (stx_of "one") s in
+        let s = Stx.property_put "k" (stx_of "two") s in
+        check_s "latest" "two" (Stx.to_string (Option.get (Stx.property_get "k" s))));
+    Alcotest.test_case "properties independent per key" `Quick (fun () ->
+        let s = stx_of "x" in
+        let s = Stx.property_put "a" (stx_of "1") s in
+        let s = Stx.property_put "b" (stx_of "2") s in
+        check_s "a" "1" (Stx.to_string (Option.get (Stx.property_get "a" s)));
+        check_s "b" "2" (Stx.to_string (Option.get (Stx.property_get "b" s))));
+    Alcotest.test_case "copy_properties" `Quick (fun () ->
+        let src = Stx.property_put "k" (stx_of "v") (stx_of "src") in
+        let dst = Stx.copy_properties ~src (stx_of "dst") in
+        check_s "copied" "v" (Stx.to_string (Option.get (Stx.property_get "k" dst))));
+    Alcotest.test_case "scope ops preserve properties" `Quick (fun () ->
+        let sc = Scope.fresh () in
+        let s = Stx.property_put "k" (stx_of "v") (stx_of "x") in
+        let s = Stx.add_scope sc s in
+        check_b "still there" true (Stx.property_get "k" s <> None));
+  ]
+
+(* Binding-table resolution follows the sets-of-scopes rules. *)
+let bindings =
+  let mk name scopes = Stx.id ~scopes:(Scope.Set.of_list scopes) name in
+  [
+    Alcotest.test_case "resolve subset rule" `Quick (fun () ->
+        let s1 = Scope.fresh () and s2 = Scope.fresh () in
+        let b = Binding.bind (mk "rv1" [ s1 ]) in
+        (* a reference with more scopes still sees the binding *)
+        check_b "superset resolves" true (Binding.resolve (mk "rv1" [ s1; s2 ]) = Some b);
+        (* fewer scopes does not *)
+        check_b "subset does not" true (Binding.resolve (mk "rv1" [ s2 ]) = None));
+    Alcotest.test_case "largest subset wins (shadowing)" `Quick (fun () ->
+        let s1 = Scope.fresh () and s2 = Scope.fresh () in
+        let outer = Binding.bind (mk "rv2" [ s1 ]) in
+        let inner = Binding.bind (mk "rv2" [ s1; s2 ]) in
+        check_b "inner wins" true (Binding.resolve (mk "rv2" [ s1; s2 ]) = Some inner);
+        check_b "outer for outer ref" true (Binding.resolve (mk "rv2" [ s1 ]) = Some outer));
+    Alcotest.test_case "ambiguous reference raises" `Quick (fun () ->
+        let s1 = Scope.fresh () and s2 = Scope.fresh () and s3 = Scope.fresh () in
+        ignore (Binding.bind (mk "rv3" [ s1; s2 ]));
+        ignore (Binding.bind (mk "rv3" [ s1; s3 ]));
+        match Binding.resolve (mk "rv3" [ s1; s2; s3 ]) with
+        | exception Binding.Ambiguous _ -> ()
+        | _ -> Alcotest.fail "expected ambiguity error");
+    Alcotest.test_case "rebinding same scopes replaces" `Quick (fun () ->
+        let s1 = Scope.fresh () in
+        let _b1 = Binding.bind (mk "rv4" [ s1 ]) in
+        let b2 = Binding.bind (mk "rv4" [ s1 ]) in
+        check_b "latest" true (Binding.resolve (mk "rv4" [ s1 ]) = Some b2));
+    Alcotest.test_case "free_identifier_eq on same binding" `Quick (fun () ->
+        let s1 = Scope.fresh () and s2 = Scope.fresh () in
+        ignore (Binding.bind (mk "rv5" [ s1 ]));
+        check_b "eq" true (Binding.free_identifier_eq (mk "rv5" [ s1 ]) (mk "rv5" [ s1; s2 ])));
+    Alcotest.test_case "free_identifier_eq unbound compares by name" `Quick (fun () ->
+        check_b "eq" true
+          (Binding.free_identifier_eq (mk "never-bound-zzz" []) (mk "never-bound-zzz" []));
+        check_b "neq" false
+          (Binding.free_identifier_eq (mk "never-bound-zzz" []) (mk "never-bound-yyy" [])));
+    Alcotest.test_case "bound vs unbound are not free-identifier=?" `Quick (fun () ->
+        let s1 = Scope.fresh () in
+        ignore (Binding.bind (mk "rv6" [ s1 ]));
+        check_b "neq" false (Binding.free_identifier_eq (mk "rv6" [ s1 ]) (mk "rv6" [])));
+  ]
+
+let suite = conversions @ scopes @ properties @ bindings

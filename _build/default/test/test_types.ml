@@ -1,0 +1,142 @@
+(** Type-grammar tests: parsing, printing, subtyping, joins, serialization
+    (§5), and named/recursive types. *)
+
+open Liblang_core.Core
+open Test_util
+module T = Types
+
+let parse s = T.of_datum (Option.get (Reader.read_one s)).Datum.d
+
+let t_parse name src expect =
+  Alcotest.test_case ("parse " ^ name) `Quick (fun () ->
+      check_s name expect (T.to_string (parse src)))
+
+let parsing =
+  [
+    t_parse "Integer" "Integer" "Integer";
+    t_parse "Float" "Float" "Float";
+    t_parse "Flonum alias" "Flonum" "Float";
+    t_parse "Float-Complex" "Float-Complex" "Float-Complex";
+    t_parse "Real" "Real" "Real";
+    t_parse "Number" "Number" "Number";
+    t_parse "Boolean" "Boolean" "Boolean";
+    t_parse "String" "String" "String";
+    t_parse "Any" "Any" "Any";
+    t_parse "Null" "Null" "Null";
+    t_parse "infix arrow" "(Integer -> Integer)" "(Integer -> Integer)";
+    t_parse "multi-arg arrow" "(Integer Float -> Boolean)" "(Integer Float -> Boolean)";
+    t_parse "prefix arrow" "(-> Integer Float)" "(Integer -> Float)";
+    t_parse "nullary arrow" "(-> Integer)" "( -> Integer)";
+    t_parse "higher order" "((Integer -> Integer) -> Integer)"
+      "((Integer -> Integer) -> Integer)";
+    t_parse "Listof" "(Listof Integer)" "(Listof Integer)";
+    t_parse "List fixed" "(List Integer Float)" "(List Integer Float)";
+    t_parse "Pairof" "(Pairof Integer Float)" "(Pairof Integer Float)";
+    t_parse "Vectorof" "(Vectorof Float)" "(Vectorof Float)";
+    t_parse "Union" "(U Integer Boolean)" "(U Integer Boolean)";
+    t_parse "singleton union collapses" "(U Integer)" "Integer";
+    t_parse "nested" "(Listof (Pairof Integer (Listof Float)))"
+      "(Listof (Pairof Integer (Listof Float)))";
+    Alcotest.test_case "unknown type errors" `Quick (fun () ->
+        match parse "Zorble" with
+        | _ -> Alcotest.fail "expected parse error"
+        | exception T.Parse_error m -> check_b "msg" true (contains m "unknown type"));
+  ]
+
+let sub a b = T.subtype (parse a) (parse b)
+
+let t_sub name a b expect =
+  Alcotest.test_case name `Quick (fun () -> check_b (a ^ " <: " ^ b) expect (sub a b))
+
+let subtyping =
+  [
+    t_sub "refl" "Integer" "Integer" true;
+    t_sub "Integer <: Real" "Integer" "Real" true;
+    t_sub "Float <: Real" "Float" "Real" true;
+    t_sub "Real <: Number" "Real" "Number" true;
+    t_sub "Integer <: Number" "Integer" "Number" true;
+    t_sub "Float-Complex <: Number" "Float-Complex" "Number" true;
+    t_sub "Float-Complex not <: Real" "Float-Complex" "Real" false;
+    t_sub "Real not <: Integer" "Real" "Integer" false;
+    t_sub "Integer not <: Float" "Integer" "Float" false;
+    t_sub "everything <: Any" "(Listof (Integer -> Float))" "Any" true;
+    t_sub "Any <: anything (dynamic)" "Any" "Integer" true;
+    t_sub "member <: union" "Integer" "(U Integer Boolean)" true;
+    t_sub "union <: wider" "(U Integer Float)" "Real" true;
+    t_sub "union not <: narrower" "(U Integer Boolean)" "Integer" false;
+    t_sub "union <: union" "(U Integer Float)" "(U Float Boolean Integer)" true;
+    t_sub "Null <: Listof" "Null" "(Listof Integer)" true;
+    t_sub "List <: Listof when elements fit" "(List Integer Integer)" "(Listof Integer)" true;
+    t_sub "List not <: Listof when an element doesn't" "(List Integer String)" "(Listof Integer)"
+      false;
+    t_sub "List <: Listof of supertype" "(List Integer Float)" "(Listof Real)" true;
+    t_sub "List <: Pairof view" "(List Integer Float)" "(Pairof Integer (List Float))" true;
+    t_sub "Pairof <: Listof (proper spine)" "(Pairof Integer (Listof Integer))"
+      "(Listof Integer)" true;
+    t_sub "Pairof covariant" "(Pairof Integer Null)" "(Pairof Real (Listof Integer))" true;
+    t_sub "Listof covariant" "(Listof Integer)" "(Listof Real)" true;
+    t_sub "Listof not contravariant" "(Listof Real)" "(Listof Integer)" false;
+    t_sub "Vectorof invariant" "(Vectorof Integer)" "(Vectorof Real)" false;
+    t_sub "Vectorof refl" "(Vectorof Integer)" "(Vectorof Integer)" true;
+    t_sub "arrow contravariant domain" "(Real -> Integer)" "(Integer -> Integer)" true;
+    t_sub "arrow domain not covariant" "(Integer -> Integer)" "(Real -> Integer)" false;
+    t_sub "arrow covariant range" "(Integer -> Integer)" "(Integer -> Real)" true;
+    t_sub "arrow arity mismatch" "(Integer -> Integer)" "(Integer Integer -> Integer)" false;
+  ]
+
+let joins =
+  let j a b = T.to_string (T.join (parse a) (parse b)) in
+  [
+    Alcotest.test_case "join equal" `Quick (fun () -> check_s "j" "Integer" (j "Integer" "Integer"));
+    Alcotest.test_case "join sub" `Quick (fun () -> check_s "j" "Real" (j "Integer" "Real"));
+    Alcotest.test_case "join numeric" `Quick (fun () -> check_s "j" "Real" (j "Integer" "Float"));
+    Alcotest.test_case "join with complex" `Quick (fun () ->
+        check_s "j" "Number" (j "Float" "Float-Complex"));
+    Alcotest.test_case "join unrelated makes union" `Quick (fun () ->
+        check_s "j" "(U Integer Boolean)" (j "Integer" "Boolean"));
+    Alcotest.test_case "join with Any is Any" `Quick (fun () -> check_s "j" "Any" (j "Any" "Integer"));
+    Alcotest.test_case "join is upper bound" `Quick (fun () ->
+        List.iter
+          (fun (a, b) ->
+            let l = T.join (parse a) (parse b) in
+            check_b (a ^ " <= join") true (T.subtype (parse a) l);
+            check_b (b ^ " <= join") true (T.subtype (parse b) l))
+          [ ("Integer", "Float"); ("(Listof Integer)", "Null"); ("Boolean", "String") ]);
+  ]
+
+let serialization =
+  let roundtrip s =
+    let t = parse s in
+    T.equal t (T.of_datum (T.to_datum t))
+  in
+  [
+    Alcotest.test_case "serialize round trips" `Quick (fun () ->
+        List.iter
+          (fun s -> check_b s true (roundtrip s))
+          [
+            "Integer"; "Float-Complex"; "(Integer -> Integer)"; "(Listof (U Integer Boolean))";
+            "(List Integer Float String)"; "(Pairof Integer Null)"; "(Vectorof Float)";
+            "((Integer -> Real) Float -> (Listof Any))";
+          ]);
+  ]
+
+let named =
+  [
+    Alcotest.test_case "define-type introduces a name" `Quick (fun () ->
+        T.define_name "TestIntList" (parse "(Listof Integer)");
+        check_b "resolves" true (T.equal (T.unfold (parse "TestIntList")) (parse "(Listof Integer)"));
+        check_b "subtype through name" true (sub "TestIntList" "(Listof Real)");
+        check_b "subtype into name" true (sub "Null" "TestIntList"));
+    Alcotest.test_case "recursive type subtyping terminates" `Quick (fun () ->
+        T.define_name "TestTree" T.Any (* placeholder first, as define-type does *);
+        T.define_name "TestTree" (parse "(U Integer (Pairof TestTree TestTree))");
+        check_b "member" true (sub "Integer" "TestTree");
+        check_b "pair of trees" true (sub "(Pairof TestTree TestTree)" "TestTree");
+        check_b "self" true (sub "TestTree" "TestTree");
+        check_b "not boolean" false (sub "Boolean" "TestTree"));
+    t_run "define-type in a typed program"
+      "#lang typed/racket\n(define-type IntPair (Pairof Integer Integer))\n(define (swap [p : IntPair]) : IntPair (cons (cdr p) (car p)))\n(display (swap (cons 1 2)))"
+      "(2 . 1)";
+  ]
+
+let suite = parsing @ subtyping @ joins @ serialization @ named
