@@ -1,57 +1,70 @@
 (** The [liblang] command-line tool.
 
     {v
-    liblang run FILE ...       run #lang programs (later files may require
-                               modules declared by earlier ones)
-    liblang expand FILE        print a module's fully-expanded core forms
-    liblang eval [-l LANG] E   evaluate one expression
-    liblang repl [-l LANG]     interactive read-eval-print loop
-    liblang langs              list the registered languages
-    v} *)
+    liblang run [--fuel N] FILE ...   run #lang programs (later files may
+                                      require modules declared by earlier
+                                      ones); --fuel bounds evaluation steps
+    liblang expand FILE               print a module's fully-expanded core forms
+    liblang eval [-l LANG] EXPR       evaluate one expression
+    liblang repl [-l LANG]            interactive read-eval-print loop
+    liblang langs                     list the registered languages
+    v}
 
-open Liblang_core.Core
+    All failures are rendered as diagnostics (with source excerpts and
+    caret underlines when the terminal is a TTY, in color).  Exit codes:
+    0 = success, 1 = the program had diagnostics, 2 = internal error in
+    the platform itself, 64 = usage error. *)
 
-let read_file path =
-  let ic = open_in_bin path in
-  let s = really_input_string ic (in_channel_length ic) in
-  close_in ic;
-  s
+module Pipeline = Liblang_core.Pipeline
+module Diagnostic = Pipeline.Diagnostic
+module Render = Pipeline.Render
+module Value = Liblang_core.Core.Value
 
-let module_name_of path = Filename.remove_extension (Filename.basename path)
+let color_stderr = lazy (Unix.isatty Unix.stderr)
 
-let report_error = function
-  | Value.Scheme_error m -> Printf.eprintf "error: %s\n" m
-  | Expander.Expand_error (m, stx) ->
-      Printf.eprintf "syntax error: %s\n  in: %s\n  at: %s\n" m (Stx.to_string stx)
-        (Srcloc.to_string stx.Stx.loc)
-  | Compile.Compile_error (m, stx) ->
-      Printf.eprintf "compile error: %s\n  in: %s\n" m (Stx.to_string stx)
-  | Modsys.Module_error m -> Printf.eprintf "module error: %s\n" m
-  | Liblang_stx.Binding.Ambiguous id ->
-      Printf.eprintf "ambiguous identifier: %s\n" (Stx.to_string id)
-  | e -> Printf.eprintf "error: %s\n" (Printexc.to_string e)
+let exit_code ds = if List.exists Diagnostic.is_internal ds then 2 else 1
 
-let catching f = try f () with e -> report_error e; exit 1
+(** Print a diagnostic batch to stderr; return the exit code it implies. *)
+let report ds =
+  prerr_endline (Render.render_all ~color:(Lazy.force color_stderr) ds);
+  exit_code ds
 
-let cmd_run paths =
+let fail ds = exit (report ds)
+
+let cmd_run fuel paths =
   List.iter
     (fun path ->
-      catching (fun () ->
-          let m = Modsys.declare ~name:(module_name_of path) (read_file path) in
-          Modsys.instantiate m))
+      match Pipeline.run_file ?fuel path with Ok _ -> () | Error ds -> fail ds)
     paths
 
 let cmd_expand path =
-  catching (fun () ->
-      let forms = Modsys.expand_source ~name:(module_name_of path) (read_file path) in
-      List.iter (fun f -> print_endline (Stx.to_string f)) forms)
+  let source =
+    try
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Some s
+    with Sys_error m ->
+      Printf.eprintf "liblang: cannot read file: %s\n" m;
+      None
+  in
+  match source with
+  | None -> exit 1
+  | Some source -> (
+      let name = Filename.remove_extension (Filename.basename path) in
+      match Pipeline.expand ~name source with
+      | Ok forms -> List.iter print_endline forms
+      | Error ds -> fail ds)
 
 let cmd_eval lang expr =
-  catching (fun () -> print_endline (Value.write_string (eval_expr ~lang expr)))
+  match Pipeline.eval ~lang expr with
+  | Ok v -> print_endline (Value.write_string v)
+  | Error ds -> fail ds
 
 let cmd_langs () =
   (* every builtin language *)
-  List.iter print_endline [ "racket"; "typed/racket (aliases: typed, simple-type)"; "count"; "lazy"; "limited" ]
+  List.iter print_endline
+    [ "racket"; "typed/racket (aliases: typed, simple-type)"; "count"; "lazy"; "limited" ]
 
 let cmd_repl lang =
   Printf.printf "liblang repl (#lang %s); ctrl-d to exit\n" lang;
@@ -80,23 +93,28 @@ let cmd_repl lang =
       let text = Buffer.contents buf in
       if String.trim text <> "" && balanced text then begin
         Buffer.clear buf;
-        try
-          let v = eval_expr ~lang text in
-          if v <> Value.Void then print_endline (Value.write_string v)
-        with e -> report_error e
+        match Pipeline.eval ~lang text with
+        | Ok v -> if v <> Value.Void then print_endline (Value.write_string v)
+        | Error ds -> ignore (report ds)
       end
     done
   with End_of_file -> print_newline ()
 
 let usage () =
-  prerr_endline "usage: liblang run FILE... | expand FILE | eval [-l LANG] EXPR | repl [-l LANG] | langs";
-  exit 2
+  prerr_endline
+    "usage: liblang run [--fuel N] FILE... | expand FILE | eval [-l LANG] EXPR | repl [-l \
+     LANG] | langs";
+  exit 64
 
 let () =
-  init ();
+  Liblang_core.Core.init ();
   let args = Array.to_list Sys.argv in
   match args with
-  | _ :: "run" :: (_ :: _ as paths) -> cmd_run paths
+  | _ :: "run" :: "--fuel" :: n :: (_ :: _ as paths) -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 -> cmd_run (Some n) paths
+      | _ -> usage ())
+  | _ :: "run" :: (_ :: _ as paths) -> cmd_run None paths
   | [ _; "expand"; path ] -> cmd_expand path
   | [ _; "eval"; "-l"; lang; expr ] -> cmd_eval lang expr
   | [ _; "eval"; expr ] -> cmd_eval "racket" expr

@@ -13,6 +13,10 @@
 module Reader = Liblang_reader.Reader
 module Datum = Liblang_reader.Datum
 module Srcloc = Liblang_reader.Srcloc
+module Diagnostic = Liblang_diagnostics.Diagnostic
+module Reporter = Liblang_diagnostics.Reporter
+module Sources = Liblang_diagnostics.Sources
+module Render = Liblang_diagnostics.Render
 module Stx = Liblang_stx.Stx
 module Scope = Liblang_stx.Scope
 module Binding = Liblang_stx.Binding
@@ -76,6 +80,7 @@ let declare_string ?name (source : string) : Modsys.t =
 
 (* A scratch lexical context with a language's exports in scope. *)
 let in_lang_context ~(lang : string) (f : Scope.Set.t -> 'a) : 'a =
+  Expander.reset_limits ();
   Liblang_expander.Ct_store.with_fresh_store (fun () ->
       let sc = Scope.fresh () in
       let scopes = Scope.Set.singleton sc in

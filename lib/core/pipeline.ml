@@ -1,0 +1,163 @@
+(** The fault-contained pipeline: compile and run a [#lang] program,
+    delivering every failure — reader, expander, typechecker, module
+    system, runtime — as a list of {!Diagnostic.t} values instead of a
+    zoo of exceptions (and never letting an exception escape).
+
+    - Multiple independent errors are reported in one invocation: the
+      reader resynchronizes after a parse error and the typechecker
+      continues past a type error, so a file with three bad datums or
+      three type errors yields three located diagnostics.
+    - Divergent computations are cut off by fuel: macro transformers by
+      the expander's step budget, compile-time and runtime evaluation by
+      the interpreter's step counter ([?fuel]).
+    - Anything unrecognized is wrapped as an [Internal] diagnostic (the
+      CLI maps those to exit code 2). *)
+
+module Diagnostic = Liblang_diagnostics.Diagnostic
+module Reporter = Liblang_diagnostics.Reporter
+module Sources = Liblang_diagnostics.Sources
+module Render = Liblang_diagnostics.Render
+module Reader = Core.Reader
+module Srcloc = Core.Srcloc
+module Stx = Core.Stx
+module Binding = Liblang_stx.Binding
+module Value = Core.Value
+module Interp = Core.Interp
+module Expander = Core.Expander
+module Compile = Core.Compile
+module Syntax_rules = Core.Syntax_rules
+module Contracts = Core.Contracts
+module Modsys = Core.Modsys
+module Types = Core.Types
+module Check = Core.Check
+
+(** Step budget for compile-time evaluation when the caller does not give
+    one: generous enough for any sane macro, small enough that a divergent
+    phase-1 loop is cut off in well under a second. *)
+let default_compile_fuel = 10_000_000
+
+let in_note (s : Stx.t) = [ Diagnostic.note ("in: " ^ Diagnostic.truncated (Stx.to_string s)) ]
+
+(** Translate a known pipeline exception to a located diagnostic;
+    [None] for foreign exceptions (the caller wraps those as [Internal]). *)
+let diagnostic_of_exn : exn -> Diagnostic.t option = function
+  | Reader.Error (m, loc) -> Some (Diagnostic.error ~phase:Reader ~loc m)
+  | Expander.Expand_error (m, stx) ->
+      Some (Diagnostic.error ~phase:Expander ~loc:stx.Stx.loc m ~notes:(in_note stx))
+  | Syntax_rules.Bad_syntax (m, stx) ->
+      Some (Diagnostic.error ~phase:Expander ~loc:stx.Stx.loc m ~notes:(in_note stx))
+  | Binding.Ambiguous id ->
+      Some
+        (Diagnostic.error ~phase:Expander ~loc:id.Stx.loc
+           ("ambiguous identifier: " ^ Stx.to_string id))
+  | Compile.Compile_error (m, stx) ->
+      Some (Diagnostic.error ~phase:Compile ~loc:stx.Stx.loc m ~notes:(in_note stx))
+  | Modsys.Module_error (m, loc) -> Some (Diagnostic.error ~phase:Module ~loc m)
+  | Check.Type_error (m, s) -> Some (Check.diagnostic_of m s)
+  | Types.Parse_error (m, loc) ->
+      Some (Diagnostic.error ~phase:Typecheck ~loc ("type syntax: " ^ m))
+  | Value.Scheme_error m -> Some (Diagnostic.error ~phase:Runtime m)
+  | Contracts.Contract_violation { blame; contract; value } ->
+      Some
+        (Diagnostic.error ~phase:Runtime
+           (Printf.sprintf "contract violation: %s, blaming %s" contract blame)
+           ~notes:[ Diagnostic.note ("value: " ^ Value.write_string value) ])
+  | Interp.Out_of_fuel ->
+      Some
+        (Diagnostic.error ~phase:Runtime
+           "evaluation exhausted its fuel budget (the program probably diverges)")
+  | Stack_overflow ->
+      Some (Diagnostic.error ~phase:Runtime "stack overflow (runaway non-tail recursion)")
+  | _ -> None
+
+(** Run [f] under a fresh reporter with fuel limits armed; every failure
+    mode — accumulated diagnostics, a [Diagnostic.Failed] batch, a known
+    pipeline exception, or a foreign exception — comes back as [Error]. *)
+let contain ?fuel (f : unit -> 'a) : ('a, Diagnostic.t list) result =
+  let reporter = Reporter.create () in
+  let saved_fuel = !Interp.fuel in
+  let finish r =
+    Interp.fuel := saved_fuel;
+    r
+  in
+  Interp.fuel := (match fuel with Some n -> n | None -> default_compile_fuel);
+  Expander.reset_limits ();
+  let pending () = Reporter.diagnostics reporter in
+  match Reporter.with_reporter reporter f with
+  | v ->
+      finish (if Reporter.has_errors reporter then Error (pending ()) else Ok v)
+  | exception Diagnostic.Failed more -> finish (Error (pending () @ more))
+  | exception e ->
+      let d =
+        match diagnostic_of_exn e with
+        | Some d -> d
+        | None ->
+            Diagnostic.error ~phase:Internal
+              ("uncaught exception: " ^ Printexc.to_string e)
+      in
+      finish (Error (pending () @ [ d ]))
+
+let read_module_body ~name source =
+  match Reader.split_lang_line source with
+  | None ->
+      raise
+        (Modsys.Module_error
+           ( Printf.sprintf "module %s: source must start with #lang <language>" name,
+             Srcloc.none ))
+  | Some (lang, rest) -> (
+      match Reader.read_all_recovering ~file:name rest with
+      | datums, [] -> (lang, datums)
+      | _, errs ->
+          raise
+            (Diagnostic.Failed
+               (List.map (fun (m, loc) -> Diagnostic.error ~phase:Reader ~loc m) errs)))
+
+(** Compile and instantiate a [#lang] program.  [?fuel] bounds the number
+    of evaluation steps (compile-time and runtime); without it, runtime
+    evaluation is unbounded and only compile-time evaluation is capped.
+    The source is registered with {!Sources} so rendered diagnostics can
+    show source-line excerpts. *)
+let run ?fuel ?name (source : string) : (Value.value, Diagnostic.t list) result =
+  Core.init ();
+  let name = match name with Some n -> n | None -> Core.fresh_module_name "program" in
+  Sources.register ~file:name source;
+  contain ?fuel (fun () ->
+      let lang, datums = read_module_body ~name source in
+      let m = Modsys.compile_module ~name ~lang datums in
+      (* compilation done: switch the step counter to the runtime allotment *)
+      Interp.fuel := (match fuel with Some n -> n | None -> Interp.unlimited);
+      Modsys.instantiate m;
+      Value.Void)
+
+let slurp path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run_file ?fuel (path : string) : (Value.value, Diagnostic.t list) result =
+  match slurp path with
+  | source -> run ?fuel ~name:(Filename.remove_extension (Filename.basename path)) source
+  | exception Sys_error m ->
+      Error [ Diagnostic.error ~phase:Module ("cannot read file: " ^ m) ]
+
+(** Expand a module to core forms (each rendered as text). *)
+let expand ?fuel ?name (source : string) : (string list, Diagnostic.t list) result =
+  Core.init ();
+  let name = match name with Some n -> n | None -> Core.fresh_module_name "program" in
+  Sources.register ~file:name source;
+  contain ?fuel (fun () ->
+      match Reader.split_lang_line source with
+      | None -> ignore (read_module_body ~name source); assert false
+      | Some _ -> List.map Stx.to_string (Modsys.expand_source ~name source))
+
+(** Evaluate one expression in [lang]'s environment; [?fuel] bounds its
+    evaluation steps (default: unbounded, as befits a REPL). *)
+let eval ?fuel ?(lang = "racket") (src : string) : (Value.value, Diagnostic.t list) result =
+  Core.init ();
+  contain ?fuel (fun () ->
+      Interp.fuel := (match fuel with Some n -> n | None -> Interp.unlimited);
+      Core.eval_expr ~lang src)
+
+(** Render a diagnostic batch for the terminal. *)
+let render_errors ?color (ds : Diagnostic.t list) : string = Render.render_all ?color ds

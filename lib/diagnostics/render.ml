@@ -1,0 +1,98 @@
+(** Human-facing rendering of diagnostics: a header line, an optional
+    source-line excerpt with a caret underline (when the source text is
+    registered in {!Sources}), and the notes — in plain text or with ANSI
+    colors for TTYs.
+
+    {v
+    prog.scm:3:20: typecheck error: wrong type: expected Integer, got Float
+      3 | (define x : Integer 3.7)
+        |                     ^^^
+      note: in: (quote 3.7)
+    v} *)
+
+module Srcloc = Liblang_reader.Srcloc
+
+type style = Plain | Color
+
+let bold = "\027[1m"
+let red = "\027[31m"
+let yellow = "\027[33m"
+let cyan = "\027[36m"
+let dim = "\027[2m"
+let reset = "\027[0m"
+
+let paint style code s = match style with Plain -> s | Color -> code ^ s ^ reset
+
+let severity_color = function
+  | Diagnostic.Error -> red
+  | Diagnostic.Warning -> yellow
+  | Diagnostic.Note -> cyan
+
+(* The excerpt block for a location, if its source is registered. *)
+let excerpt style (loc : Srcloc.t) : string option =
+  if Srcloc.is_none loc then None
+  else
+    match Sources.line loc.Srcloc.file loc.Srcloc.line with
+    | None -> None
+    | Some text ->
+        let lineno = string_of_int loc.Srcloc.line in
+        let gutter = String.make (String.length lineno) ' ' in
+        let col = min loc.Srcloc.col (String.length text) in
+        (* the caret underline covers the span, clipped to the line *)
+        let width = max 1 (min loc.Srcloc.span (String.length text - col)) in
+        let carets = String.make width '^' in
+        Some
+          (Printf.sprintf "  %s | %s\n  %s | %s%s"
+             (paint style dim lineno)
+             text gutter (String.make col ' ')
+             (paint style (severity_color Diagnostic.Error) carets))
+
+let render ?(color = false) (d : Diagnostic.t) : string =
+  let style = if color then Color else Plain in
+  let buf = Buffer.create 160 in
+  if not (Srcloc.is_none d.Diagnostic.loc) then begin
+    Buffer.add_string buf (paint style bold (Srcloc.to_string d.Diagnostic.loc));
+    Buffer.add_string buf ": "
+  end;
+  Buffer.add_string buf
+    (paint style
+       (severity_color d.Diagnostic.severity)
+       (Diagnostic.phase_name d.Diagnostic.phase
+       ^ " "
+       ^ Diagnostic.severity_name d.Diagnostic.severity));
+  Buffer.add_string buf ": ";
+  Buffer.add_string buf (paint style bold d.Diagnostic.message);
+  (match excerpt style d.Diagnostic.loc with
+  | Some block ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf block
+  | None -> ());
+  List.iter
+    (fun (n : Diagnostic.note) ->
+      Buffer.add_string buf "\n  ";
+      Buffer.add_string buf (paint style cyan "note");
+      Buffer.add_string buf ": ";
+      Buffer.add_string buf n.Diagnostic.note_msg;
+      if not (Srcloc.is_none n.Diagnostic.note_loc) then begin
+        Buffer.add_string buf " (";
+        Buffer.add_string buf (Srcloc.to_string n.Diagnostic.note_loc);
+        Buffer.add_char buf ')'
+      end)
+    d.Diagnostic.notes;
+  Buffer.contents buf
+
+(** Render a whole report, one blank-line-separated block per diagnostic,
+    followed by an error-count summary line. *)
+let render_all ?(color = false) (ds : Diagnostic.t list) : string =
+  let style = if color then Color else Plain in
+  let blocks = List.map (render ~color) ds in
+  let n_err = List.length (List.filter Diagnostic.is_error ds) in
+  let summary =
+    if n_err = 0 then []
+    else
+      [
+        paint style (severity_color Diagnostic.Error)
+          (Printf.sprintf "%d error%s generated" n_err (if n_err = 1 then "" else "s"));
+      ]
+  in
+  String.concat "\n" (blocks @ summary)

@@ -1,0 +1,76 @@
+(** The accumulating diagnostic sink.
+
+    A reporter collects diagnostics in emission order (which is the source
+    traversal order, hence deterministic) and enforces an error cap so a
+    pathological input cannot flood the user: beyond [max_errors] errors,
+    further errors are counted but dropped, and {!diagnostics} appends a
+    summary note.
+
+    The {e ambient} reporter ({!current}, installed with {!with_reporter})
+    is how resilient phases choose between recover-and-continue and
+    fail-fast: a phase that can synthesize a recovery value calls {!emit};
+    if a reporter is installed the diagnostic is accumulated and the phase
+    continues, otherwise the phase falls back to raising its legacy
+    exception (preserving the behavior of direct library use). *)
+
+type t = {
+  mutable diags : Diagnostic.t list;  (** reversed emission order *)
+  mutable error_count : int;
+  mutable dropped : int;
+  max_errors : int;
+}
+
+let create ?(max_errors = 50) () = { diags = []; error_count = 0; dropped = 0; max_errors }
+
+let report r (d : Diagnostic.t) =
+  if Diagnostic.is_error d then
+    if r.error_count >= r.max_errors then r.dropped <- r.dropped + 1
+    else begin
+      r.error_count <- r.error_count + 1;
+      r.diags <- d :: r.diags
+    end
+  else r.diags <- d :: r.diags
+
+let error_count r = r.error_count + r.dropped
+let has_errors r = error_count r > 0
+
+(** True once the error cap has been reached — lets a long-running phase
+    stop early instead of computing diagnostics that would be dropped. *)
+let at_limit r = r.error_count >= r.max_errors
+
+(** All diagnostics in emission order, with a trailing summary note when
+    the error cap truncated the report. *)
+let diagnostics r =
+  let ds = List.rev r.diags in
+  if r.dropped = 0 then ds
+  else
+    ds
+    @ [
+        Diagnostic.make ~severity:Diagnostic.Note ~phase:Diagnostic.Internal
+          (Printf.sprintf "%d more error%s not shown (error limit %d reached)" r.dropped
+             (if r.dropped = 1 then "" else "s")
+             r.max_errors);
+      ]
+
+(* -- the ambient reporter ------------------------------------------------- *)
+
+let current : t option ref = ref None
+
+let installed () = Option.is_some !current
+
+(** Install [r] as the ambient reporter for the extent of [f] (properly
+    nested: the previous reporter is restored on exit). *)
+let with_reporter r f =
+  let saved = !current in
+  current := Some r;
+  Fun.protect ~finally:(fun () -> current := saved) f
+
+(** Report to the ambient reporter if one is installed; returns whether a
+    reporter accepted the diagnostic (callers raise their legacy exception
+    when it returns [false]). *)
+let emit d =
+  match !current with
+  | Some r ->
+      report r d;
+      true
+  | None -> false

@@ -1,0 +1,37 @@
+(** A registry mapping file/module names to their source text, so the
+    renderer can show source-line excerpts with caret underlines.  The
+    pipeline registers every source it reads; direct library users may
+    register theirs. *)
+
+let table : (string, string) Hashtbl.t = Hashtbl.create 16
+
+let register ~file text = Hashtbl.replace table file text
+let find file = Hashtbl.find_opt table file
+let clear () = Hashtbl.reset table
+
+(** The [n]-th (1-based) line of the registered source for [file], without
+    its trailing newline. *)
+let line file n : string option =
+  match find file with
+  | None -> None
+  | Some text ->
+      if n < 1 then None
+      else begin
+        let len = String.length text in
+        let rec seek pos remaining =
+          if remaining = 0 then Some pos
+          else
+            match String.index_from_opt text pos '\n' with
+            | Some nl -> seek (nl + 1) (remaining - 1)
+            | None -> None
+        in
+        match seek 0 (n - 1) with
+        | None -> None
+        | Some start ->
+            if start >= len then None
+            else
+              let stop =
+                match String.index_from_opt text start '\n' with Some nl -> nl | None -> len
+              in
+              Some (String.sub text start (stop - start))
+      end

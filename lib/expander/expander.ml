@@ -79,17 +79,64 @@ let expect_list msg s = match Stx.to_list s with Some xs -> xs | None -> err msg
 
 let expect_id msg s = if Stx.is_id s then s else err msg s
 
+(* -- fault containment --------------------------------------------------------
+
+   Macro transformers are ordinary programs run at compile time (paper
+   §2.1), so a library-defined language can diverge or blow the stack
+   during expansion.  Two guards keep the expander total:
+
+   - {e macro-step fuel}: every transformer application consumes one unit;
+     a divergent macro exhausts the budget and is reported as a located
+     diagnostic naming the macro and its use site.
+   - {e recursion depth}: structural expansion of pathologically nested
+     input is cut off before it can overflow the host stack.
+
+   Both are restored at each module-compilation boundary (see Modsys) via
+   {!reset_limits}; the pipeline can also tighten them per run. *)
+
+let default_fuel = 100_000
+let fuel_budget = ref default_fuel
+let fuel = ref default_fuel
+
+let default_max_depth = 5_000
+let max_depth = ref default_max_depth
+let depth = ref 0
+
+(** Restore the fuel budget and depth counter (optionally adjusting the
+    configured limits).  Called at every module-compilation boundary so one
+    compilation's consumption never bleeds into the next. *)
+let reset_limits ?fuel:budget ?max_depth:md () =
+  (match budget with Some n -> fuel_budget := n | None -> ());
+  (match md with Some n -> max_depth := n | None -> ());
+  fuel := !fuel_budget;
+  depth := 0
+
 (* -- transformer application ------------------------------------------------- *)
 
-(* Count macro steps to catch runaway expansions. *)
-let fuel = ref 100_000
+(* The user-facing name of the macro being applied at use-site [s]. *)
+let macro_name_of (t : Denote.transformer) (s : Stx.t) : string =
+  match t with
+  | Denote.Native (n, _) | Denote.Rules { Syntax_rules.name = n; _ } -> n
+  | Denote.ObjProc _ -> (
+      match s.Stx.e with
+      | Stx.Id n -> n
+      | Stx.List (hd :: _) when Stx.is_id hd -> Stx.sym_exn hd
+      | _ -> "#<phase-1 procedure>")
+
+let contain_err name (s : Stx.t) what =
+  err
+    (Printf.sprintf "while expanding macro %s (invoked at %s): %s" name
+       (Liblang_reader.Srcloc.to_string s.Stx.loc)
+       what)
+    s
 
 let apply_transformer (t : Denote.transformer) (s : Stx.t) : Stx.t =
   decr fuel;
-  if !fuel <= 0 then begin
-    fuel := 100_000;
-    err "macro expansion does not terminate" s
-  end;
+  if !fuel <= 0 then
+    contain_err (macro_name_of t s) s
+      (Printf.sprintf
+         "macro expansion exhausted its fuel budget of %d steps (expansion probably diverges)"
+         !fuel_budget);
   let intro = Scope.fresh () in
   let input = Stx.flip_scope intro s in
   let output =
@@ -104,7 +151,15 @@ let apply_transformer (t : Denote.transformer) (s : Stx.t) : Stx.t =
         | v ->
             err
               (Printf.sprintf "transformer returned %s instead of syntax" (Value.write_string v))
-              s)
+              s
+        | exception Interp.Out_of_fuel ->
+            contain_err (macro_name_of t s) s
+              "compile-time evaluation exhausted its fuel budget (the transformer probably \
+               diverges)"
+        | exception Stack_overflow ->
+            contain_err (macro_name_of t s) s
+              "compile-time evaluation overflowed the stack (runaway recursion in the \
+               transformer)")
   in
   Stx.flip_scope intro output
 
@@ -115,11 +170,28 @@ type stops = Binding.t list
 let in_stops (stops : stops) (b : Binding.t) = List.exists (Binding.equal b) stops
 
 let rec expand_expr ?(stops : stops = []) (s : Stx.t) : Stx.t =
+  let d = !depth in
+  if d >= !max_depth then
+    err
+      (Printf.sprintf
+         "expansion recursion too deep (limit %d): nesting exceeds the expander's depth guard"
+         !max_depth)
+      s;
+  depth := d + 1;
+  match expand_expr_at ~stops s with
+  | v ->
+      depth := d;
+      v
+  | exception e ->
+      depth := d;
+      raise e
+
+and expand_expr_at ~(stops : stops) (s : Stx.t) : Stx.t =
   match s.Stx.e with
   | Stx.Id _ -> (
       match resolve_id s with
       | Some (b, _) when in_stops stops b -> s
-      | Some (_, Denote.DMacro t) -> expand_expr ~stops (apply_transformer t s)
+      | Some (_, Denote.DMacro t) -> expand_expr_at ~stops (apply_transformer t s)
       | Some (_, Denote.DCore name) -> err (Printf.sprintf "%s: bad use of core form" name) s
       | Some (_, Denote.DVar) -> s
       | None -> err (Printf.sprintf "%s: unbound identifier" (Stx.sym_exn s)) s)
@@ -128,7 +200,7 @@ let rec expand_expr ?(stops : stops = []) (s : Stx.t) : Stx.t =
   | Stx.List (hd :: args) when Stx.is_id hd -> (
       match resolve_id hd with
       | Some (b, _) when in_stops stops b -> s
-      | Some (_, Denote.DMacro t) -> expand_expr ~stops (apply_transformer t s)
+      | Some (_, Denote.DMacro t) -> expand_expr_at ~stops (apply_transformer t s)
       | Some (_, Denote.DCore name) -> expand_core ~stops name s hd args
       | Some (_, Denote.DVar) | None -> expand_app ~stops s)
   | Stx.List _ -> expand_app ~stops s
@@ -249,7 +321,12 @@ and expand_core ~stops name (s : Stx.t) (hd : Stx.t) (args : Stx.t list) : Stx.t
 and eval_expr (s : Stx.t) : Value.value =
   let expanded = expand_expr s in
   let ast = Compile.compile_expr expanded in
-  Interp.eval_top ast
+  match Interp.eval_top ast with
+  | v -> v
+  | exception Interp.Out_of_fuel ->
+      err "compile-time evaluation exhausted its fuel budget (probably divergent)" s
+  | exception Stack_overflow ->
+      err "compile-time evaluation overflowed the stack (runaway recursion)" s
 
 and eval_transformer_rhs ~name (rhs : Stx.t) : Denote.transformer =
   let is_syntax_rules =
@@ -338,7 +415,16 @@ let expand_module_body (forms : Stx.t list) : Stx.t list =
         | Some (_, Denote.DCore "begin-for-syntax") ->
             let expanded = List.map expand_expr rest in
             List.iter
-              (fun e -> ignore (Interp.eval_top (Compile.compile_expr e)))
+              (fun e ->
+                match Interp.eval_top (Compile.compile_expr e) with
+                | _ -> ()
+                | exception Interp.Out_of_fuel ->
+                    err
+                      "begin-for-syntax: compile-time evaluation exhausted its fuel budget \
+                       (probably divergent)"
+                      e
+                | exception Stack_overflow ->
+                    err "begin-for-syntax: compile-time evaluation overflowed the stack" e)
               expanded;
             acc := MBeginForSyntax (form, expanded) :: !acc
         | Some (_, Denote.DCore "#%provide") -> acc := MProvide form :: !acc

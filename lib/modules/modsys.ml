@@ -23,10 +23,35 @@ module Compile = Liblang_expander.Compile
 module Denote = Liblang_expander.Denote
 module Namespace = Liblang_expander.Namespace
 module Ct_store = Liblang_expander.Ct_store
+module Srcloc = Liblang_reader.Srcloc
 
-exception Module_error of string
+exception Module_error of string * Srcloc.t
 
-let err fmt = Printf.ksprintf (fun s -> raise (Module_error s)) fmt
+let err_at loc fmt = Printf.ksprintf (fun s -> raise (Module_error (s, loc))) fmt
+let err fmt = err_at Srcloc.none fmt
+let err_stx (stx : Stx.t) fmt = err_at stx.Stx.loc fmt
+
+(* Names of modules whose compilation is currently in progress (innermost
+   first).  A [require] of a module on this stack is a require cycle; the
+   error carries the full cycle path. *)
+let compiling_stack : string list ref = ref []
+
+let with_compiling name f =
+  compiling_stack := name :: !compiling_stack;
+  Fun.protect ~finally:(fun () -> compiling_stack := List.tl !compiling_stack) f
+
+let check_cycle ?(loc = Srcloc.none) name =
+  if List.mem name !compiling_stack then begin
+    let rec upto acc = function
+      | [] -> List.rev acc
+      | x :: _ when String.equal x name -> List.rev (x :: acc)
+      | x :: rest -> upto (x :: acc) rest
+    in
+    (* the stack is innermost-first; display the cycle outermost-first,
+       closing back on [name] *)
+    let path = List.rev (upto [] !compiling_stack) @ [ name ] in
+    err_at loc "cyclic require: %s" (String.concat " -> " path)
+  end
 
 type export = { ext_name : string; binding : Binding.t }
 
@@ -47,10 +72,12 @@ type t = {
 
 let registry : (string, t) Hashtbl.t = Hashtbl.create 64
 
-let find name =
+let find ?(loc = Srcloc.none) name =
   match Hashtbl.find_opt registry name with
   | Some m -> m
-  | None -> err "require: unknown module %s" name
+  | None ->
+      check_cycle ~loc name;
+      err_at loc "require: unknown module %s" name
 
 let is_declared name = Hashtbl.mem registry name
 
@@ -87,12 +114,22 @@ let run_form = function
               List.iter2 (fun g v -> g.Ast.g_val <- v) gs vs
           | _ -> err "define-values: expected %d values" (List.length gs)))
 
-let rec instantiate (m : t) =
+(* Instantiation is bounded: the [instantiated] flag already breaks
+   require diamonds, so any chain deeper than the cap indicates a cyclic
+   or pathological module graph rather than a legitimate program. *)
+let max_instantiation_depth = ref 1_000
+
+let rec instantiate_at depth (m : t) =
+  if depth > !max_instantiation_depth then
+    err "instantiate: module require chain deeper than %d at module %s (cyclic module graph?)"
+      !max_instantiation_depth m.mod_name;
   if not m.instantiated then begin
     m.instantiated <- true;
-    List.iter (fun r -> instantiate (find r)) m.requires;
+    List.iter (fun r -> instantiate_at (depth + 1) (find r)) m.requires;
     List.iter run_form m.body
   end
+
+let instantiate (m : t) = instantiate_at 0 m
 
 (* -- imports --------------------------------------------------------------------- *)
 
@@ -124,11 +161,13 @@ let current_requires : string list ref ref = ref (ref [])
 let current_module_name : string ref = ref "top-level"
 
 
-let module_name_of_spec (id : Stx.t) : string = Stx.sym_exn id
+let module_name_of_spec (id : Stx.t) : string =
+  if Stx.is_id id then Stx.sym_exn id
+  else err_stx id "require: expected a module name, got %s" (Stx.to_string id)
 
 let handle_require (spec : Stx.t) =
   let record_and_visit name =
-    let m = find name in
+    let m = find ~loc:spec.Stx.loc name in
     visit m;
     let reqs = !current_requires in
     if not (List.mem name !reqs) then reqs := name :: !reqs;
@@ -148,9 +187,9 @@ let handle_require (spec : Stx.t) =
           | _ -> (
               match c.Stx.e with
               | Stx.Id n -> bind_export_as m ~ext_name:n ~as_id:c
-              | _ -> err "only-in: bad clause %s" (Stx.to_string c)))
+              | _ -> err_stx c "only-in: bad clause %s" (Stx.to_string c)))
         clauses
-  | _ -> err "require: bad require spec %s" (Stx.to_string spec)
+  | _ -> err_stx spec "require: bad require spec %s" (Stx.to_string spec)
 
 let () = Expander.require_handler := handle_require
 
@@ -159,7 +198,7 @@ let () = Expander.require_handler := handle_require
 let resolve_exn id =
   match Binding.resolve id with
   | Some b -> b
-  | None -> err "%s: unbound identifier in module compilation" (Stx.sym_exn id)
+  | None -> err_stx id "%s: unbound identifier in module compilation" (Stx.sym_exn id)
 
 let parse_provide_spec (spec : Stx.t) : export list =
   match spec.Stx.e with
@@ -170,9 +209,9 @@ let parse_provide_spec (spec : Stx.t) : export list =
           match Stx.to_list c with
           | Some [ internal; ext ] ->
               { ext_name = Stx.sym_exn ext; binding = resolve_exn internal }
-          | _ -> err "rename-out: bad clause %s" (Stx.to_string c))
+          | _ -> err_stx c "rename-out: bad clause %s" (Stx.to_string c))
         clauses
-  | _ -> err "provide: bad provide spec %s" (Stx.to_string spec)
+  | _ -> err_stx spec "provide: bad provide spec %s" (Stx.to_string spec)
 
 let core_kind (hd : Stx.t) : string option =
   match Binding.resolve hd with
@@ -187,15 +226,17 @@ let expand_module_top (wrapped : Stx.t) : Stx.t list =
   | Stx.List (hd :: forms) when Stx.is_id hd -> (
       match core_kind hd with
       | Some "#%plain-module-begin" -> Expander.expand_module_body forms
-      | _ -> err "module body did not expand to #%%plain-module-begin")
-  | _ -> err "module body did not expand to #%%plain-module-begin"
+      | _ -> err_stx w "module body did not expand to #%%plain-module-begin")
+  | _ -> err_stx wrapped "module body did not expand to #%%plain-module-begin"
 
 (* Set up a module's lexical context (fresh store, language imports) and
    expand its body to core forms; shared by compilation and the
    expansion-inspection entry point. *)
 let expand_in_language ~name ~lang (body : Datum.annot list) (k : Stx.t list -> 'a) : 'a =
+  check_cycle lang;
   if not (is_declared lang) then err "#lang %s: unknown language" lang;
-  ignore name;
+  Expander.reset_limits ();
+  with_compiling name @@ fun () ->
   Ct_store.with_fresh_store (fun () ->
       let sc = Scope.fresh () in
       let ctx = Stx.id ~scopes:(Scope.Set.singleton sc) "module-ctx" in
@@ -220,7 +261,10 @@ let expand_source ~name (source : string) : Stx.t list =
 
 (** Compile a module from its body forms (datums) in language [lang]. *)
 let compile_module ~name ~lang (body : Datum.annot list) : t =
+  check_cycle lang;
   if not (is_declared lang) then err "#lang %s: unknown language" lang;
+  Expander.reset_limits ();
+  with_compiling name @@ fun () ->
   Ct_store.with_fresh_store (fun () ->
       let requires = ref [ lang ] in
       current_requires := requires;

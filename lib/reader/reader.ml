@@ -386,6 +386,50 @@ let read_all ?file src =
   let rec go acc = match read_datum st with None -> List.rev acc | Some d -> go (d :: acc) in
   go []
 
+(** Read all datums from [src] with {e datum-level resynchronization}: on a
+    parse error, record it (message × location), skip forward to the next
+    plausible top-level datum start, and keep reading — so one pass over a
+    file surfaces {e all} of its parse errors, not just the first.  Returns
+    the datums that did parse and the errors in source order.  Progress is
+    guaranteed (each recovery consumes at least one character) and the
+    error list is capped at [max_errors]. *)
+let read_all_recovering ?file ?(max_errors = 25) src =
+  let st = make_state ?file src in
+  let datums = ref [] and errors = ref [] and n_errors = ref 0 in
+  (* Resynchronize: consume at least one character, then skip to the next
+     whitespace or open-paren boundary, where a fresh datum plausibly
+     starts.  An erroneous close paren at that point errors again, but each
+     round still advances, so the loop terminates. *)
+  let resync () =
+    if not (eof st) then advance st;
+    let rec go () =
+      if eof st then ()
+      else
+        match peek st with
+        | ' ' | '\t' | '\n' | '\r' | '(' | '[' -> ()
+        | _ ->
+            advance st;
+            go ()
+    in
+    go ()
+  in
+  let rec go () =
+    if !n_errors >= max_errors then ()
+    else
+      match read_datum st with
+      | Some d ->
+          datums := d :: !datums;
+          go ()
+      | None -> ()
+      | exception Error (msg, loc) ->
+          errors := (msg, loc) :: !errors;
+          incr n_errors;
+          resync ();
+          go ()
+  in
+  go ();
+  (List.rev !datums, List.rev !errors)
+
 (** If [src] starts with a [#lang <name>] line, return [Some (name, rest)]
     where [rest] is the remaining source (with line numbering preserved by
     keeping a newline placeholder); otherwise [None]. *)

@@ -15,6 +15,27 @@
 
 open Value
 
+(* -- fault containment: fuel ----------------------------------------------
+
+   Compile-time code (macro transformers, [begin-for-syntax] bodies) is
+   ordinary object code run by this evaluator, so a divergent transformer
+   would otherwise hang the whole compilation.  Every procedure application
+   decrements [fuel]; the pipeline installs a finite budget around
+   compile-time evaluation (and, on request, around whole-program runs) and
+   maps {!Out_of_fuel} to a located diagnostic.  The default budget is
+   effectively unlimited, so direct library use and the benchmarks pay only
+   one predictable decrement-and-branch per application. *)
+
+exception Out_of_fuel
+
+let unlimited = max_int
+
+let fuel : int ref = ref unlimited
+
+let[@inline] step () =
+  decr fuel;
+  if !fuel <= 0 then raise Out_of_fuel
+
 (* -- procedure application ----------------------------------------------- *)
 
 let arity_error name expected rest got =
@@ -57,6 +78,7 @@ let frame_of_args name arity rest args =
   end
 
 let rec apply (f : value) (args : value list) : value =
+  step ();
   match f with
   | Prim p -> p.p_fn args
   | Closure c ->
@@ -65,6 +87,7 @@ let rec apply (f : value) (args : value list) : value =
   | v -> error "application: not a procedure: %s" (write_string v)
 
 and apply1 f a0 =
+  step ();
   match f with
   | Closure c when c.arity = 1 && not c.rest ->
       c.code { frame = [| a0 |]; up = c.cl_env }
@@ -72,6 +95,7 @@ and apply1 f a0 =
   | _ -> apply f [ a0 ]
 
 and apply2 f a0 a1 =
+  step ();
   match f with
   | Closure c when c.arity = 2 && not c.rest ->
       c.code { frame = [| a0; a1 |]; up = c.cl_env }
@@ -79,6 +103,7 @@ and apply2 f a0 a1 =
   | _ -> apply f [ a0; a1 ]
 
 and apply3 f a0 a1 a2 =
+  step ();
   match f with
   | Closure c when c.arity = 3 && not c.rest ->
       c.code { frame = [| a0; a1; a2 |]; up = c.cl_env }
@@ -86,6 +111,7 @@ and apply3 f a0 a1 a2 =
   | _ -> apply f [ a0; a1; a2 ]
 
 and apply4 f a0 a1 a2 a3 =
+  step ();
   match f with
   | Closure c when c.arity = 4 && not c.rest ->
       c.code { frame = [| a0; a1; a2; a3 |]; up = c.cl_env }
@@ -93,6 +119,7 @@ and apply4 f a0 a1 a2 a3 =
   | _ -> apply f [ a0; a1; a2; a3 ]
 
 and apply5 f a0 a1 a2 a3 a4 =
+  step ();
   match f with
   | Closure c when c.arity = 5 && not c.rest ->
       c.code { frame = [| a0; a1; a2; a3; a4 |]; up = c.cl_env }

@@ -72,7 +72,7 @@ let rec type_to_contract_d (depth : int) (t : Types.t) : Stx.t =
   | Vectorof e -> app [ u "vectorof-contract"; type_to_contract e ]
   | Union ts ->
       if List.exists is_function ts then
-        raise (Types.Parse_error "cannot convert a union containing function types to a contract")
+        raise (Types.Parse_error ("cannot convert a union containing function types to a contract", Liblang_reader.Srcloc.none))
       else app ((u "or-contract") :: List.map type_to_contract ts)
   | Fun (doms, rng) ->
       app
@@ -157,7 +157,7 @@ let quote_sym (name : string) : Stx.t = sl [ u "quote"; Stx.id name ]
     figure 4. *)
 let require_typed_clause ~(mod_id : Stx.t) (id : Stx.t) (ty_stx : Stx.t) : Stx.t list =
   let ty =
-    try Types.of_stx ty_stx with Types.Parse_error m -> berr ty_stx "require/typed: %s" m
+    try Types.of_stx ty_stx with Types.Parse_error (m, _) -> berr ty_stx "require/typed: %s" m
   in
   let unsafe_id = fresh_id ("unsafe-" ^ Stx.sym_exn id) in
   let this_mod = !Modsys.current_module_name in

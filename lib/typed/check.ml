@@ -12,11 +12,33 @@ module Binding = Liblang_stx.Binding
 module Value = Liblang_runtime.Value
 module Ct_store = Liblang_expander.Ct_store
 module Denote = Liblang_expander.Denote
+module Diagnostic = Liblang_diagnostics.Diagnostic
+module Reporter = Liblang_diagnostics.Reporter
 open Types
 
 exception Type_error of string * Stx.t
 
 let terr s fmt = Printf.ksprintf (fun m -> raise (Type_error (m, s))) fmt
+
+(* -- multi-error recovery -------------------------------------------------
+
+   When an ambient {!Reporter} is installed (the typed language's
+   module-begin driver installs one), type errors are {e accumulated}
+   rather than raised: the checker emits a located diagnostic, synthesizes
+   a recovery type, and keeps going, so one compilation reports every type
+   error in the module.  Without a reporter (direct library use) the legacy
+   fail-fast [Type_error] exception is preserved. *)
+
+let diagnostic_of (m : string) (s : Stx.t) : Diagnostic.t =
+  Diagnostic.error ~phase:Diagnostic.Typecheck ~loc:s.Stx.loc m
+    ~notes:[ Diagnostic.note ("in: " ^ Diagnostic.truncated (Stx.to_string s)) ]
+
+(* Emit into the ambient reporter, or raise if none is installed. *)
+let soft_err (s : Stx.t) fmt =
+  Printf.ksprintf
+    (fun m ->
+      if not (Reporter.emit (diagnostic_of m s)) then raise (Type_error (m, s)))
+    fmt
 
 (** The syntax-property key under which annotations travel (§3.1). *)
 let annotation_key = "type-annotation"
@@ -49,7 +71,7 @@ let type_of_id (id : Stx.t) : Types.t option =
   match Stx.property_get annotation_key id with
   | Some ty_stx -> (
       try Some (Types.of_stx ty_stx)
-      with Types.Parse_error m -> terr id "%s" m)
+      with Types.Parse_error (m, _) -> terr id "%s" m)
   | None -> Hashtbl.find_opt pending_decls (Stx.sym_exn id)
 
 let resolve_exn (id : Stx.t) : Binding.t =
@@ -254,11 +276,13 @@ let with_narrowed (b : Binding.t) (t : Types.t) (f : unit -> 'a) : 'a =
 
 let rec typecheck ?(expect : Types.t option) (s : Stx.t) : Types.t =
   let t = infer ?expect s in
-  (match expect with
+  match expect with
   | Some ex when not (subtype t ex) ->
-      terr s "wrong type: expected %s, got %s" (to_string ex) (to_string t)
-  | _ -> ());
-  t
+      soft_err s "wrong type: expected %s, got %s" (to_string ex) (to_string t);
+      (* error recovery: trust the annotation, so one mistake does not
+         cascade into spurious downstream errors *)
+      ex
+  | _ -> t
 
 and infer ?expect (s : Stx.t) : Types.t =
   if is_ignored s then Any
@@ -525,18 +549,27 @@ let check_top_form (form : Stx.t) : unit =
     pass B checks each form. *)
 let check_module (forms : Stx.t list) : unit =
   Base_env.ensure_initialized ();
+  (* With a reporter installed, a failed form is reported and skipped so
+     the remaining forms are still checked — one invocation reports every
+     type error in the module, in source order. *)
+  let contained f form =
+    match f form with
+    | () -> ()
+    | exception Type_error (m, s) when Reporter.installed () ->
+        ignore (Reporter.emit (diagnostic_of m s))
+  in
   List.iter record_assignments forms;
   List.iter
-    (fun form ->
-      if not (is_ignored form) then
-        match definition_parts form with
-        | Some (id, _) -> (
-            match type_of_id id with
-            | Some t -> add_type (resolve_exn id) t
-            | None -> ())
-        | None -> ())
+    (contained (fun form ->
+         if not (is_ignored form) then
+           match definition_parts form with
+           | Some (id, _) -> (
+               match type_of_id id with
+               | Some t -> add_type (resolve_exn id) t
+               | None -> ())
+           | None -> ()))
     forms;
-  List.iter check_top_form forms
+  List.iter (contained check_top_form) forms
 
 (** The type of an expression, for the optimizer's queries; relies on the
     type environment already populated by checking. *)

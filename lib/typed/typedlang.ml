@@ -16,6 +16,8 @@ module Ct_store = Liblang_expander.Ct_store
 module Denote = Liblang_expander.Denote
 module Modsys = Liblang_modules.Modsys
 module Baselang = Liblang_modules.Baselang
+module Diagnostic = Liblang_diagnostics.Diagnostic
+module Reporter = Liblang_diagnostics.Reporter
 
 let err msg s = raise (Expander.Expand_error (msg, s))
 
@@ -171,13 +173,13 @@ let m_colon form =
   match Stx.to_list form with
   | Some [ _; id; ty ] when Stx.is_id id ->
       (try Hashtbl.replace Check.pending_decls (Stx.sym_exn id) (Types.of_stx ty)
-       with Types.Parse_error m -> err m ty);
+       with Types.Parse_error (m, _) -> err m ty);
       sl [ u "begin"; sl [ u "void" ] ]
   | Some (_ :: id :: colon :: tys) when Stx.is_id id && Stx.is_sym ":" colon && tys <> [] ->
       (* (: f : T ... -> R) — TR's curried-colon shorthand *)
       let ty = sl tys in
       (try Hashtbl.replace Check.pending_decls (Stx.sym_exn id) (Types.of_stx ty)
-       with Types.Parse_error m -> err m ty);
+       with Types.Parse_error (m, _) -> err m ty);
       sl [ u "begin"; sl [ u "void" ] ]
   | _ -> err ": bad syntax (expects (: id Type))" form
 
@@ -196,7 +198,7 @@ let m_define_type form =
          self-referential (§4.4: complex declarations, first pass) *)
       Types.define_name name_s Types.Any;
       let ty =
-        try Types.of_stx body with Types.Parse_error m -> err ("define-type: " ^ m) form
+        try Types.of_stx body with Types.Parse_error (m, _) -> err ("define-type: " ^ m) form
       in
       Types.define_name name_s ty;
       (* persist across compilations, like type declarations (§5) *)
@@ -215,10 +217,6 @@ let m_define_type form =
 
 (* -- the driver (figure 2) -------------------------------------------------------------- *)
 
-let report_type_error (m : string) (s : Stx.t) =
-  let loc = Liblang_reader.Srcloc.to_string s.Stx.loc in
-  Value.error "typecheck: %s in: %s (%s)" m (Stx.to_string s) loc
-
 let m_module_begin form =
   match Stx.to_list form with
   | Some (_ :: forms) -> (
@@ -229,8 +227,18 @@ let m_module_begin form =
       let expanded = Expander.local_expand wrapped Expander.ModuleBegin in
       match expanded.Stx.e with
       | Stx.List (mb :: core_forms) ->
-          (try Check.check_module core_forms
-           with Check.Type_error (m, s) -> report_type_error m s);
+          (* Check with a dedicated reporter so the checker accumulates
+             every type error in the module (multi-error recovery); on any
+             error, deliver the whole batch at once.  The reporter is
+             uninstalled before the optimizer runs, so its internal
+             type queries keep their fail-fast behavior. *)
+          let reporter = Reporter.create () in
+          (try Reporter.with_reporter reporter (fun () -> Check.check_module core_forms)
+           with Check.Type_error (m, s) ->
+             (* belt and braces: a type error that escaped recovery *)
+             Reporter.report reporter (Check.diagnostic_of m s));
+          if Reporter.has_errors reporter then
+            raise (Diagnostic.Failed (Reporter.diagnostics reporter));
           let optimized = Optimize.optimize_module core_forms in
           (if Sys.getenv_opt "LIBLANG_DEBUG_OPT" <> None then
              List.iter (fun f -> print_endline (Stx.to_string f)) optimized);

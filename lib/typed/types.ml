@@ -32,7 +32,12 @@ type t =
       (** a named (possibly recursive) type introduced by [define-type];
           resolved through {!name_env} *)
 
-exception Parse_error of string
+exception Parse_error of string * Liblang_reader.Srcloc.t
+
+(* Internal raises carry no location; {!of_stx} attaches the syntax
+   object's srcloc on the way out so the diagnostics engine can point at
+   the offending type expression. *)
+let perr msg = raise (Parse_error (msg, Liblang_reader.Srcloc.none))
 
 (* Named-type definitions ([define-type]); names are global to the process
    (see DESIGN.md).  Self-reference is allowed: resolution is lazy. *)
@@ -43,7 +48,7 @@ let define_name name t = Hashtbl.replace name_env name t
 let resolve_name name =
   match Hashtbl.find_opt name_env name with
   | Some t -> t
-  | None -> raise (Parse_error ("unknown type name: " ^ name))
+  | None -> perr ("unknown type name: " ^ name)
 
 (* -- printing ----------------------------------------------------------------- *)
 
@@ -171,7 +176,7 @@ let rec of_datum (d : Datum.t) : t =
       | Some t -> t
       | None ->
           if Hashtbl.mem name_env s then Name s
-          else raise (Parse_error ("unknown type: " ^ s)))
+          else perr ("unknown type: " ^ s))
   | Datum.List xs -> (
       let ds = List.map (fun a -> a.Datum.d) xs in
       match ds with
@@ -181,15 +186,15 @@ let rec of_datum (d : Datum.t) : t =
       | [ Datum.Atom (Datum.Sym "Vectorof"); e ] -> Vectorof (of_datum e)
       | Datum.Atom (Datum.Sym "U") :: es -> (
           match List.map of_datum es with
-          | [] -> raise (Parse_error "empty union type")
+          | [] -> perr "empty union type"
           | [ t ] -> t
           | ts -> Union ts)
       | [ Datum.Atom (Datum.Sym "Rec"); _; _ ] ->
-          raise (Parse_error "use define-type for recursive types")
+          perr "use define-type for recursive types"
       | Datum.Atom (Datum.Sym "->") :: rest -> (
           match List.rev (List.map of_datum rest) with
           | rng :: doms_rev -> Fun (List.rev doms_rev, rng)
-          | [] -> raise (Parse_error "bad function type"))
+          | [] -> perr "bad function type")
       | _ -> (
           (* infix arrow: (T ... -> R), possibly with several arrows for
              curried shapes — only the last arrow splits *)
@@ -197,10 +202,13 @@ let rec of_datum (d : Datum.t) : t =
           match List.rev ds with
           | rng :: arrow :: doms_rev when is_arrow arrow ->
               Fun (List.rev_map of_datum doms_rev, of_datum rng)
-          | _ -> raise (Parse_error ("bad type syntax: " ^ Datum.to_string d))))
-  | _ -> raise (Parse_error ("bad type syntax: " ^ Datum.to_string d))
+          | _ -> perr ("bad type syntax: " ^ Datum.to_string d)))
+  | _ -> perr ("bad type syntax: " ^ Datum.to_string d)
 
-let of_stx (s : Stx.t) : t = of_datum (Stx.to_datum s)
+let of_stx (s : Stx.t) : t =
+  try of_datum (Stx.to_datum s)
+  with Parse_error (m, loc) when Liblang_reader.Srcloc.is_none loc ->
+    raise (Parse_error (m, s.Stx.loc))
 
 (* -- serialization (§5): types as datums ---------------------------------------------- *)
 

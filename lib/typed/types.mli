@@ -33,7 +33,10 @@ type t =
   | Name of string
       (** a named (possibly recursive) type introduced by [define-type] *)
 
-exception Parse_error of string
+exception Parse_error of string * Liblang_reader.Srcloc.t
+(** Bad type syntax; the location points at the offending type expression
+    when parsed from syntax ({!of_stx}), and is [Srcloc.none] when parsed
+    from a bare datum. *)
 
 (** {1 Named types} *)
 

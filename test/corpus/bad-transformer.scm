@@ -1,0 +1,3 @@
+#lang racket
+(define-syntax (bad stx) 42)
+(bad)

@@ -1,0 +1,2 @@
+#lang typed/racket
+(define x : (Listof) 1)

@@ -1,0 +1,3 @@
+#lang racket
+(define (f n) (+ 1 (f n)))
+(f 0)

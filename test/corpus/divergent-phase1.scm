@@ -1,0 +1,3 @@
+#lang racket
+(define-syntax bad ((lambda (f) (f f)) (lambda (f) (f f))))
+(bad)

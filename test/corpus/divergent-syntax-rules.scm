@@ -1,0 +1,3 @@
+#lang racket
+(define-syntax loop (syntax-rules () ((_) (loop))))
+(loop)

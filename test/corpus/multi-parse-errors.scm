@@ -1,0 +1,5 @@
+#lang racket
+#\bogusone
+(display 1)
+#\bogustwo
+(display 2)

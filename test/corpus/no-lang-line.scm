@@ -1,0 +1,1 @@
+(display "there is no lang line")

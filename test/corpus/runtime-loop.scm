@@ -1,0 +1,3 @@
+#lang racket
+(define (spin) (spin))
+(spin)

@@ -1,0 +1,4 @@
+#lang racket
+)
+(display "after")
+)

@@ -1,0 +1,4 @@
+#lang typed/racket
+(define a : Integer 3.7)
+(define b : String 42)
+(define c : Boolean "no")

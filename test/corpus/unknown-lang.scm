@@ -1,0 +1,2 @@
+#lang nonexistent-language
+(display 1)

@@ -1,0 +1,2 @@
+#lang racket
+(require no-such-module)

@@ -1,0 +1,2 @@
+#lang racket
+(+ 1 2

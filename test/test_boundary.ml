@@ -167,7 +167,7 @@ let type_to_contract_tests =
     Alcotest.test_case "union of functions has no contract" `Quick (fun () ->
         match tc "(U (Integer -> Integer) Boolean)" with
         | _ -> Alcotest.fail "expected failure"
-        | exception Types.Parse_error m -> check_b "msg" true (contains m "union"));
+        | exception Types.Parse_error (m, _) -> check_b "msg" true (contains m "union"));
   ]
 
 let suite = exports @ imports @ type_to_contract_tests

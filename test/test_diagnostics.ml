@@ -1,0 +1,173 @@
+(** Tests for the fault-contained pipeline: multi-error reporting, fuel
+    exhaustion, cyclic requires, and diagnostic rendering. *)
+
+open Test_util
+module P = Liblang_core.Pipeline
+module D = Liblang_core.Core.Diagnostic
+module Srcloc = Liblang_core.Core.Srcloc
+module Sources = Liblang_core.Core.Sources
+module Render = Liblang_core.Core.Render
+
+let errors_of src =
+  match P.run ~name:(fresh "diag") src with
+  | Ok _ -> Alcotest.fail "expected diagnostics, program succeeded"
+  | Error ds -> ds
+
+let errors_of_fueled ~fuel src =
+  match P.run ~fuel ~name:(fresh "diag") src with
+  | Ok _ -> Alcotest.fail "expected diagnostics, program succeeded"
+  | Error ds -> ds
+
+let msg_of (d : D.t) = D.to_string d
+
+let assert_contains what hay needle =
+  if not (contains hay needle) then
+    Alcotest.failf "%s: expected %S within %S" what needle hay
+
+let multi_error_tests =
+  [
+    Alcotest.test_case "three type errors in one run" `Quick (fun () ->
+        let ds =
+          errors_of
+            "#lang typed/racket\n\
+             (define a : Integer 3.7)\n\
+             (define b : String 42)\n\
+             (define c : Boolean \"no\")\n\
+             (display \"done\")"
+        in
+        let tys = List.filter (fun d -> d.D.phase = D.Typecheck) ds in
+        check_i "three typecheck diagnostics" 3 (List.length tys);
+        (* stable source order: lines 2, 3, 4 *)
+        let lines = List.map (fun d -> d.D.loc.Srcloc.line) tys in
+        Alcotest.(check (list int)) "source order" [ 2; 3; 4 ] lines;
+        assert_contains "first" (msg_of (List.nth tys 0)) "expected Integer, got Float";
+        assert_contains "second" (msg_of (List.nth tys 1)) "expected String, got Integer";
+        assert_contains "third" (msg_of (List.nth tys 2)) "expected Boolean, got String");
+    Alcotest.test_case "type errors do not abort checking of later forms" `Quick
+      (fun () ->
+        (* an error in the middle still lets the checker find the one at the end *)
+        let ds =
+          errors_of
+            "#lang typed/racket\n\
+             (define ok : Integer 1)\n\
+             (define bad1 : Integer \"mid\")\n\
+             (define also-ok : String \"s\")\n\
+             (define bad2 : String 5)"
+        in
+        check_i "two diagnostics" 2
+          (List.length (List.filter (fun d -> d.D.phase = D.Typecheck) ds)));
+    Alcotest.test_case "reader reports several parse errors in one pass" `Quick
+      (fun () ->
+        let ds =
+          errors_of "#lang racket\n#\\bogusone\n(display 1)\n#\\bogustwo\n(display 2)"
+        in
+        let rs = List.filter (fun d -> d.D.phase = D.Reader) ds in
+        check_i "two reader diagnostics" 2 (List.length rs);
+        assert_contains "first" (msg_of (List.nth rs 0)) "bogusone";
+        assert_contains "second" (msg_of (List.nth rs 1)) "bogustwo");
+    Alcotest.test_case "read_all_recovering never raises" `Quick (fun () ->
+        let module R = Liblang_core.Core.Reader in
+        let datums, errs = R.read_all_recovering ")( oops #\\nope (fine) \"open" in
+        check_b "some datums recovered" true (List.length datums >= 1);
+        check_b "some errors collected" true (List.length errs >= 2));
+  ]
+
+let fuel_tests =
+  [
+    Alcotest.test_case "divergent syntax-rules macro is cut off" `Quick (fun () ->
+        let ds =
+          errors_of
+            "#lang racket\n(define-syntax loop (syntax-rules () ((_) (loop))))\n(loop)"
+        in
+        check_i "one diagnostic" 1 (List.length ds);
+        let m = msg_of (List.hd ds) in
+        assert_contains "names the macro" m "while expanding macro loop";
+        assert_contains "blames fuel" m "exhausted its fuel budget";
+        check_b "located" true (not (Srcloc.is_none (List.hd ds).D.loc)));
+    Alcotest.test_case "divergent procedural transformer is cut off" `Quick (fun () ->
+        let ds =
+          errors_of "#lang racket\n(define-syntax (loop stx) stx)\n(loop)"
+        in
+        assert_contains "fuel message" (msg_of (List.hd ds)) "exhausted its fuel budget");
+    Alcotest.test_case "divergent phase-1 evaluation is cut off" `Quick (fun () ->
+        let ds =
+          errors_of_fueled ~fuel:100_000
+            "#lang racket\n(define-syntax bad ((lambda (f) (f f)) (lambda (f) (f f))))"
+        in
+        assert_contains "compile-time fuel message" (msg_of (List.hd ds))
+          "compile-time evaluation exhausted its fuel budget");
+    Alcotest.test_case "runtime divergence is cut off by ?fuel" `Quick (fun () ->
+        let ds =
+          errors_of_fueled ~fuel:50_000 "#lang racket\n(define (spin) (spin))\n(spin)"
+        in
+        let m = msg_of (List.hd ds) in
+        check_b "runtime phase" true ((List.hd ds).D.phase = D.Runtime);
+        assert_contains "fuel message" m "exhausted its fuel budget");
+    Alcotest.test_case "fuel does not fire on terminating programs" `Quick (fun () ->
+        match P.run ~fuel:1_000_000 ~name:(fresh "diag") "#lang racket\n(+ 1 2)" with
+        | Ok _ -> ()
+        | Error ds -> Alcotest.failf "unexpected diagnostics: %s" (msg_of (List.hd ds)));
+    Alcotest.test_case "deep nesting trips the depth guard, not the stack" `Quick
+      (fun () ->
+        let n = 6_000 in
+        let src =
+          "#lang racket\n" ^ String.concat "" (List.init n (fun _ -> "(")) ^ "+ 1 1"
+          ^ String.concat "" (List.init n (fun _ -> ")"))
+        in
+        let ds = errors_of src in
+        assert_contains "depth guard" (msg_of (List.hd ds)) "recursion too deep");
+  ]
+
+let module_tests =
+  [
+    Alcotest.test_case "self require reports the cycle path" `Quick (fun () ->
+        let name = fresh "cycle" in
+        (match P.run ~name (Printf.sprintf "#lang racket\n(require %s)" name) with
+        | Ok _ -> Alcotest.fail "expected a cyclic-require diagnostic"
+        | Error ds ->
+            let m = msg_of (List.hd ds) in
+            assert_contains "cycle path" m
+              (Printf.sprintf "cyclic require: %s -> %s" name name)));
+    Alcotest.test_case "missing #lang line is a module diagnostic" `Quick (fun () ->
+        let ds = errors_of "(display 1)" in
+        check_b "module phase" true ((List.hd ds).D.phase = D.Module);
+        assert_contains "message" (msg_of (List.hd ds)) "#lang");
+    Alcotest.test_case "unknown exceptions surface as internal diagnostics" `Quick
+      (fun () ->
+        match P.contain (fun () -> raise Exit) with
+        | Ok _ -> Alcotest.fail "expected Error"
+        | Error ds ->
+            check_i "one diagnostic" 1 (List.length ds);
+            check_b "internal" true (D.is_internal (List.hd ds)));
+  ]
+
+let render_tests =
+  [
+    Alcotest.test_case "renderer shows excerpt with caret underline" `Quick (fun () ->
+        Sources.register ~file:"caret-test" "#lang typed/racket\n(define x : Integer 3.7)\n";
+        let d =
+          D.error ~phase:D.Typecheck
+            ~loc:{ Srcloc.file = "caret-test"; line = 2; col = 20; pos = 39; span = 3 }
+            "wrong type: expected Integer, got Float"
+        in
+        let s = Render.render d in
+        assert_contains "header" s "caret-test:2:20: typecheck error";
+        assert_contains "excerpt" s "2 | (define x : Integer 3.7)";
+        assert_contains "caret" s "^^^");
+    Alcotest.test_case "render_all counts errors" `Quick (fun () ->
+        let d = D.error ~phase:D.Runtime "boom" in
+        assert_contains "summary" (Render.render_all [ d; d ]) "2 errors generated");
+    Alcotest.test_case "reporter caps accumulated errors" `Quick (fun () ->
+        let module Rep = Liblang_core.Core.Reporter in
+        let r = Rep.create ~max_errors:3 () in
+        for i = 1 to 10 do
+          Rep.report r (D.error ~phase:D.Typecheck (Printf.sprintf "e%d" i))
+        done;
+        check_i "counted all" 10 (Rep.error_count r);
+        let ds = Rep.diagnostics r in
+        (* 3 kept + 1 "more errors not shown" note *)
+        check_i "capped" 4 (List.length ds);
+        assert_contains "truncation note" (msg_of (List.nth ds 3)) "not shown");
+  ]
+
+let suite = multi_error_tests @ fuel_tests @ module_tests @ render_tests

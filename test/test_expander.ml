@@ -101,7 +101,7 @@ let procedural =
       "transformer";
     t_err "runaway macro"
       "#lang racket\n(define-syntax (loop stx) stx)\n(loop)"
-      "does not terminate";
+      "exhausted its fuel budget";
   ]
 
 let local_expand_tests =

@@ -16,6 +16,7 @@ let () =
       ("boundary", Test_boundary.suite);
       ("optimizer", Test_optimize.suite);
       ("languages", Test_langs.suite);
+      ("diagnostics", Test_diagnostics.suite);
       ("extra", Test_extra.suite);
       ("properties", Test_props.suite);
     ]

@@ -40,7 +40,7 @@ let parsing =
     Alcotest.test_case "unknown type errors" `Quick (fun () ->
         match parse "Zorble" with
         | _ -> Alcotest.fail "expected parse error"
-        | exception T.Parse_error m -> check_b "msg" true (contains m "unknown type"));
+        | exception T.Parse_error (m, _) -> check_b "msg" true (contains m "unknown type"));
   ]
 
 let sub a b = T.subtype (parse a) (parse b)

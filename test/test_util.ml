@@ -28,10 +28,12 @@ let run_err (src : string) : string =
   | exception Value.Scheme_error m -> "runtime: " ^ m
   | exception Expander.Expand_error (m, _) -> "syntax: " ^ m
   | exception Compile.Compile_error (m, _) -> "compile: " ^ m
-  | exception Modsys.Module_error m -> "module: " ^ m
+  | exception Modsys.Module_error (m, _) -> "module: " ^ m
   | exception Contracts.Contract_violation { blame; contract; _ } ->
       Printf.sprintf "contract: %s blaming %s" contract blame
-  | exception Types.Parse_error m -> "type-parse: " ^ m
+  | exception Types.Parse_error (m, _) -> "type-parse: " ^ m
+  | exception Diagnostic.Failed ds ->
+      "typecheck: " ^ String.concat "; " (List.map Diagnostic.to_string ds)
 
 let ev_err (src : string) : string =
   match ev src with

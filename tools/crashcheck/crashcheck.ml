@@ -1,0 +1,101 @@
+(** Crash-containment corpus runner.
+
+    Feeds every adversarial program under [test/corpus/*.scm] through the
+    fault-contained pipeline and asserts, for each one:
+
+    - it produces at least one diagnostic (these programs are all broken
+      on purpose — succeeding silently would be a bug in the corpus);
+    - no diagnostic is [Internal] (an [Internal] diagnostic means an
+      exception escaped a phase uncontained);
+    - it terminates within the wall-clock cap (divergence must be cut off
+      by fuel, not by the operator's patience).
+
+    Usage: [crashcheck [CORPUS-DIR]] (default: test/corpus, resolved
+    relative to the current directory or the repository root).  Exit code
+    0 when every file is contained, 1 otherwise. *)
+
+module Pipeline = Liblang_core.Pipeline
+module Diagnostic = Pipeline.Diagnostic
+module Core = Liblang_core.Core
+
+exception Timeout
+
+(* Wall-clock backstop: with fuel at 200k steps nothing here should take
+   more than a fraction of a second; 10s means something escaped the
+   fuel accounting entirely. *)
+let time_cap_seconds = 10
+
+let with_time_cap f =
+  let previous =
+    Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> raise Timeout))
+  in
+  ignore (Unix.alarm time_cap_seconds);
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Unix.alarm 0);
+      Sys.set_signal Sys.sigalrm previous)
+    f
+
+let check_file path : (string, string) result =
+  (* isolate module registries between corpus files *)
+  Core.Modsys.reset_user_modules_for_tests ();
+  match
+    with_time_cap (fun () ->
+        (* capture the object program's output so the report stays readable *)
+        Core.Prims.with_captured_output (fun () -> Pipeline.run_file ~fuel:200_000 path))
+  with
+  | exception Timeout -> Error "timed out (divergence escaped the fuel budget)"
+  | exception e -> Error ("uncaught exception escaped the pipeline: " ^ Printexc.to_string e)
+  | _, Ok _ -> Error "ran to completion, but every corpus program is broken on purpose"
+  | _, Error [] -> Error "failed with an empty diagnostic list"
+  | _, Error ds -> (
+      match List.filter Diagnostic.is_internal ds with
+      | [] ->
+          Ok
+            (Printf.sprintf "%d diagnostic%s (first: %s)" (List.length ds)
+               (if List.length ds = 1 then "" else "s")
+               (Diagnostic.to_string (List.hd ds)))
+      | internal ->
+          Error
+            ("internal diagnostic (exception escaped containment): "
+            ^ Diagnostic.to_string (List.hd internal)))
+
+let find_corpus_dir () =
+  match Sys.argv with
+  | [| _; dir |] -> dir
+  | _ ->
+      if Sys.file_exists "test/corpus" then "test/corpus"
+      else if Sys.file_exists "../../../test/corpus" then "../../../test/corpus"
+      else "test/corpus"
+
+let () =
+  Core.init ();
+  let dir = find_corpus_dir () in
+  if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+    Printf.eprintf "crashcheck: corpus directory not found: %s\n" dir;
+    exit 1
+  end;
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".scm")
+    |> List.sort compare
+    |> List.map (Filename.concat dir)
+  in
+  if files = [] then begin
+    Printf.eprintf "crashcheck: no .scm files in %s\n" dir;
+    exit 1
+  end;
+  let failures = ref 0 in
+  List.iter
+    (fun path ->
+      let label = Filename.basename path in
+      match check_file path with
+      | Ok detail -> Printf.printf "  ok   %-28s %s\n%!" label detail
+      | Error why ->
+          incr failures;
+          Printf.printf "  FAIL %-28s %s\n%!" label why)
+    files;
+  Printf.printf "crashcheck: %d/%d corpus programs contained\n"
+    (List.length files - !failures)
+    (List.length files);
+  exit (if !failures = 0 then 0 else 1)
