@@ -13,6 +13,7 @@ module Naive = Core.Naive
 module Optimize = Core.Optimize
 module Prims = Core.Prims
 module Value = Core.Value
+module Json = Core.Json
 
 type variant =
   | Naive_backend  (** AST-walking evaluator: the "other compiler" series *)
@@ -30,19 +31,35 @@ let variant_name = function
 
 let is_typed = function Typed | Typed_O0 | Typed_no_unbox -> true | _ -> false
 
-type result = { mean_ms : float; checksum : string; runs : int }
+type result = {
+  mean_ms : float;
+  checksum : string;
+  runs : int;
+  rewrites : (string * int) list;
+      (** optimizer rewrite-rule firings recorded while compiling this
+          variant (empty for untyped variants) — lets BENCH_fig6.json tie
+          each speedup to the rules that produced it *)
+}
 
 let now () = Unix.gettimeofday ()
 
-let declare_variant (b : Programs.t) (v : variant) : Modsys.t =
+(** Compile one variant of a benchmark; returns the module and the
+    optimizer's per-rule rewrite counts for that compilation. *)
+let declare_variant_counted (b : Programs.t) (v : variant) : Modsys.t * (string * int) list =
   let lang, body = if is_typed v then ("typed/racket", b.Programs.typed) else ("racket", b.Programs.untyped) in
   let source = "#lang " ^ lang ^ "\n" ^ body in
   let name = Printf.sprintf "%s/%s" b.Programs.name (variant_name v) in
   let saved = !Optimize.enabled in
   Optimize.enabled := (v <> Typed_O0);
-  Fun.protect
-    ~finally:(fun () -> Optimize.enabled := saved)
-    (fun () -> Modsys.declare ~name source)
+  Optimize.reset_stats ();
+  let m =
+    Fun.protect
+      ~finally:(fun () -> Optimize.enabled := saved)
+      (fun () -> Modsys.declare ~name source)
+  in
+  (m, Optimize.stats_alist ())
+
+let declare_variant b v : Modsys.t = fst (declare_variant_counted b v)
 
 (* Run the module body once, under the variant's evaluation regime, and
    return (checksum, elapsed seconds). *)
@@ -75,12 +92,12 @@ let run_once (m : Modsys.t) (v : variant) : string * float =
     paper's 20-run averages. *)
 let measure_variants ?(rounds = 9) (b : Programs.t) (variants : variant list)
     : (variant * result) list =
-  let ms = List.map (fun v -> (v, declare_variant b v)) variants in
-  let firsts = List.map (fun (v, m) -> (v, run_once m v)) ms in
+  let ms = List.map (fun v -> (v, declare_variant_counted b v)) variants in
+  let firsts = List.map (fun (v, (m, _)) -> (v, run_once m v)) ms in
   let samples = List.map (fun v -> (v, ref [])) variants in
   for _ = 1 to rounds do
     List.iter
-      (fun (v, m) ->
+      (fun (v, (m, _)) ->
         Gc.minor ();
         let _, dt = run_once m v in
         let l = List.assoc v samples in
@@ -92,7 +109,8 @@ let measure_variants ?(rounds = 9) (b : Programs.t) (variants : variant list)
     (fun v ->
       let checksum, _ = List.assoc v firsts in
       let l = !(List.assoc v samples) in
-      { mean_ms = 1000.0 *. median l; checksum; runs = rounds } |> fun r -> (v, r))
+      let rewrites = snd (List.assoc v ms) in
+      { mean_ms = 1000.0 *. median l; checksum; runs = rounds; rewrites } |> fun r -> (v, r))
     variants
 
 let measure ?(budget = 0.5) (b : Programs.t) (v : variant) : result =
@@ -103,26 +121,37 @@ let measure ?(budget = 0.5) (b : Programs.t) (v : variant) : result =
 
 let line = String.make 78 '-'
 
+(** Checksum mismatches observed across every figure run so far; the
+    driver exits nonzero when this is nonempty (CI treats a divergent
+    variant as a correctness failure, not a perf artifact). *)
+let checksum_mismatches : (string * variant) list ref = ref []
+
 let check_agreement name (results : (variant * result) list) =
   match results with
   | [] -> ()
   | (_, r0) :: rest ->
       List.iter
         (fun (v, r) ->
-          if not (String.equal r.checksum r0.checksum) then
+          if not (String.equal r.checksum r0.checksum) then begin
+            checksum_mismatches := (name, v) :: !checksum_mismatches;
             Printf.printf "!! %s: checksum mismatch under %s: %s vs %s\n" name (variant_name v)
-              r.checksum r0.checksum)
+              r.checksum r0.checksum
+          end)
         rest
+
+(** One measured benchmark: the program and its per-variant results. *)
+type row = { program : Programs.t; results : (variant * result) list }
 
 (** Run every benchmark of [figure] under [variants]; print a table of
     runtimes normalized to the [Base] series (smaller is better, as in the
-    paper's figures). *)
-let run_figure ?rounds ~title ~figure ~(variants : variant list) () =
+    paper's figures).  Returns the raw rows so the driver can also emit
+    them as machine-readable JSON (see {!json_of_figure}). *)
+let run_figure ?rounds ~title ~figure ~(variants : variant list) () : row list =
   Printf.printf "\n%s\n%s (normalized to untyped = 1.00; smaller is better)\n%s\n" line title line;
   Printf.printf "%-14s %-10s" "benchmark" "suite";
   List.iter (fun v -> Printf.printf "%14s" (variant_name v)) variants;
   Printf.printf "%14s\n" "untyped(ms)";
-  let speedups = ref [] in
+  let rows = ref [] in
   List.iter
     (fun (b : Programs.t) ->
       let results = measure_variants ?rounds b variants in
@@ -139,9 +168,82 @@ let run_figure ?rounds ~title ~figure ~(variants : variant list) () =
           Printf.printf "%14.2f" (r.mean_ms /. base_ms))
         variants;
       Printf.printf "%14.1f\n" base_ms;
-      (match List.assoc_opt Typed results with
-      | Some t -> speedups := (b.Programs.name, (base_ms -. t.mean_ms) /. t.mean_ms *. 100.0) :: !speedups
-      | None -> ());
+      rows := { program = b; results } :: !rows;
       flush stdout)
     (Programs.by_figure figure);
-  List.rev !speedups
+  List.rev !rows
+
+(* -- machine-readable output (BENCH_<figure>.json) ---------------------------- *)
+
+(** The JSON shape of a figure run; schema documented in
+    docs/observability.md ("The bench pipeline").  [median_ms] is the
+    median of [runs] alternating rounds; [rewrites] is the optimizer's
+    per-rule firing histogram for the variant's compilation, so a claimed
+    speedup (e.g. EXPERIMENTS.md's sumfp 0.55x) is checkable against the
+    rules that produced it. *)
+let json_of_figure ~figure ~rounds ~smoke (rows : row list) : Json.t =
+  let json_of_result (v, (r : result)) =
+    Json.Obj
+      ([
+         ("variant", Json.Str (variant_name v));
+         ("median_ms", Json.Num r.mean_ms);
+         ("checksum", Json.Str r.checksum);
+         ("runs", Json.Num (float_of_int r.runs));
+       ]
+      @
+      if not (is_typed v) then []
+      else
+        [
+          ( "rewrites",
+            Json.Obj (List.map (fun (rule, n) -> (rule, Json.Num (float_of_int n))) r.rewrites)
+          );
+          ( "rewrite_total",
+            Json.Num (float_of_int (List.fold_left (fun acc (_, n) -> acc + n) 0 r.rewrites))
+          );
+          (* the flonum-specialization subset (fl:* and cpx:* rules) —
+             EXPERIMENTS.md's shape claim is that these are nonzero exactly
+             on the float benchmarks (sumfp, fibfp, mbrot, heapsort in
+             fig6) *)
+          ( "flonum_rewrites",
+            Json.Num
+              (float_of_int
+                 (List.fold_left
+                    (fun acc (rule, n) ->
+                      let pre p =
+                        String.length rule >= String.length p
+                        && String.sub rule 0 (String.length p) = p
+                      in
+                      if pre "fl:" || pre "cpx:" then acc + n else acc)
+                    0 r.rewrites)) );
+        ])
+  in
+  let json_of_row (row : row) =
+    Json.Obj
+      [
+        ("name", Json.Str row.program.Programs.name);
+        ("suite", Json.Str row.program.Programs.suite);
+        ("variants", Json.Arr (List.map json_of_result row.results));
+      ]
+  in
+  Json.Obj
+    [
+      ("figure", Json.Str figure);
+      ("rounds", Json.Num (float_of_int rounds));
+      ("smoke", Json.Bool smoke);
+      ( "checksum_mismatches",
+        Json.Arr
+          (List.rev_map
+             (fun (name, v) -> Json.Str (name ^ "/" ^ variant_name v))
+             !checksum_mismatches) );
+      ("benchmarks", Json.Arr (List.map json_of_row rows));
+    ]
+
+(** Write a figure's rows to [path] (e.g. [BENCH_fig6.json]). *)
+let write_figure_json ~path ~figure ~rounds ~smoke (rows : row list) =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Json.to_string ~pretty:true (json_of_figure ~figure ~rounds ~smoke rows));
+      output_char oc '\n');
+  Printf.printf "wrote %s\n%!" path

@@ -2,28 +2,38 @@
     numbers, the optimizer ablations, and the boundary-contract overhead
     table.
 
-    Usage: [dune exec bench/main.exe -- [fig6|fig7|fig8|fig9|prose|ablate|boundary|bechamel|all] [--quick]] *)
+    Usage:
+    [dune exec bench/main.exe -- [fig6|fig7|fig8|fig9|prose|ablate|boundary|bechamel|all] [--quick|--smoke]]
+
+    [fig6] (alone or within [all]) additionally writes [BENCH_fig6.json]
+    — per-benchmark medians, variants, checksums, and optimizer rewrite
+    counts (schema in docs/observability.md) — so the perf trajectory is
+    machine-tracked.  [--smoke] is the CI mode: one round per variant,
+    still emits the JSON, and the process exits 1 if any variant's
+    checksum diverges from its siblings. *)
 
 module Core = Liblang_core.Core
 open Harness
 
-let quick = Array.exists (fun a -> a = "--quick") Sys.argv
-let rounds = if quick then 3 else 9
+let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv
+let quick = smoke || Array.exists (fun a -> a = "--quick") Sys.argv
+let rounds = if smoke then 1 else if quick then 3 else 9
 
 let fig6 () =
-  ignore
-    (run_figure ~rounds
-       ~title:
-         "Figure 6: Gabriel & Larceny benchmarks — naive backend stands in for the\n\
-          other Scheme systems measured in the paper (see DESIGN.md)"
-       ~figure:"fig6"
-       ~variants:[ Naive_backend; Base; Typed ]
-       ())
+  let rows =
+    run_figure ~rounds
+      ~title:
+        "Figure 6: Gabriel & Larceny benchmarks — naive backend stands in for the\n\
+         other Scheme systems measured in the paper (see DESIGN.md)"
+      ~figure:"fig6"
+      ~variants:[ Naive_backend; Base; Typed ]
+      ()
+  in
+  write_figure_json ~path:"BENCH_fig6.json" ~figure:"fig6" ~rounds ~smoke rows
 
 let fig7 () =
-  ignore
-    (run_figure ~rounds ~title:"Figure 7: Computer Language Benchmarks Game" ~figure:"fig7"
-       ~variants:[ Base; Typed ] ())
+  run_figure ~rounds ~title:"Figure 7: Computer Language Benchmarks Game" ~figure:"fig7"
+    ~variants:[ Base; Typed ] ()
 
 let fig8 () =
   run_figure ~rounds ~title:"Figure 8: pseudoknot (float-intensive)" ~figure:"fig8"
@@ -172,14 +182,27 @@ let bechamel () =
         tbl)
     instances
 
+(* CI gate: a checksum disagreement between variants of the same benchmark
+   means a mis-optimization, not noise — fail the process. *)
+let finish () =
+  match !Harness.checksum_mismatches with
+  | [] -> ()
+  | ms ->
+      Printf.eprintf "FAIL: %d variant checksum mismatch%s (see table output above)\n"
+        (List.length ms)
+        (if List.length ms = 1 then "" else "es");
+      exit 1
+
 let () =
   Core.init ();
   let arg =
-    if Array.length Sys.argv > 1 && Sys.argv.(1) <> "--quick" then Sys.argv.(1) else "all"
+    if Array.length Sys.argv > 1 && Sys.argv.(1) <> "--quick" && Sys.argv.(1) <> "--smoke" then
+      Sys.argv.(1)
+    else "all"
   in
-  match arg with
+  (match arg with
   | "fig6" -> fig6 ()
-  | "fig7" -> fig7 ()
+  | "fig7" -> ignore (fig7 ())
   | "fig8" -> ignore (fig8 ())
   | "fig9" -> ignore (fig9 ())
   | "prose" -> prose ()
@@ -188,10 +211,11 @@ let () =
   | "bechamel" -> bechamel ()
   | "all" | _ ->
       fig6 ();
-      fig7 ();
+      ignore (fig7 ());
       ignore (fig8 ());
       ignore (fig9 ());
       prose ();
       ablate ();
       boundary ();
-      Printf.printf "\nDone. See EXPERIMENTS.md for the paper-vs-measured discussion.\n"
+      Printf.printf "\nDone. See EXPERIMENTS.md for the paper-vs-measured discussion.\n");
+  finish ()

@@ -1,23 +1,40 @@
 (** The [liblang] command-line tool.
 
     {v
-    liblang run [--fuel N] FILE ...   run #lang programs (later files may
+    liblang run [--fuel N] [--profile[=json]] [--trace FILE] [-v|-vv] FILE ...
+                                      run #lang programs (later files may
                                       require modules declared by earlier
-                                      ones); --fuel bounds evaluation steps
+                                      ones); --fuel bounds evaluation steps;
+                                      --profile reports per-phase wall time,
+                                      per-macro expansion counts and
+                                      per-rule optimizer rewrites (as JSON
+                                      on stdout with --profile=json);
+                                      --trace streams span/macro events to
+                                      FILE (NDJSON if FILE ends in .json or
+                                      .ndjson, indented text otherwise;
+                                      -vv adds per-macro-step syntax)
     liblang expand FILE               print a module's fully-expanded core forms
     liblang eval [-l LANG] EXPR       evaluate one expression
     liblang repl [-l LANG]            interactive read-eval-print loop
     liblang langs                     list the registered languages
+    liblang help | --help             print this usage (exit 0)
     v}
 
     All failures are rendered as diagnostics (with source excerpts and
     caret underlines when the terminal is a TTY, in color).  Exit codes:
     0 = success, 1 = the program had diagnostics, 2 = internal error in
-    the platform itself, 64 = usage error. *)
+    the platform itself, 64 = usage error (unknown subcommand, malformed
+    flags, or missing arguments).
+
+    See docs/observability.md for the profile/trace model. *)
 
 module Pipeline = Liblang_core.Pipeline
 module Diagnostic = Pipeline.Diagnostic
 module Render = Pipeline.Render
+module Observe = Pipeline.Observe
+module Metrics = Pipeline.Metrics
+module Trace = Pipeline.Trace
+module Json = Liblang_core.Core.Json
 module Value = Liblang_core.Core.Value
 
 let color_stderr = lazy (Unix.isatty Unix.stderr)
@@ -31,26 +48,132 @@ let report ds =
 
 let fail ds = exit (report ds)
 
-let cmd_run fuel paths =
+let usage_text =
+  "usage: liblang <command> [options]\n\n\
+   commands:\n\
+  \  run [--fuel N] [--profile[=json]] [--trace FILE] [-v|-vv] FILE...\n\
+  \                          run #lang programs (later files may require\n\
+  \                          modules declared by earlier ones)\n\
+  \      --fuel N            bound evaluation to N steps (compile time and runtime)\n\
+  \      --profile           print a profile report (per-phase wall time,\n\
+  \                          per-macro expansion counts, per-rule optimizer\n\
+  \                          rewrites) to stderr after the run\n\
+  \      --profile=json      same, as one JSON object on stdout\n\
+  \      --trace FILE        stream trace events to FILE as the pipeline runs\n\
+  \                          (NDJSON if FILE ends in .json/.ndjson, else text)\n\
+  \      -v | -vv            trace verbosity: -vv adds each macro step with\n\
+  \                          the syntax before/after the rewrite\n\
+  \  expand FILE             print a module's fully-expanded core forms\n\
+  \  eval [-l LANG] EXPR     evaluate one expression (default language: racket)\n\
+  \  repl [-l LANG]          interactive read-eval-print loop\n\
+  \  langs                   list the registered languages\n\
+  \  help                    print this message\n\n\
+   exit codes: 0 success; 1 program diagnostics; 2 internal platform error;\n\
+   64 usage error (unknown subcommand, malformed flags, missing arguments).\n\n\
+   docs: docs/observability.md (profiling/tracing), docs/diagnostics.md (errors),\n\
+  \ docs/architecture.md (pipeline map)."
+
+let usage () =
+  prerr_endline usage_text;
+  exit 64
+
+let help () =
+  print_endline usage_text;
+  exit 0
+
+(* -- run -------------------------------------------------------------------- *)
+
+type profile_mode = Profile_off | Profile_text | Profile_json
+
+type run_opts = {
+  mutable fuel : int option;
+  mutable profile : profile_mode;
+  mutable trace_file : string option;
+  mutable verbosity : int;
+  mutable paths : string list;  (** reversed *)
+}
+
+let parse_run_opts args =
+  let o = { fuel = None; profile = Profile_off; trace_file = None; verbosity = 1; paths = [] } in
+  let rec go = function
+    | [] -> ()
+    | "--fuel" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n > 0 ->
+            o.fuel <- Some n;
+            go rest
+        | _ -> usage ())
+    | "--fuel" :: [] -> usage ()
+    | "--profile" :: rest ->
+        o.profile <- Profile_text;
+        go rest
+    | "--profile=json" :: rest ->
+        o.profile <- Profile_json;
+        go rest
+    | "--trace" :: file :: rest ->
+        o.trace_file <- Some file;
+        go rest
+    | "--trace" :: [] -> usage ()
+    | "-v" :: rest ->
+        o.verbosity <- max o.verbosity 1;
+        go rest
+    | "-vv" :: rest ->
+        o.verbosity <- 2;
+        go rest
+    | flag :: _ when String.length flag > 0 && flag.[0] = '-' -> usage ()
+    | path :: rest ->
+        o.paths <- path :: o.paths;
+        go rest
+  in
+  go args;
+  if o.paths = [] then usage ();
+  { o with paths = List.rev o.paths }
+
+let has_suffix suf s =
+  let ls = String.length s and l = String.length suf in
+  ls >= l && String.sub s (ls - l) l = suf
+
+let cmd_run args =
+  let o = parse_run_opts args in
+  let metrics =
+    match o.profile with Profile_off -> None | _ -> Some (Metrics.create ())
+  in
+  let trace =
+    match o.trace_file with
+    | None -> None
+    | Some file ->
+        let oc = open_out file in
+        let format =
+          if has_suffix ".json" file || has_suffix ".ndjson" file then Trace.Ndjson
+          else Trace.Text
+        in
+        Some (Trace.make_sink ~format ~verbosity:o.verbosity oc)
+  in
+  let observe = { Observe.metrics; trace } in
+  (* the profile and the trace must reach the user even when a file fails
+     and we exit through [fail] *)
+  at_exit (fun () ->
+      (match (metrics, o.profile) with
+      | Some c, Profile_json -> print_endline (Json.to_string ~pretty:true (Metrics.to_json c))
+      | Some c, Profile_text -> prerr_string (Metrics.render c)
+      | _ -> ());
+      match trace with Some s -> flush s.Trace.out; close_out_noerr s.Trace.out | None -> ());
   List.iter
     (fun path ->
-      match Pipeline.run_file ?fuel path with Ok _ -> () | Error ds -> fail ds)
-    paths
+      match Pipeline.run_file ?fuel:o.fuel ~observe path with
+      | Ok _ -> ()
+      | Error ds -> fail ds)
+    o.paths
+
+(* -- other subcommands ------------------------------------------------------- *)
 
 let cmd_expand path =
-  let source =
-    try
-      let ic = open_in_bin path in
-      let s = really_input_string ic (in_channel_length ic) in
-      close_in ic;
-      Some s
-    with Sys_error m ->
-      Printf.eprintf "liblang: cannot read file: %s\n" m;
-      None
-  in
-  match source with
-  | None -> exit 1
-  | Some source -> (
+  match Pipeline.slurp path with
+  | exception Sys_error m ->
+      (* like every other failure: a located diagnostic through the
+         renderer, not a bare eprintf *)
+      fail [ Diagnostic.error ~phase:Diagnostic.Module ("cannot read file: " ^ m) ]
+  | source -> (
       let name = Filename.remove_extension (Filename.basename path) in
       match Pipeline.expand ~name source with
       | Ok forms -> List.iter print_endline forms
@@ -100,25 +223,16 @@ let cmd_repl lang =
     done
   with End_of_file -> print_newline ()
 
-let usage () =
-  prerr_endline
-    "usage: liblang run [--fuel N] FILE... | expand FILE | eval [-l LANG] EXPR | repl [-l \
-     LANG] | langs";
-  exit 64
-
 let () =
   Liblang_core.Core.init ();
   let args = Array.to_list Sys.argv in
   match args with
-  | _ :: "run" :: "--fuel" :: n :: (_ :: _ as paths) -> (
-      match int_of_string_opt n with
-      | Some n when n > 0 -> cmd_run (Some n) paths
-      | _ -> usage ())
-  | _ :: "run" :: (_ :: _ as paths) -> cmd_run None paths
+  | _ :: "run" :: (_ :: _ as rest) -> cmd_run rest
   | [ _; "expand"; path ] -> cmd_expand path
   | [ _; "eval"; "-l"; lang; expr ] -> cmd_eval lang expr
   | [ _; "eval"; expr ] -> cmd_eval "racket" expr
   | [ _; "repl"; "-l"; lang ] -> cmd_repl lang
   | [ _; "repl" ] -> cmd_repl "racket"
   | [ _; "langs" ] -> cmd_langs ()
+  | [ _; "help" ] | [ _; "--help" ] | [ _; "-h" ] -> help ()
   | _ -> usage ()

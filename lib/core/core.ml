@@ -41,6 +41,10 @@ module Boundary = Liblang_typed.Boundary
 module Typedlang = Liblang_typed.Typedlang
 module Base_env = Liblang_typed.Base_env
 module Langs = Liblang_langs.Langs
+module Observe = Liblang_observe.Observe
+module Metrics = Liblang_observe.Metrics
+module Trace = Liblang_observe.Trace
+module Json = Liblang_observe.Json
 
 let () =
   Baselang.init ();

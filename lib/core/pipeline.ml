@@ -30,6 +30,9 @@ module Contracts = Core.Contracts
 module Modsys = Core.Modsys
 module Types = Core.Types
 module Check = Core.Check
+module Observe = Liblang_observe.Observe
+module Metrics = Liblang_observe.Metrics
+module Trace = Liblang_observe.Trace
 
 (** Step budget for compile-time evaluation when the caller does not give
     one: generous enough for any sane macro, small enough that a divergent
@@ -116,18 +119,28 @@ let read_module_body ~name source =
     of evaluation steps (compile-time and runtime); without it, runtime
     evaluation is unbounded and only compile-time evaluation is capped.
     The source is registered with {!Sources} so rendered diagnostics can
-    show source-line excerpts. *)
-let run ?fuel ?name (source : string) : (Value.value, Diagnostic.t list) result =
+    show source-line excerpts.
+
+    [?observe] installs an observability context (metrics collector and/or
+    trace sink, see {!Liblang_observe.Observe.ctx}) around the whole run:
+    every phase reports per-phase wall time, per-macro expansion counts and
+    fuel, optimizer rewrite-rule firings, and module-system activity into
+    it.  The default context observes nothing and costs nothing (see
+    docs/observability.md). *)
+let run ?fuel ?name ?(observe = Observe.nothing) (source : string) :
+    (Value.value, Diagnostic.t list) result =
   Core.init ();
   let name = match name with Some n -> n | None -> Core.fresh_module_name "program" in
   Sources.register ~file:name source;
-  contain ?fuel (fun () ->
-      let lang, datums = read_module_body ~name source in
-      let m = Modsys.compile_module ~name ~lang datums in
-      (* compilation done: switch the step counter to the runtime allotment *)
-      Interp.fuel := (match fuel with Some n -> n | None -> Interp.unlimited);
-      Modsys.instantiate m;
-      Value.Void)
+  Observe.with_ctx observe (fun () ->
+      Trace.span "run" ~detail:name (fun () ->
+          contain ?fuel (fun () ->
+              let lang, datums = read_module_body ~name source in
+              let m = Modsys.compile_module ~name ~lang datums in
+              (* compilation done: switch the step counter to the runtime allotment *)
+              Interp.fuel := (match fuel with Some n -> n | None -> Interp.unlimited);
+              Modsys.instantiate m;
+              Value.Void)))
 
 let slurp path =
   let ic = open_in_bin path in
@@ -135,29 +148,34 @@ let slurp path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let run_file ?fuel (path : string) : (Value.value, Diagnostic.t list) result =
+let run_file ?fuel ?observe (path : string) : (Value.value, Diagnostic.t list) result =
   match slurp path with
-  | source -> run ?fuel ~name:(Filename.remove_extension (Filename.basename path)) source
+  | source ->
+      run ?fuel ?observe ~name:(Filename.remove_extension (Filename.basename path)) source
   | exception Sys_error m ->
       Error [ Diagnostic.error ~phase:Module ("cannot read file: " ^ m) ]
 
 (** Expand a module to core forms (each rendered as text). *)
-let expand ?fuel ?name (source : string) : (string list, Diagnostic.t list) result =
+let expand ?fuel ?name ?(observe = Observe.nothing) (source : string) :
+    (string list, Diagnostic.t list) result =
   Core.init ();
   let name = match name with Some n -> n | None -> Core.fresh_module_name "program" in
   Sources.register ~file:name source;
-  contain ?fuel (fun () ->
-      match Reader.split_lang_line source with
-      | None -> ignore (read_module_body ~name source); assert false
-      | Some _ -> List.map Stx.to_string (Modsys.expand_source ~name source))
+  Observe.with_ctx observe (fun () ->
+      contain ?fuel (fun () ->
+          match Reader.split_lang_line source with
+          | None -> ignore (read_module_body ~name source); assert false
+          | Some _ -> List.map Stx.to_string (Modsys.expand_source ~name source)))
 
 (** Evaluate one expression in [lang]'s environment; [?fuel] bounds its
     evaluation steps (default: unbounded, as befits a REPL). *)
-let eval ?fuel ?(lang = "racket") (src : string) : (Value.value, Diagnostic.t list) result =
+let eval ?fuel ?(lang = "racket") ?(observe = Observe.nothing) (src : string) :
+    (Value.value, Diagnostic.t list) result =
   Core.init ();
-  contain ?fuel (fun () ->
-      Interp.fuel := (match fuel with Some n -> n | None -> Interp.unlimited);
-      Core.eval_expr ~lang src)
+  Observe.with_ctx observe (fun () ->
+      contain ?fuel (fun () ->
+          Interp.fuel := (match fuel with Some n -> n | None -> Interp.unlimited);
+          Core.eval_expr ~lang src))
 
 (** Render a diagnostic batch for the terminal. *)
 let render_errors ?color (ds : Diagnostic.t list) : string = Render.render_all ?color ds

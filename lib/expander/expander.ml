@@ -130,7 +130,7 @@ let contain_err name (s : Stx.t) what =
        what)
     s
 
-let apply_transformer (t : Denote.transformer) (s : Stx.t) : Stx.t =
+let transform (t : Denote.transformer) (s : Stx.t) : Stx.t =
   decr fuel;
   if !fuel <= 0 then
     contain_err (macro_name_of t s) s
@@ -162,6 +162,42 @@ let apply_transformer (t : Denote.transformer) (s : Stx.t) : Stx.t =
                transformer)")
   in
   Stx.flip_scope intro output
+
+(* Observability wrapper around [transform]: per-macro application counts,
+   per-transformer wall time, compile-time fuel attribution, and (at trace
+   verbosity 2, the CLI's [-vv]) the syntax before and after each macro
+   step.  When neither a metrics collector nor a trace sink is installed
+   this is a load-and-branch on top of [transform]. *)
+module Metrics = Liblang_observe.Metrics
+module Trace = Liblang_observe.Trace
+
+let apply_transformer (t : Denote.transformer) (s : Stx.t) : Stx.t =
+  if not (Metrics.installed () || Trace.installed ()) then transform t s
+  else begin
+    let name = macro_name_of t s in
+    if Trace.enabled_at 2 then
+      Trace.event ~level:2 "macro"
+        [
+          ("name", name);
+          ("loc", Liblang_reader.Srcloc.to_string s.Stx.loc);
+          ("before", Stx.to_string s);
+        ];
+    let interp_fuel0 = !Interp.fuel in
+    let t0 = Metrics.now () in
+    let output = transform t s in
+    if Metrics.installed () then begin
+      let key = "expand.macro." ^ name in
+      Metrics.count key;
+      Metrics.add_time key (Metrics.now () -. t0);
+      (* compile-time evaluation steps burned inside the transformer: only
+         phase-1 (object-language) procedures consume interpreter fuel *)
+      let burned = interp_fuel0 - !Interp.fuel in
+      if burned > 0 then Metrics.countn ("expand.fuel." ^ name) burned
+    end;
+    if Trace.enabled_at 2 then
+      Trace.event ~level:2 "macro-out" [ ("name", name); ("after", Stx.to_string output) ];
+    output
+  end
 
 (* -- expression expansion ------------------------------------------------------ *)
 

@@ -24,6 +24,8 @@ module Denote = Liblang_expander.Denote
 module Namespace = Liblang_expander.Namespace
 module Ct_store = Liblang_expander.Ct_store
 module Srcloc = Liblang_reader.Srcloc
+module Metrics = Liblang_observe.Metrics
+module Trace = Liblang_observe.Trace
 
 exception Module_error of string * Srcloc.t
 
@@ -125,11 +127,14 @@ let rec instantiate_at depth (m : t) =
       !max_instantiation_depth m.mod_name;
   if not m.instantiated then begin
     m.instantiated <- true;
+    Metrics.count "module.instantiations";
     List.iter (fun r -> instantiate_at (depth + 1) (find r)) m.requires;
     List.iter run_form m.body
   end
 
-let instantiate (m : t) = instantiate_at 0 m
+let instantiate (m : t) =
+  Trace.span "instantiate" ~detail:m.mod_name @@ fun () ->
+  Metrics.time "phase.instantiate" @@ fun () -> instantiate_at 0 m
 
 (* -- imports --------------------------------------------------------------------- *)
 
@@ -246,7 +251,9 @@ let expand_in_language ~name ~lang (body : Datum.annot list) (k : Stx.t list -> 
       let forms = List.map (Stx.of_datum ~scopes:(Scope.Set.singleton sc)) body in
       let mb = { (Stx.id "#%module-begin") with Stx.scopes = ctx.Stx.scopes } in
       let wrapped = Stx.list (mb :: forms) in
-      k (expand_module_top wrapped))
+      k
+        (Trace.span "expand" ~detail:name @@ fun () ->
+         Metrics.time "phase.expand" @@ fun () -> expand_module_top wrapped))
 
 (** Expand a module's body to core forms without compiling it — the view a
     whole-module analysis gets (paper §2.2, §4). *)
@@ -264,6 +271,12 @@ let compile_module ~name ~lang (body : Datum.annot list) : t =
   check_cycle lang;
   if not (is_declared lang) then err "#lang %s: unknown language" lang;
   Expander.reset_limits ();
+  Trace.span "compile-module" ~detail:name @@ fun () ->
+  Metrics.count "module.compiles";
+  (* a module declared again is fully re-expanded and re-compiled: the
+     registry caches declared modules, but nothing caches expansions, so
+     this counter surfaces redundant (cache-less) recompilation work *)
+  if is_declared name then Metrics.count "module.reexpansions";
   with_compiling name @@ fun () ->
   Ct_store.with_fresh_store (fun () ->
       let requires = ref [ lang ] in
@@ -280,7 +293,10 @@ let compile_module ~name ~lang (body : Datum.annot list) : t =
       let forms = List.map (Stx.of_datum ~scopes:(Scope.Set.singleton sc)) body in
       let mb = { (Stx.id "#%module-begin") with Stx.scopes = ctx.Stx.scopes } in
       let wrapped = Stx.list (mb :: forms) in
-      let core_forms = expand_module_top wrapped in
+      let core_forms =
+        Trace.span "expand" ~detail:name @@ fun () ->
+        Metrics.time "phase.expand" @@ fun () -> expand_module_top wrapped
+      in
       (* walk the fully-expanded module and compile each form *)
       let m =
         {
@@ -328,7 +344,8 @@ let compile_module ~name ~lang (body : Datum.annot list) : t =
             | _ -> m.body <- CExpr (Compile.compile_expr form) :: m.body)
         | _ -> m.body <- CExpr (Compile.compile_expr form) :: m.body
       in
-      List.iter compile_form core_forms;
+      (Trace.span "compile" ~detail:name @@ fun () ->
+       Metrics.time "phase.compile" @@ fun () -> List.iter compile_form core_forms);
       m.body <- List.rev m.body;
       m.requires <- List.rev !requires;
       register m;

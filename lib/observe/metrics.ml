@@ -1,0 +1,195 @@
+(** Pipeline metrics: named counters and accumulating wall-clock timers,
+    collected by an {e ambient collector} that mirrors the diagnostics
+    layer's [Reporter] pattern (install with {!with_collector}; phases
+    report through the module-level hooks below).
+
+    The design constraint is {e zero cost when off}: every hook first loads
+    {!current} and returns immediately when no collector is installed — no
+    allocation, no hashing, no string building.  The hot-interpreter hook
+    ({!bump_apps}) is a single load-compare-increment so it can sit inside
+    the evaluator's application path without moving the benchmarks.
+
+    Metric names are dotted paths; the conventions (documented in
+    [docs/observability.md]) are:
+
+    - ["phase.<name>"]    timers: wall time per pipeline phase
+                          (read, expand, typecheck, optimize, compile,
+                          instantiate)
+    - ["expand.macro.<m>"] counter {e and} timer: applications of macro [m]
+                          and the wall time spent inside its transformer
+    - ["expand.fuel.<m>"] counter: compile-time evaluation steps burned by
+                          macro [m]'s phase-1 procedure
+    - ["optimize.<rule>"] counter: firings of one optimizer rewrite rule
+    - ["reader.datums"]   counter: top-level datums read
+    - ["module.*"]        counters: compiles, instantiations, re-expansions *)
+
+type timer = { mutable total_s : float; mutable calls : int }
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  timers : (string, timer) Hashtbl.t;
+  mutable interp_apps : int;  (** procedure applications in the evaluator *)
+}
+
+let create () = { counters = Hashtbl.create 32; timers = Hashtbl.create 16; interp_apps = 0 }
+
+let now () = Unix.gettimeofday ()
+
+(* -- the ambient collector ------------------------------------------------- *)
+
+let current : t option ref = ref None
+
+let installed () = Option.is_some !current
+
+(** Install [c] for the extent of [f] (properly nested). *)
+let with_collector (c : t) (f : unit -> 'a) : 'a =
+  let saved = !current in
+  current := Some c;
+  Fun.protect ~finally:(fun () -> current := saved) f
+
+let with_opt (c : t option) (f : unit -> 'a) : 'a =
+  match c with None -> f () | Some c -> with_collector c f
+
+(* -- hooks (call sites live throughout lib/) -------------------------------- *)
+
+let count_in c key n =
+  match Hashtbl.find_opt c.counters key with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.add c.counters key (ref n)
+
+(** Add [n] (default 1) to counter [key] of the ambient collector. *)
+let countn key n = match !current with None -> () | Some c -> count_in c key n
+
+let count key = countn key 1
+
+(** Accumulate [dt] seconds into timer [key]. *)
+let add_time key dt =
+  match !current with
+  | None -> ()
+  | Some c -> (
+      match Hashtbl.find_opt c.timers key with
+      | Some t ->
+          t.total_s <- t.total_s +. dt;
+          t.calls <- t.calls + 1
+      | None -> Hashtbl.add c.timers key { total_s = dt; calls = 1 })
+
+(** Time [f] into timer [key]; when no collector is installed this is just
+    [f ()] — no clock reads. *)
+let time key f =
+  match !current with
+  | None -> f ()
+  | Some _ ->
+      let t0 = now () in
+      Fun.protect ~finally:(fun () -> add_time key (now () -. t0)) f
+
+(** The hot-path hook: one evaluator procedure application.  Kept free of
+    allocation and hashing so the evaluator can call it unconditionally. *)
+let[@inline] bump_apps () =
+  match !current with None -> () | Some c -> c.interp_apps <- c.interp_apps + 1
+
+(* -- reading a collector ---------------------------------------------------- *)
+
+let get (c : t) key = match Hashtbl.find_opt c.counters key with Some r -> !r | None -> 0
+
+let get_ms (c : t) key =
+  match Hashtbl.find_opt c.timers key with Some t -> 1000.0 *. t.total_s | None -> 0.0
+
+let counters_alist (c : t) : (string * int) list =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) c.counters []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let timers_alist (c : t) : (string * timer) list =
+  Hashtbl.fold (fun k t acc -> (k, t) :: acc) c.timers []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(** Counters matching a dotted prefix, with the prefix stripped:
+    [by_prefix c "optimize."] is the rewrite-rule histogram. *)
+let by_prefix (c : t) prefix : (string * int) list =
+  let pl = String.length prefix in
+  List.filter_map
+    (fun (k, n) ->
+      if String.length k > pl && String.sub k 0 pl = prefix then
+        Some (String.sub k pl (String.length k - pl), n)
+      else None)
+    (counters_alist c)
+
+let reset (c : t) =
+  Hashtbl.reset c.counters;
+  Hashtbl.reset c.timers;
+  c.interp_apps <- 0
+
+(* -- reports ---------------------------------------------------------------- *)
+
+(** The canonical phase order of the pipeline (see docs/architecture.md). *)
+let phase_order = [ "read"; "expand"; "typecheck"; "optimize"; "compile"; "instantiate" ]
+
+(** Human-readable profile report (what [--profile] prints). *)
+let render (c : t) : string =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "== profile ==\n";
+  Buffer.add_string buf "phase wall time:\n";
+  List.iter
+    (fun p ->
+      let key = "phase." ^ p in
+      match Hashtbl.find_opt c.timers key with
+      | Some t -> Buffer.add_string buf (Printf.sprintf "  %-12s %10.3f ms  (%d call%s)\n" p (1000.0 *. t.total_s) t.calls (if t.calls = 1 then "" else "s"))
+      | None -> ())
+    phase_order;
+  let section title prefix render_row =
+    match by_prefix c prefix with
+    | [] -> ()
+    | rows ->
+        Buffer.add_string buf (title ^ ":\n");
+        List.iter render_row
+          (List.sort (fun (_, a) (_, b) -> compare b a) rows)
+  in
+  section "macro expansions" "expand.macro." (fun (name, n) ->
+      let ms = get_ms c ("expand.macro." ^ name) in
+      Buffer.add_string buf
+        (if ms > 0.0 then Printf.sprintf "  %-28s %8d  %10.3f ms\n" name n ms
+         else Printf.sprintf "  %-28s %8d\n" name n));
+  section "compile-time fuel by macro" "expand.fuel." (fun (name, n) ->
+      Buffer.add_string buf (Printf.sprintf "  %-28s %8d steps\n" name n));
+  section "optimizer rewrites" "optimize." (fun (rule, n) ->
+      Buffer.add_string buf (Printf.sprintf "  %-28s %8d\n" rule n));
+  section "reader" "reader." (fun (k, n) ->
+      Buffer.add_string buf (Printf.sprintf "  %-28s %8d\n" k n));
+  section "module system" "module." (fun (k, n) ->
+      Buffer.add_string buf (Printf.sprintf "  %-28s %8d\n" k n));
+  if c.interp_apps > 0 then
+    Buffer.add_string buf (Printf.sprintf "interpreter applications: %d\n" c.interp_apps);
+  Buffer.contents buf
+
+(** Machine-readable profile (what [--profile=json] prints); schema in
+    docs/observability.md. *)
+let to_json (c : t) : Json.t =
+  let phases =
+    List.filter_map
+      (fun p ->
+        match Hashtbl.find_opt c.timers ("phase." ^ p) with
+        | Some t ->
+            Some
+              ( p,
+                Json.Obj
+                  [ ("ms", Json.Num (1000.0 *. t.total_s)); ("calls", Json.Num (float_of_int t.calls)) ] )
+        | None -> None)
+      phase_order
+  in
+  let other_timers =
+    List.filter_map
+      (fun (k, (t : timer)) ->
+        if String.length k > 6 && String.sub k 0 6 = "phase." then None
+        else
+          Some
+            ( k,
+              Json.Obj
+                [ ("ms", Json.Num (1000.0 *. t.total_s)); ("calls", Json.Num (float_of_int t.calls)) ] ))
+      (timers_alist c)
+  in
+  Json.Obj
+    [
+      ("phases", Json.Obj phases);
+      ("counters", Json.Obj (List.map (fun (k, n) -> (k, Json.Num (float_of_int n))) (counters_alist c)));
+      ("timers", Json.Obj other_timers);
+      ("interp_apps", Json.Num (float_of_int c.interp_apps));
+    ]

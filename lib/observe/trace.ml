@@ -1,0 +1,120 @@
+(** Phase-level tracing: span (enter/exit) and point events emitted, as the
+    pipeline runs, to an ambient {e sink} — either human-readable indented
+    text or NDJSON (one JSON object per line; schema in
+    docs/observability.md).
+
+    Like {!Metrics}, tracing is zero-cost when off: every emission point
+    checks {!current} (and its verbosity level) before building any
+    strings.  Verbosity levels:
+
+    - 1 (default): phase spans — read, expand, typecheck, optimize,
+      compile, instantiate, run — with wall-clock durations;
+    - 2 ([-vv] in the CLI): additionally each macro transformer step, with
+      the syntax before and after the rewrite. *)
+
+type format = Text | Ndjson
+
+type sink = {
+  out : out_channel;
+  format : format;
+  verbosity : int;
+  t0 : float;  (** trace epoch; event times are relative, in ms *)
+  mutable depth : int;  (** current span nesting, for text indentation *)
+}
+
+let make_sink ?(format = Text) ?(verbosity = 1) (out : out_channel) : sink =
+  { out; format; verbosity; t0 = Metrics.now (); depth = 0 }
+
+(* -- the ambient sink ------------------------------------------------------- *)
+
+let current : sink option ref = ref None
+
+let installed () = Option.is_some !current
+
+(** True when a sink is installed at verbosity >= [level] — call sites use
+    this to skip building expensive payloads (rendered syntax). *)
+let enabled_at level =
+  match !current with Some s -> s.verbosity >= level | None -> false
+
+let with_sink (s : sink) (f : unit -> 'a) : 'a =
+  let saved = !current in
+  current := Some s;
+  Fun.protect
+    ~finally:(fun () ->
+      current := saved;
+      flush s.out)
+    f
+
+let with_opt (s : sink option) (f : unit -> 'a) : 'a =
+  match s with None -> f () | Some s -> with_sink s f
+
+(* -- emission --------------------------------------------------------------- *)
+
+let rel_ms (s : sink) = 1000.0 *. (Metrics.now () -. s.t0)
+
+let emit_ndjson (s : sink) (fields : (string * Json.t) list) =
+  output_string s.out (Json.to_string (Json.Obj fields));
+  output_char s.out '\n'
+
+let emit_text (s : sink) line =
+  output_string s.out (String.make (2 * s.depth) ' ');
+  output_string s.out line;
+  output_char s.out '\n'
+
+(** A point event.  [fields] are extra key/value payload (strings); only
+    built by the caller after checking {!enabled_at}. *)
+let event ?(level = 1) (ev : string) (fields : (string * string) list) =
+  match !current with
+  | Some s when s.verbosity >= level -> (
+      match s.format with
+      | Ndjson ->
+          emit_ndjson s
+            (("ev", Json.Str ev)
+            :: ("t", Json.Num (rel_ms s))
+            :: List.map (fun (k, v) -> (k, Json.Str v)) fields)
+      | Text ->
+          emit_text s
+            (ev
+            ^ String.concat ""
+                (List.map (fun (k, v) -> Printf.sprintf " %s=%s" k v) fields)))
+  | _ -> ()
+
+(** Run [f] inside a span named [name] (a pipeline phase or a module-scoped
+    activity); emits enter/exit events with the span's wall-clock duration.
+    [detail] disambiguates (module name, file).  No-op without a sink. *)
+let span ?(level = 1) ?(detail = "") (name : string) (f : unit -> 'a) : 'a =
+  match !current with
+  | Some s when s.verbosity >= level ->
+      let t0 = Metrics.now () in
+      (match s.format with
+      | Ndjson ->
+          emit_ndjson s
+            (("ev", Json.Str "enter") :: ("span", Json.Str name)
+            :: ("t", Json.Num (rel_ms s))
+            :: (if detail = "" then [] else [ ("detail", Json.Str detail) ]))
+      | Text ->
+          emit_text s
+            (Printf.sprintf "-> %s%s" name (if detail = "" then "" else " (" ^ detail ^ ")")));
+      s.depth <- s.depth + 1;
+      let finish ok =
+        s.depth <- s.depth - 1;
+        let ms = 1000.0 *. (Metrics.now () -. t0) in
+        match s.format with
+        | Ndjson ->
+            emit_ndjson s
+              (("ev", Json.Str "exit") :: ("span", Json.Str name)
+              :: ("t", Json.Num (rel_ms s))
+              :: ("ms", Json.Num ms)
+              :: (if ok then [] else [ ("raised", Json.Bool true) ]))
+        | Text ->
+            emit_text s
+              (Printf.sprintf "<- %s %.3f ms%s" name ms (if ok then "" else " (raised)"))
+      in
+      (match f () with
+      | v ->
+          finish true;
+          v
+      | exception e ->
+          finish false;
+          raise e)
+  | _ -> f ()

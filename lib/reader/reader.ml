@@ -380,11 +380,19 @@ let read_one ?file src =
   let st = make_state ?file src in
   read_datum st
 
+module Metrics = Liblang_observe.Metrics
+module Trace = Liblang_observe.Trace
+
 (** Read all datums from [src]. *)
 let read_all ?file src =
+  Trace.span "read" ?detail:file @@ fun () ->
+  Metrics.time "phase.read" @@ fun () ->
+  Metrics.count "reader.reads";
   let st = make_state ?file src in
   let rec go acc = match read_datum st with None -> List.rev acc | Some d -> go (d :: acc) in
-  go []
+  let ds = go [] in
+  if Metrics.installed () then Metrics.countn "reader.datums" (List.length ds);
+  ds
 
 (** Read all datums from [src] with {e datum-level resynchronization}: on a
     parse error, record it (message × location), skip forward to the next
@@ -394,6 +402,9 @@ let read_all ?file src =
     guaranteed (each recovery consumes at least one character) and the
     error list is capped at [max_errors]. *)
 let read_all_recovering ?file ?(max_errors = 25) src =
+  Trace.span "read" ?detail:file @@ fun () ->
+  Metrics.time "phase.read" @@ fun () ->
+  Metrics.count "reader.reads";
   let st = make_state ?file src in
   let datums = ref [] and errors = ref [] and n_errors = ref 0 in
   (* Resynchronize: consume at least one character, then skip to the next
@@ -428,6 +439,10 @@ let read_all_recovering ?file ?(max_errors = 25) src =
           go ()
   in
   go ();
+  if Metrics.installed () then begin
+    Metrics.countn "reader.datums" (List.length !datums);
+    if !errors <> [] then Metrics.countn "reader.parse_errors" (List.length !errors)
+  end;
   (List.rev !datums, List.rev !errors)
 
 (** If [src] starts with a [#lang <name>] line, return [Some (name, rest)]

@@ -32,7 +32,11 @@ let unlimited = max_int
 
 let fuel : int ref = ref unlimited
 
+(* The profiler's hot-path hook: a load-and-branch when no collector is
+   installed (see {!Liblang_observe.Metrics.bump_apps}), so the evaluator's
+   application path stays allocation-free with observability off. *)
 let[@inline] step () =
+  Liblang_observe.Metrics.bump_apps ();
   decr fuel;
   if !fuel <= 0 then raise Out_of_fuel
 

@@ -24,7 +24,15 @@ let enabled = ref true
 let stats : (string, int) Hashtbl.t = Hashtbl.create 16
 
 let count what =
-  Hashtbl.replace stats what (1 + Option.value (Hashtbl.find_opt stats what) ~default:0)
+  Hashtbl.replace stats what (1 + Option.value (Hashtbl.find_opt stats what) ~default:0);
+  (* mirror each rule firing into the ambient metrics collector so
+     [--profile] reports the rewrite histogram per run *)
+  if Liblang_observe.Metrics.installed () then
+    Liblang_observe.Metrics.count ("optimize." ^ what)
+
+let stats_alist () =
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) stats []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let reset_stats () = Hashtbl.reset stats
 let stat what = Option.value (Hashtbl.find_opt stats what) ~default:0
@@ -234,4 +242,6 @@ and vector_shaped e = match type_of e with Some (Vectorof _) -> true | _ -> fals
 and integer_typed e = match type_of e with Some t -> proved_subtype t Integer | None -> false
 
 (** Optimize every form of a typechecked module body. *)
-let optimize_module (forms : Stx.t list) : Stx.t list = List.map optimize forms
+let optimize_module (forms : Stx.t list) : Stx.t list =
+  Liblang_observe.Trace.span "optimize" @@ fun () ->
+  Liblang_observe.Metrics.time "phase.optimize" @@ fun () -> List.map optimize forms

@@ -17,6 +17,7 @@ let () =
       ("optimizer", Test_optimize.suite);
       ("languages", Test_langs.suite);
       ("diagnostics", Test_diagnostics.suite);
+      ("observe", Test_observe.suite);
       ("extra", Test_extra.suite);
       ("properties", Test_props.suite);
     ]
