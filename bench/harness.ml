@@ -39,9 +39,71 @@ type result = {
       (** optimizer rewrite-rule firings recorded while compiling this
           variant (empty for untyped variants) — lets BENCH_fig6.json tie
           each speedup to the rules that produced it *)
+  cached : (float * float) option;
+      (** [(compile_cold_ms, compile_warm_ms)] when the [--cached] series
+          is on: the same source compiled twice through the artifact
+          store (fresh temp cache dir), with the resolver's session state
+          reset in between — so the warm number is the §5 replay path
+          (load from artifact, no expansion or typechecking) and the cold
+          number is compile-from-source plus the artifact write *)
 }
 
 let now () = Unix.gettimeofday ()
+
+(* -- the --cached compile series ---------------------------------------------- *)
+
+(** Set by the driver's [--cached] flag: additionally compile each
+    variant twice through the artifact store and record cold/warm
+    compile times in the figure JSON. *)
+let cached_series = ref false
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+let cached_tmp_counter = ref 0
+
+(** Compile one variant of [b] twice through a fresh artifact store and
+    return [(cold_ms, warm_ms)].  The source is written to a temp [.scm]
+    file so it takes the file-resolver path ([Compiled.compile_file]);
+    [Compiled.reset_session] between the two runs simulates a fresh
+    process, so the warm run actually reads the artifact back. *)
+let measure_cached (b : Programs.t) (v : variant) : float * float =
+  let lang, body =
+    if is_typed v then ("typed/racket", b.Programs.typed) else ("racket", b.Programs.untyped)
+  in
+  let source = "#lang " ^ lang ^ "\n" ^ body in
+  incr cached_tmp_counter;
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "liblang-bench-%d-%d" (Unix.getpid ()) !cached_tmp_counter)
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ());
+  let src_path = Filename.concat dir "prog.scm" in
+  let oc = open_out_bin src_path in
+  output_string oc source;
+  close_out oc;
+  let cache = Filename.concat dir "cache" in
+  let saved = !Optimize.enabled in
+  Optimize.enabled := v <> Typed_O0;
+  Fun.protect ~finally:(fun () ->
+      Optimize.enabled := saved;
+      rm_rf dir)
+  @@ fun () ->
+  let compile_once () =
+    Core.Compiled.reset_session ();
+    let t0 = now () in
+    Core.Compiled.with_cache_dir cache (fun () -> ignore (Core.Compiled.compile_file src_path));
+    now () -. t0
+  in
+  let cold = compile_once () in
+  let warm = compile_once () in
+  Core.Compiled.reset_session ();
+  (1000.0 *. cold, 1000.0 *. warm)
 
 (** Compile one variant of a benchmark; returns the module and the
     optimizer's per-rule rewrite counts for that compilation. *)
@@ -92,6 +154,14 @@ let run_once (m : Modsys.t) (v : variant) : string * float =
     paper's 20-run averages. *)
 let measure_variants ?(rounds = 9) (b : Programs.t) (variants : variant list)
     : (variant * result) list =
+  (* the cached compile series runs first: Compiled.reset_session clears
+     the module registry, so it must finish before the variants below are
+     declared for the runtime measurements *)
+  let cached_results =
+    List.map
+      (fun v -> (v, if !cached_series then Some (measure_cached b v) else None))
+      variants
+  in
   let ms = List.map (fun v -> (v, declare_variant_counted b v)) variants in
   let firsts = List.map (fun (v, (m, _)) -> (v, run_once m v)) ms in
   let samples = List.map (fun v -> (v, ref [])) variants in
@@ -110,7 +180,9 @@ let measure_variants ?(rounds = 9) (b : Programs.t) (variants : variant list)
       let checksum, _ = List.assoc v firsts in
       let l = !(List.assoc v samples) in
       let rewrites = snd (List.assoc v ms) in
-      { mean_ms = 1000.0 *. median l; checksum; runs = rounds; rewrites } |> fun r -> (v, r))
+      let cached = List.assoc v cached_results in
+      { mean_ms = 1000.0 *. median l; checksum; runs = rounds; rewrites; cached }
+      |> fun r -> (v, r))
     variants
 
 let measure ?(budget = 0.5) (b : Programs.t) (v : variant) : result =
@@ -190,6 +262,12 @@ let json_of_figure ~figure ~rounds ~smoke (rows : row list) : Json.t =
          ("checksum", Json.Str r.checksum);
          ("runs", Json.Num (float_of_int r.runs));
        ]
+      @ (match r.cached with
+        | None -> []
+        | Some (cold, warm) ->
+            (* the --cached series: same source compiled twice through the
+               artifact store; warm is the §5 replay path *)
+            [ ("compile_cold_ms", Json.Num cold); ("compile_warm_ms", Json.Num warm) ])
       @
       if not (is_typed v) then []
       else

@@ -3,21 +3,29 @@
     table.
 
     Usage:
-    [dune exec bench/main.exe -- [fig6|fig7|fig8|fig9|prose|ablate|boundary|bechamel|all] [--quick|--smoke]]
+    [dune exec bench/main.exe -- [fig6|fig7|fig8|fig9|prose|ablate|boundary|bechamel|all] [--quick|--smoke] [--cached]]
 
     [fig6] (alone or within [all]) additionally writes [BENCH_fig6.json]
     — per-benchmark medians, variants, checksums, and optimizer rewrite
     counts (schema in docs/observability.md) — so the perf trajectory is
     machine-tracked.  [--smoke] is the CI mode: one round per variant,
     still emits the JSON, and the process exits 1 if any variant's
-    checksum diverges from its siblings. *)
+    checksum diverges from its siblings.
+
+    [--cached] adds the separate-compilation series: each variant's
+    source is additionally compiled twice through the artifact store
+    (fresh temp cache dir, resolver session reset in between), and the
+    figure JSON gains [compile_cold_ms] / [compile_warm_ms] per variant —
+    the cold-vs-warm compile-time gap is the §5 replay dividend. *)
 
 module Core = Liblang_core.Core
 open Harness
 
 let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv
 let quick = smoke || Array.exists (fun a -> a = "--quick") Sys.argv
+let cached = Array.exists (fun a -> a = "--cached") Sys.argv
 let rounds = if smoke then 1 else if quick then 3 else 9
+let () = Harness.cached_series := cached
 
 let fig6 () =
   let rows =
@@ -196,8 +204,12 @@ let finish () =
 let () =
   Core.init ();
   let arg =
-    if Array.length Sys.argv > 1 && Sys.argv.(1) <> "--quick" && Sys.argv.(1) <> "--smoke" then
-      Sys.argv.(1)
+    if
+      Array.length Sys.argv > 1
+      && Sys.argv.(1) <> "--quick"
+      && Sys.argv.(1) <> "--smoke"
+      && Sys.argv.(1) <> "--cached"
+    then Sys.argv.(1)
     else "all"
   in
   (match arg with

@@ -1,7 +1,8 @@
 (** The [liblang] command-line tool.
 
     {v
-    liblang run [--fuel N] [--profile[=json]] [--trace FILE] [-v|-vv] FILE ...
+    liblang run [--fuel N] [--profile[=json]] [--trace FILE] [-v|-vv]
+                [--cache | --cache-dir DIR] FILE ...
                                       run #lang programs (later files may
                                       require modules declared by earlier
                                       ones); --fuel bounds evaluation steps;
@@ -12,7 +13,13 @@
                                       --trace streams span/macro events to
                                       FILE (NDJSON if FILE ends in .json or
                                       .ndjson, indented text otherwise;
-                                      -vv adds per-macro-step syntax)
+                                      -vv adds per-macro-step syntax);
+                                      --cache compiles through the artifact
+                                      store (docs/compilation.md)
+    liblang compile [--cache-dir DIR] FILE ...
+                                      compile files (and their requires)
+                                      through the artifact store without
+                                      running them; one summary line each
     liblang expand FILE               print a module's fully-expanded core forms
     liblang eval [-l LANG] EXPR       evaluate one expression
     liblang repl [-l LANG]            interactive read-eval-print loop
@@ -63,6 +70,15 @@ let usage_text =
   \                          (NDJSON if FILE ends in .json/.ndjson, else text)\n\
   \      -v | -vv            trace verbosity: -vv adds each macro step with\n\
   \                          the syntax before/after the rewrite\n\
+  \      --cache             compile through the artifact store in .liblang-cache/\n\
+  \      --cache-dir DIR     same, rooted at DIR\n\
+  \  compile [--cache-dir DIR] [--fuel N] [--profile[=json]] [--trace FILE]\n\
+  \          [-v|-vv] FILE...\n\
+  \                          compile each file (and its requires) through the\n\
+  \                          artifact store without running it; prints one\n\
+  \                          summary line per file:\n\
+  \                          compiled FILE: modules=N hits=H compiles=C stale=S misses=M\n\
+  \                          (default cache dir: .liblang-cache)\n\
   \  expand FILE             print a module's fully-expanded core forms\n\
   \  eval [-l LANG] EXPR     evaluate one expression (default language: racket)\n\
   \  repl [-l LANG]          interactive read-eval-print loop\n\
@@ -90,11 +106,21 @@ type run_opts = {
   mutable profile : profile_mode;
   mutable trace_file : string option;
   mutable verbosity : int;
+  mutable cache_dir : string option;
   mutable paths : string list;  (** reversed *)
 }
 
 let parse_run_opts args =
-  let o = { fuel = None; profile = Profile_off; trace_file = None; verbosity = 1; paths = [] } in
+  let o =
+    {
+      fuel = None;
+      profile = Profile_off;
+      trace_file = None;
+      verbosity = 1;
+      cache_dir = None;
+      paths = [];
+    }
+  in
   let rec go = function
     | [] -> ()
     | "--fuel" :: n :: rest -> (
@@ -114,6 +140,13 @@ let parse_run_opts args =
         o.trace_file <- Some file;
         go rest
     | "--trace" :: [] -> usage ()
+    | "--cache" :: rest ->
+        if o.cache_dir = None then o.cache_dir <- Some Liblang_core.Core.Compiled.Store.default_dir;
+        go rest
+    | "--cache-dir" :: dir :: rest ->
+        o.cache_dir <- Some dir;
+        go rest
+    | "--cache-dir" :: [] -> usage ()
     | "-v" :: rest ->
         o.verbosity <- max o.verbosity 1;
         go rest
@@ -133,8 +166,10 @@ let has_suffix suf s =
   let ls = String.length s and l = String.length suf in
   ls >= l && String.sub s (ls - l) l = suf
 
-let cmd_run args =
-  let o = parse_run_opts args in
+(* Build the trace sink (if requested) and arrange for the profile and the
+   trace to reach the user even when a file fails and we exit through
+   [fail]. *)
+let setup_observe (o : run_opts) =
   let metrics =
     match o.profile with Profile_off -> None | _ -> Some (Metrics.create ())
   in
@@ -149,21 +184,74 @@ let cmd_run args =
         in
         Some (Trace.make_sink ~format ~verbosity:o.verbosity oc)
   in
-  let observe = { Observe.metrics; trace } in
-  (* the profile and the trace must reach the user even when a file fails
-     and we exit through [fail] *)
   at_exit (fun () ->
       (match (metrics, o.profile) with
       | Some c, Profile_json -> print_endline (Json.to_string ~pretty:true (Metrics.to_json c))
       | Some c, Profile_text -> prerr_string (Metrics.render c)
       | _ -> ());
       match trace with Some s -> flush s.Trace.out; close_out_noerr s.Trace.out | None -> ());
+  (metrics, trace)
+
+let cmd_run args =
+  let o = parse_run_opts args in
+  let metrics, trace = setup_observe o in
+  let observe = { Observe.metrics; trace } in
   List.iter
     (fun path ->
-      match Pipeline.run_file ?fuel:o.fuel ~observe path with
+      match Pipeline.run_file ?fuel:o.fuel ?cache_dir:o.cache_dir ~observe path with
       | Ok _ -> ()
       | Error ds -> fail ds)
     o.paths
+
+(* -- compile ---------------------------------------------------------------- *)
+
+(* Fold the per-file collector [c] into the session-wide profile collector
+   [into] (counters, timers and interpreter applications). *)
+let merge_metrics ~(into : Metrics.t) (c : Metrics.t) : unit =
+  List.iter (fun (k, n) -> Metrics.count_in into k n) (Metrics.counters_alist c);
+  List.iter
+    (fun (k, (t : Metrics.timer)) ->
+      match Hashtbl.find_opt into.Metrics.timers k with
+      | Some dst ->
+          dst.Metrics.total_s <- dst.Metrics.total_s +. t.Metrics.total_s;
+          dst.Metrics.calls <- dst.Metrics.calls + t.Metrics.calls
+      | None ->
+          Hashtbl.add into.Metrics.timers k
+            { Metrics.total_s = t.Metrics.total_s; calls = t.Metrics.calls })
+    (Metrics.timers_alist c);
+  into.Metrics.interp_apps <- into.Metrics.interp_apps + c.Metrics.interp_apps
+
+(** [liblang compile]: compile each file (and everything it requires)
+    through the artifact store, without instantiating, and print one
+    machine-checkable summary line per file:
+    [compiled FILE: modules=N hits=H compiles=C stale=S misses=M]. *)
+let cmd_compile args =
+  let o = parse_run_opts args in
+  let cache_dir =
+    match o.cache_dir with
+    | Some d -> d
+    | None -> Liblang_core.Core.Compiled.Store.default_dir
+  in
+  let profile_c, trace = setup_observe o in
+  let worst = ref 0 in
+  List.iter
+    (fun path ->
+      (* a private collector per file, so the summary line reflects just
+         this file's compilation; folded into the --profile report after *)
+      let c = Metrics.create () in
+      let observe = { Observe.metrics = Some c; trace } in
+      (match Pipeline.compile_file ?fuel:o.fuel ~cache_dir ~observe path with
+      | Ok () ->
+          let g = Metrics.get c in
+          Printf.printf "compiled %s: modules=%d hits=%d compiles=%d stale=%d misses=%d\n"
+            path
+            (g "module.compiles" + g "module.cache_hits")
+            (g "module.cache_hits") (g "module.compiles") (g "cache.stale")
+            (g "cache.misses")
+      | Error ds -> worst := max !worst (report ds));
+      match profile_c with Some into -> merge_metrics ~into c | None -> ())
+    o.paths;
+  if !worst > 0 then exit !worst
 
 (* -- other subcommands ------------------------------------------------------- *)
 
@@ -228,6 +316,7 @@ let () =
   let args = Array.to_list Sys.argv in
   match args with
   | _ :: "run" :: (_ :: _ as rest) -> cmd_run rest
+  | _ :: "compile" :: (_ :: _ as rest) -> cmd_compile rest
   | [ _; "expand"; path ] -> cmd_expand path
   | [ _; "eval"; "-l"; lang; expr ] -> cmd_eval lang expr
   | [ _; "eval"; expr ] -> cmd_eval "racket" expr

@@ -1,0 +1,8 @@
+#lang racket
+;; Untyped library module: plain definitions with a provide list.
+;; Required by main.scm as (require "geometry.scm").
+(provide square perimeter)
+
+(define (square x) (* x x))
+
+(define (perimeter w h) (* 2 (+ w h)))

@@ -1,0 +1,18 @@
+#lang racket
+;; Entry point of the multi-module example: requires one untyped and one
+;; typed file module by relative path.  Compile it separately with
+;;
+;;   liblang compile examples/scm/main.scm      (cold: compiles 3 modules)
+;;   liblang compile examples/scm/main.scm      (warm: 3 cache hits)
+;;   liblang run --cache examples/scm/main.scm  (runs from the artifacts)
+;;
+;; See docs/compilation.md for what the artifacts contain.
+(require "geometry.scm")
+(require "stats.scm")
+
+(display (square 7))
+(newline)
+(display (perimeter 3 4))
+(newline)
+(display (mean (list 2 4 6 8)))
+(newline)

@@ -1,0 +1,13 @@
+#lang typed/racket
+;; Typed library module (paper §5-§6): its exports carry their types into
+;; requiring typed compilations, and cross to untyped clients behind
+;; contracts.  Required by main.scm as (require "stats.scm").
+(provide mean sum-list)
+
+(: sum-list ((Listof Integer) -> Integer))
+(define (sum-list xs)
+  (if (null? xs) 0 (+ (car xs) (sum-list (cdr xs)))))
+
+(: mean ((Listof Integer) -> Integer))
+(define (mean xs)
+  (quotient (sum-list xs) (length xs)))

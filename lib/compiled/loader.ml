@@ -1,0 +1,200 @@
+(** Reconstructing a live module from a compiled artifact — the §5 replay
+    path, without re-running expansion or the typechecker.
+
+    The artifact's body is the module's fully-expanded core forms, so
+    loading is exactly the back half of {!Modsys.compile_module}: set up a
+    fresh lexical context with the language's (and each require's) exports
+    bound, then walk the core forms once —
+
+    - [#%require] re-binds the required module's exports (the required
+      module itself was already resolved by {!Resolver} while validating
+      the artifact's transitive digests);
+    - [define-values] binds each id and compiles its right-hand side (each
+      right-hand side takes one pass through the expander first — the forms
+      are already core, so no macro work happens, but the pass re-binds
+      local binders hygienically, which the textual serialization cannot
+      preserve);
+    - [define-syntaxes] re-evaluates the (already fully expanded)
+      transformer expression and installs the macro — this is how a typed
+      module's export indirections (§6.2) come back to life;
+    - [begin-for-syntax] forms are the serialized compile-time
+      declarations of §5 (e.g. Typed Racket's [typed:declare-type] calls):
+      each is compiled once and becomes a regenerated [ct_thunk], replayed
+      by [visit] into every later compilation that requires the module.
+      Closures are never read from disk — only core syntax is.
+
+    Loading bumps [module.cache_hits] (the cache-aware sibling of
+    [module.compiles]: their sum is the number of modules this session
+    acquired by any means) and never [module.compiles] — that is the
+    counter the warm-path acceptance test pins to zero. *)
+
+module Stx = Liblang_stx.Stx
+module Scope = Liblang_stx.Scope
+module Binding = Liblang_stx.Binding
+module Ast = Liblang_runtime.Ast
+module Interp = Liblang_runtime.Interp
+module Expander = Liblang_expander.Expander
+module Compile = Liblang_expander.Compile
+module Denote = Liblang_expander.Denote
+module Namespace = Liblang_expander.Namespace
+module Ct_store = Liblang_expander.Ct_store
+module Modsys = Liblang_modules.Modsys
+module Metrics = Liblang_observe.Metrics
+module Trace = Liblang_observe.Trace
+
+let err = Modsys.err
+
+let resolve_exn id =
+  match Binding.resolve id with
+  | Some b -> b
+  | None ->
+      err "%s: unbound identifier while loading compiled module (stale artifact?)"
+        (Stx.sym_exn id)
+
+(** Rebuild a {!Modsys.t} from [a]'s core forms and register it.  Every
+    module [a] requires must already be declared (the resolver loads
+    requires first, as part of validating transitive digests). *)
+let load (a : Artifact.t) : Modsys.t =
+  let name = a.Artifact.mod_name and lang = a.Artifact.lang in
+  Modsys.check_cycle lang;
+  if not (Modsys.is_declared lang) then err "#lang %s: unknown language" lang;
+  Expander.reset_limits ();
+  Trace.span "load-module" ~detail:name @@ fun () ->
+  Metrics.time "phase.load" @@ fun () ->
+  Metrics.count "module.cache_hits";
+  Modsys.with_compiling name @@ fun () ->
+  Ct_store.with_fresh_store (fun () ->
+      let requires = ref [ lang ] in
+      (* loads nest inside an enclosing compilation (a require of a cached
+         file module), so save and restore its recording state *)
+      let saved_requires = !Modsys.current_requires in
+      Modsys.current_requires := requires;
+      let saved_name = !Modsys.current_module_name in
+      Modsys.current_module_name := name;
+      Fun.protect
+        ~finally:(fun () ->
+          Modsys.current_module_name := saved_name;
+          Modsys.current_requires := saved_requires)
+      @@ fun () ->
+      let sc = Scope.fresh () in
+      let scopes = Scope.Set.singleton sc in
+      let ctx = Stx.id ~scopes "module-ctx" in
+      let lang_mod = Modsys.find lang in
+      Modsys.visit lang_mod;
+      Modsys.bind_exports ~ctx lang_mod;
+      let forms = List.map (Stx.of_datum ~scopes) a.Artifact.core_forms in
+      (* pass A: process requires and forward-bind every module-level
+         definition, so mutually recursive right-hand sides compile (the
+         expander's pass 1 did the same during the original compilation) *)
+      Modsys.reset_internals name;
+      List.iter
+        (fun (form : Stx.t) ->
+          match form.Stx.e with
+          | Stx.List (hd :: rest) when Stx.is_id hd -> (
+              match Modsys.core_kind hd with
+              | Some "#%require" -> List.iter Modsys.handle_require rest
+              | Some "define-values" -> (
+                  match rest with
+                  | [ ids; _ ] ->
+                      let ids =
+                        match Stx.to_list ids with
+                        | Some ids -> ids
+                        | None -> err "artifact: bad define-values in %s" name
+                      in
+                      List.iter
+                        (fun id ->
+                          let b = Binding.bind id in
+                          Denote.set b Denote.DVar;
+                          Modsys.record_internal ~mod_name:name (Stx.sym_exn id) b)
+                        ids
+                  | _ -> err "artifact: bad define-values in %s" name)
+              | _ -> ())
+          | _ -> ())
+        forms;
+      (* re-link serialized references to other modules' internal
+         (unexported) bindings — the names a require cannot rebind.  A
+         missing target means the owner was recompiled to a different
+         shape by a cache-less session: fail, and the resolver degrades
+         this artifact to a recompile. *)
+      List.iter
+        (fun (n, owner) ->
+          match Modsys.find_internal ~mod_name:owner n with
+          | Some b -> Binding.add (Stx.id ~scopes n) b
+          | None ->
+              err "artifact: link target %s in module %s no longer exists" n owner)
+        a.Artifact.links;
+      let m =
+        {
+          Modsys.mod_name = name;
+          exports = [];
+          body = [];
+          ct_thunks = [];
+          requires = [];
+          instantiated = false;
+          visited_stores = [ Ct_store.store_id () ];
+          builtin = false;
+        }
+      in
+      (* pass B: compile each core form, re-evaluating transformers and
+         regenerating compile-time thunks from the serialized declarations *)
+      let load_form (form : Stx.t) =
+        match form.Stx.e with
+        | Stx.List (hd :: rest) when Stx.is_id hd -> (
+            match Modsys.core_kind hd with
+            | Some "define-values" -> (
+                match rest with
+                | [ ids; rhs ] ->
+                    let ids = Option.get (Stx.to_list ids) in
+                    let globals =
+                      List.map (fun id -> Namespace.global_of (resolve_exn id)) ids
+                    in
+                    let ast = Compile.compile_expr (Expander.expand_expr rhs) in
+                    (match (globals, ast) with
+                    | [ g ], Ast.Lambda l when l.Ast.l_name = "" ->
+                        l.Ast.l_name <- g.Ast.g_name
+                    | _ -> ());
+                    m.Modsys.body <- Modsys.CDef (globals, ast) :: m.Modsys.body
+                | _ -> err "artifact: bad define-values in %s" name)
+            | Some "define-syntaxes" -> (
+                match rest with
+                | [ ids; rhs ] -> (
+                    match Stx.to_list ids with
+                    | Some [ id ] ->
+                        let t = Expander.eval_transformer_rhs ~name:(Stx.sym_exn id) rhs in
+                        let b = Binding.bind id in
+                        Denote.set b (Denote.DMacro t)
+                    | _ -> err "artifact: bad define-syntaxes in %s" name)
+                | _ -> err "artifact: bad define-syntaxes in %s" name)
+            | Some "begin-for-syntax" ->
+                (* the serialized §5 declarations: compile once, replay now
+                   into the module's own (fresh) store — mirroring the
+                   original compilation — and keep the thunk for [visit] *)
+                let thunks =
+                  List.map
+                    (fun e ->
+                      let ast = Compile.compile_expr (Expander.expand_expr e) in
+                      fun () -> ignore (Interp.eval_top ast))
+                    rest
+                in
+                List.iter (fun thunk -> thunk ()) thunks;
+                m.Modsys.ct_thunks <- m.Modsys.ct_thunks @ thunks
+            | Some "#%provide" ->
+                List.iter
+                  (fun spec ->
+                    m.Modsys.exports <- m.Modsys.exports @ Modsys.parse_provide_spec spec)
+                  rest
+            | Some "#%require" -> ()
+            | _ ->
+                m.Modsys.body <-
+                  Modsys.CExpr (Compile.compile_expr (Expander.expand_expr form))
+                  :: m.Modsys.body)
+        | _ ->
+            m.Modsys.body <-
+              Modsys.CExpr (Compile.compile_expr (Expander.expand_expr form))
+              :: m.Modsys.body
+      in
+      List.iter load_form forms;
+      m.Modsys.body <- List.rev m.Modsys.body;
+      m.Modsys.requires <- List.rev !requires;
+      Modsys.register m;
+      m)

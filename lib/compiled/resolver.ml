@@ -1,0 +1,278 @@
+(** The file-based module resolver: [(require "path.scm")] loads, compiles
+    and registers modules from disk.
+
+    Canonicalization: a required path is resolved relative to the
+    {e requiring} file's directory (or the process working directory at
+    the top level) and normalized to an absolute path — the module's
+    {e key}, under which it is registered, recorded in dependents'
+    [requires] lists, and addressed in the artifact store.
+
+    Cycle detection reuses the module system's require-cycle machinery:
+    every in-progress file load pushes its key onto
+    [Modsys.compiling_stack], so [a.scm -> b.scm -> a.scm] surfaces as the
+    same "cyclic require" diagnostic (with the full path chain) as
+    registry-module cycles.
+
+    With a {!Store} active, each file consults its artifact first:
+    requires recorded in the artifact are resolved (recursively) {e before}
+    the artifact is trusted, and their current artifact digests must match
+    the recorded ones — that is the transitive-invalidation check.  Any
+    unusable artifact degrades to a compile from source, after which a
+    fresh artifact is written. *)
+
+module Modsys = Liblang_modules.Modsys
+module Stx = Liblang_stx.Stx
+module Srcloc = Liblang_reader.Srcloc
+module Sources = Liblang_diagnostics.Sources
+module Metrics = Liblang_observe.Metrics
+module Trace = Liblang_observe.Trace
+
+(* -- path canonicalization --------------------------------------------------- *)
+
+(* Directory of the file currently being loaded (innermost first); the
+   base for resolving relative require paths. *)
+let dir_stack : string list ref = ref []
+
+let base_dir () = match !dir_stack with d :: _ -> d | [] -> Sys.getcwd ()
+
+let with_dir d f =
+  dir_stack := d :: !dir_stack;
+  Fun.protect ~finally:(fun () -> dir_stack := List.tl !dir_stack) f
+
+(** Lexically normalize [path] to an absolute path (collapse [.] and
+    [..]; no symlink resolution, so the same text always yields the same
+    key). *)
+let normalize (path : string) : string =
+  let path =
+    if Filename.is_relative path then Filename.concat (base_dir ()) path else path
+  in
+  let parts = String.split_on_char '/' path in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | "" :: rest | "." :: rest -> go acc rest
+    | ".." :: rest -> go (match acc with _ :: tl -> tl | [] -> []) rest
+    | p :: rest -> go (p :: acc) rest
+  in
+  "/" ^ String.concat "/" (go [] parts)
+
+(** The canonical module key for a require of [path] from the current
+    load context. *)
+let module_key (path : string) : string = normalize path
+
+(* -- session state ------------------------------------------------------------ *)
+
+(* key -> (source digest, module): file modules already acquired this
+   session.  A re-require only reuses the entry while the source is
+   unchanged on disk and the module is still registered (tests reset the
+   registry); otherwise the file is re-acquired and re-registered. *)
+let loaded : (string, string * Modsys.t) Hashtbl.t = Hashtbl.create 16
+
+(* key -> source digest for files the resolver is compiling right now;
+   the Modsys compiled_hook persists artifacts only for these
+   (inline/test modules are not files and are never cached) *)
+let cacheable : (string, string) Hashtbl.t = Hashtbl.create 16
+
+(** Forget all session state (loaded files and registered user modules) —
+    the test/bench hook for simulating a fresh process, so a warm run
+    actually exercises the artifact store. *)
+let reset_session () =
+  Hashtbl.reset loaded;
+  Modsys.reset_user_modules_for_tests ()
+
+(* -- compiling and loading ----------------------------------------------------- *)
+
+let slurp path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let compile_from_source ~key ~source : Modsys.t =
+  Sources.register ~file:key source;
+  Hashtbl.replace cacheable key (Digest_util.of_string source);
+  Fun.protect
+    ~finally:(fun () -> Hashtbl.remove cacheable key)
+    (fun () -> Modsys.declare ~name:key source)
+
+(** Resolve, validate (recursively) and load [key]'s artifact; [None]
+    (with the cache counters bumped) when the file must be compiled from
+    source instead. *)
+let rec try_artifact (store : Store.t) ~key ~source_digest : Modsys.t option =
+  match Store.read store ~key with
+  | Error Artifact.Missing ->
+      Store.count_miss ();
+      None
+  | Error reason ->
+      Store.forget_digest store key;
+      Store.count_stale key reason;
+      None
+  | Ok (a, _digest) ->
+      let stale reason =
+        Store.forget_digest store key;
+        Store.count_stale key reason;
+        None
+      in
+      if not (String.equal a.Artifact.source_digest source_digest) then
+        stale Artifact.Stale_source
+      else begin
+        (* transitive invalidation: every required file module must
+           re-resolve to an artifact whose digest matches the recorded
+           one; required builtins must (still) exist *)
+        let check_require = function
+          | Artifact.Builtin n ->
+              if Modsys.is_declared n && (Modsys.find n).Modsys.builtin then None
+              else Some (Artifact.Stale_require n)
+          | Artifact.File (rkey, rdigest) -> (
+              match require_key rkey with
+              | _m -> (
+                  match Store.current_digest store rkey with
+                  | Some d when String.equal d rdigest -> None
+                  | _ -> Some (Artifact.Stale_require rkey))
+              | exception Modsys.Module_error _ ->
+                  (* e.g. a require recorded in a corrupt artifact that now
+                     cycles or points at a missing file: treat as stale and
+                     recompile this module from source, which will surface
+                     the real diagnostic (or succeed, if the artifact lied) *)
+                  Some (Artifact.Stale_require rkey))
+        in
+        match List.find_map check_require a.Artifact.requires with
+        | Some reason -> stale reason
+        | None -> (
+            (* the artifact is valid; if rebuilding a live module from it
+               still fails (e.g. a link target vanished because its module
+               was recompiled by a cache-less session), degrade to a
+               recompile — an unusable artifact is never an error *)
+            match Loader.load a with
+            | m ->
+                Store.count_hit ();
+                Some m
+            | exception e ->
+                stale (Artifact.Load_failed (Printexc.to_string e)))
+      end
+
+(** Acquire the file module for [key] (an absolute, normalized path):
+    reuse it if already acquired and unchanged, else load it from a valid
+    artifact, else compile it from source. *)
+and require_key ?(loc = Srcloc.none) (key : string) : Modsys.t =
+  Modsys.check_cycle ~loc key;
+  let source =
+    match slurp key with
+    | s -> s
+    | exception Sys_error m ->
+        Metrics.count "module.file_require_errors";
+        Modsys.err_at loc "require: cannot read module file %s: %s" key m
+  in
+  let source_digest = Digest_util.of_string source in
+  match Hashtbl.find_opt loaded key with
+  | Some (d, m) when String.equal d source_digest && Modsys.is_declared key -> m
+  | _ ->
+      Modsys.with_compiling key @@ fun () ->
+      with_dir (Filename.dirname key) @@ fun () ->
+      let m =
+        match !Store.active with
+        | None -> compile_from_source ~key ~source
+        | Some store -> (
+            match try_artifact store ~key ~source_digest with
+            | Some m -> m
+            | None -> compile_from_source ~key ~source)
+      in
+      Hashtbl.replace loaded key (source_digest, m);
+      m
+
+(** The [Modsys.file_require_handler]: resolve a [(require "path")] spec
+    against the requiring file's directory. *)
+let require_path ~(path : string) ~(loc : Srcloc.t) : Modsys.t =
+  require_key ~loc (module_key path)
+
+(* -- persisting artifacts ------------------------------------------------------ *)
+
+(* Free identifiers in [core_forms] that resolve to {e another} module's
+   internal (module-level) binding are serialized as explicit links:
+   rebinding by name through a require only covers exports, and
+   macro-introduced references routinely name unexported internals — the
+   typed boundary's [defensive-*] definitions (§6.2) being the canonical
+   case.  [quote] bodies are data and are skipped; [quote-syntax] bodies
+   are future references and are scanned. *)
+let compute_links (m : Liblang_modules.Modsys.t) (core_forms : Stx.t list) :
+    (string * string) list =
+  let module Binding = Liblang_stx.Binding in
+  let key = m.Modsys.mod_name in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let links = ref [] in
+  let consider (id : Stx.t) =
+    let name = Stx.sym_exn id in
+    if not (Hashtbl.mem seen name) then (
+      Hashtbl.add seen name ();
+      match (try Binding.resolve id with Binding.Ambiguous _ -> None) with
+      | None -> ()
+      | Some b -> (
+          (* own module-level definitions rebind in pass A of the loader;
+             anything owned by another module needs an explicit link *)
+          match Modsys.find_internal ~mod_name:key name with
+          | Some b' when Binding.equal b b' -> ()
+          | _ -> (
+              match Modsys.find_internal_owner ~excluding:key name b with
+              | Some owner -> links := (name, owner) :: !links
+              | None -> ())))
+  in
+  let rec walk (s : Stx.t) =
+    match s.Stx.e with
+    | Stx.Id _ -> consider s
+    | Stx.List (hd :: args) when Stx.is_id hd -> (
+        match Modsys.core_kind hd with
+        | Some "quote" -> ()
+        | _ -> List.iter walk args)
+    | Stx.List xs -> List.iter walk xs
+    | Stx.DotList (xs, tl) ->
+        List.iter walk xs;
+        walk tl
+    | _ -> ()
+  in
+  List.iter walk core_forms;
+  List.rev !links
+
+(** The [Modsys.compiled_hook]: persist an artifact for every successful
+    file-module compilation while a store is active.  A module is only
+    cacheable when each of its requires is a builtin or itself has a
+    current artifact (so the transitive digest chain is complete);
+    otherwise it is skipped with a [-v] trace note. *)
+let on_compiled (m : Modsys.t) ~(lang : string) ~(core_forms : Stx.t list) : unit =
+  match (!Store.active, Hashtbl.find_opt cacheable m.Modsys.mod_name) with
+  | None, _ | _, None -> ()
+  | Some store, Some source_digest ->
+      let key = m.Modsys.mod_name in
+      let require_refs =
+          List.map
+            (fun r ->
+              match Hashtbl.find_opt Modsys.registry r with
+              | Some rm when rm.Modsys.builtin -> Some (Artifact.Builtin r)
+              | _ -> (
+                  match Store.current_digest store r with
+                  | Some d -> Some (Artifact.File (r, d))
+                  | None -> None))
+            m.Modsys.requires
+      in
+      if List.mem None require_refs then
+        Trace.event "cache-skip"
+          [ ("module", key); ("reason", "requires a module with no artifact") ]
+      else
+        let a =
+          Artifact.of_compiled ~mod_name:key ~lang ~source_digest
+            ~requires:(List.filter_map Fun.id require_refs)
+            ~exports:(List.map (fun e -> e.Modsys.ext_name) m.Modsys.exports)
+            ~links:(compute_links m core_forms) ~core_forms
+        in
+        Store.write store a
+
+(* -- installation --------------------------------------------------------------- *)
+
+let installed = ref false
+
+(** Install the resolver into the module system (idempotent); called by
+    the platform's [init]. *)
+let install () =
+  if not !installed then begin
+    installed := true;
+    Modsys.file_require_handler := require_path;
+    Modsys.compiled_hook := on_compiled
+  end

@@ -1,0 +1,129 @@
+(** The content-addressed on-disk artifact store ([.liblang-cache/] by
+    default, or any [--cache-dir]).
+
+    Layout: one file per module key, [<dir>/<md5hex(key)>.lart], where the
+    key is the module's canonical absolute path.  The {e identity} of an
+    artifact is the digest of its serialized bytes; dependents record
+    that digest, so any change to a module's compiled form — directly via
+    its source, or transitively via one of its requires — changes the
+    digests up the whole require chain and invalidates exactly the
+    dependents (docs/compilation.md has the invalidation table).
+
+    Observability: every consultation bumps one of [cache.hits],
+    [cache.misses] (no artifact) or [cache.stale] (artifact unusable, with
+    the reason as a [-v] trace note), and reads/writes run inside
+    [artifact-read]/[artifact-write] trace spans.  Any unusable artifact —
+    corrupt, truncated, version-skewed, stale — degrades to a recompile;
+    it is never an error. *)
+
+module Metrics = Liblang_observe.Metrics
+module Trace = Liblang_observe.Trace
+
+let default_dir = ".liblang-cache"
+
+type t = {
+  dir : string;
+  digests : (string, string) Hashtbl.t;
+      (** module key -> digest of its current (validated or just-written)
+          artifact, memoized for this session; dependents consult this to
+          record / check transitive digests *)
+}
+
+(** Open (creating if needed) a store rooted at [dir]. *)
+let create ?(dir = default_dir) () : t =
+  (try
+     if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+   with Unix.Unix_error _ -> ());
+  { dir; digests = Hashtbl.create 16 }
+
+let artifact_path (s : t) (key : string) : string =
+  Filename.concat s.dir (Digest_util.key_file key ^ ".lart")
+
+(** The digest of [key]'s artifact: memoized from a read or a write this
+    session, else computed from the bytes on disk (a dependent may consult
+    a store instance that never itself read [key]'s artifact — the module
+    having been satisfied from the resolver's session memo).  [None] if
+    the module has no artifact at all. *)
+let current_digest (s : t) (key : string) : string option =
+  match Hashtbl.find_opt s.digests key with
+  | Some d -> Some d
+  | None -> (
+      match Digest_util.of_file (artifact_path s key) with
+      | Some d ->
+          Hashtbl.replace s.digests key d;
+          Some d
+      | None -> None)
+
+let forget_digest (s : t) (key : string) = Hashtbl.remove s.digests key
+
+(* -- the ambient store ------------------------------------------------------ *)
+
+(** The store consulted by the file resolver; [None] disables caching
+    (every file module is compiled from source). *)
+let active : t option ref = ref None
+
+let with_store (s : t option) (f : unit -> 'a) : 'a =
+  let saved = !active in
+  active := s;
+  Fun.protect ~finally:(fun () -> active := saved) f
+
+(* -- reading ----------------------------------------------------------------- *)
+
+let slurp path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(** Read and parse [key]'s artifact.  On success also memoizes its
+    identity digest.  Does {e not} check freshness against the source or
+    requires — that is the resolver's job (it owns recursive require
+    resolution). *)
+let read (s : t) ~(key : string) : (Artifact.t * string, Artifact.invalid) result =
+  let path = artifact_path s key in
+  if not (Sys.file_exists path) then Error Artifact.Missing
+  else
+    Trace.span "artifact-read" ~detail:key @@ fun () ->
+    match slurp path with
+    | exception Sys_error m -> Error (Artifact.Unreadable m)
+    | text -> (
+        match Artifact.of_string text with
+        | Error reason -> Error reason
+        | Ok a ->
+            let digest = Digest_util.of_string text in
+            Hashtbl.replace s.digests key digest;
+            Ok (a, digest))
+
+(* -- writing ----------------------------------------------------------------- *)
+
+(** Serialize and persist [a] under its module key (atomically: write to a
+    temp file in the cache dir, then rename).  Memoizes the new identity
+    digest so dependents compiled later in this session record it.  A
+    failed write is reported as a [-v] trace note and otherwise ignored —
+    a read-only cache dir must never break compilation. *)
+let write (s : t) (a : Artifact.t) : unit =
+  Trace.span "artifact-write" ~detail:a.Artifact.mod_name @@ fun () ->
+  let text = Artifact.to_string a in
+  let path = artifact_path s a.Artifact.mod_name in
+  let tmp = path ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc text);
+    Sys.rename tmp path
+  with
+  | () ->
+      Hashtbl.replace s.digests a.Artifact.mod_name (Digest_util.of_string text);
+      Metrics.count "cache.writes"
+  | exception Sys_error m ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      Trace.event "cache-write-failed" [ ("module", a.Artifact.mod_name); ("error", m) ]
+
+(* -- counters ----------------------------------------------------------------- *)
+
+let count_hit () = Metrics.count "cache.hits"
+let count_miss () = Metrics.count "cache.misses"
+
+let count_stale key (reason : Artifact.invalid) =
+  Metrics.count "cache.stale";
+  Trace.event "cache-stale"
+    [ ("module", key); ("reason", Artifact.invalid_to_string reason) ]

@@ -34,6 +34,7 @@ module Syntax_rules = Liblang_expander.Syntax_rules
 module Contracts = Liblang_contracts.Contracts
 module Modsys = Liblang_modules.Modsys
 module Baselang = Liblang_modules.Baselang
+module Compiled = Liblang_compiled.Compiled
 module Types = Liblang_typed.Types
 module Check = Liblang_typed.Check
 module Optimize = Liblang_typed.Optimize
@@ -49,7 +50,8 @@ module Json = Liblang_observe.Json
 let () =
   Baselang.init ();
   Typedlang.init ();
-  Langs.init ()
+  Langs.init ();
+  Compiled.init ()
 
 (** Force initialization of the platform (registers the builtin languages).
     Call this first when using the aliased sub-modules directly. *)

@@ -148,12 +148,54 @@ let slurp path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let run_file ?fuel ?observe (path : string) : (Value.value, Diagnostic.t list) result =
-  match slurp path with
-  | source ->
-      run ?fuel ?observe ~name:(Filename.remove_extension (Filename.basename path)) source
-  | exception Sys_error m ->
-      Error [ Diagnostic.error ~phase:Module ("cannot read file: " ^ m) ]
+(* Run [f] with an artifact store rooted at [cache_dir] when one is
+   requested; otherwise plain. *)
+let with_optional_cache (cache_dir : string option) (f : unit -> 'a) : 'a =
+  match cache_dir with
+  | None -> f ()
+  | Some dir -> Core.Compiled.with_cache_dir dir f
+
+(** Compile (without instantiating) the module in [path] and everything it
+    requires, through the file resolver — and, when [?cache_dir] is given,
+    through the artifact store rooted there (reading valid artifacts instead
+    of re-compiling, and persisting fresh ones).  See docs/compilation.md. *)
+let compile_file ?fuel ?cache_dir ?(observe = Observe.nothing) (path : string) :
+    (unit, Diagnostic.t list) result =
+  Core.init ();
+  Observe.with_ctx observe (fun () ->
+      Trace.span "compile" ~detail:path (fun () ->
+          contain ?fuel (fun () ->
+              with_optional_cache cache_dir (fun () ->
+                  ignore (Core.Compiled.compile_file path)))))
+
+let run_file ?fuel ?cache_dir ?(observe = Observe.nothing) (path : string) :
+    (Value.value, Diagnostic.t list) result =
+  match cache_dir with
+  | None -> (
+      match slurp path with
+      | source ->
+          (* relative (require "path.scm") forms resolve against the
+             file's own directory, exactly as under the cached path *)
+          Core.Compiled.with_source_dir path (fun () ->
+              run ?fuel ~observe
+                ~name:(Filename.remove_extension (Filename.basename path))
+                source)
+      | exception Sys_error m ->
+          Error [ Diagnostic.error ~phase:Module ("cannot read file: " ^ m) ])
+  | Some _ ->
+      (* cached runs route through the file resolver: the module is
+         registered under its canonical absolute path and may be loaded
+         from its artifact instead of compiled *)
+      Core.init ();
+      Observe.with_ctx observe (fun () ->
+          Trace.span "run" ~detail:path (fun () ->
+              contain ?fuel (fun () ->
+                  with_optional_cache cache_dir (fun () ->
+                      let m = Core.Compiled.compile_file path in
+                      Interp.fuel :=
+                        (match fuel with Some n -> n | None -> Interp.unlimited);
+                      Modsys.instantiate m;
+                      Value.Void))))
 
 (** Expand a module to core forms (each rendered as text). *)
 let expand ?fuel ?name ?(observe = Observe.nothing) (source : string) :

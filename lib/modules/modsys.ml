@@ -88,6 +88,51 @@ let register m = Hashtbl.replace registry m.mod_name m
 (** Register an existing module under an additional name. *)
 let alias m name = Hashtbl.replace registry name m
 
+(* -- module-level internals (for separate compilation) -------------------------- *)
+
+(* module key -> (defined name -> binding): every module-level
+   [define-values] binding of the module, including unexported ones.  The
+   separate-compilation layer uses this to re-link serialized cross-module
+   references to internal bindings — e.g. the typed boundary's
+   [defensive-*] definitions, which a typed module's export indirection
+   (§6.2) splices into untyped clients without ever exporting them. *)
+let internals : (string, (string, Binding.t) Hashtbl.t) Hashtbl.t = Hashtbl.create 32
+
+(* Start a fresh internals table for [mod_name] (re-declaration must not
+   accumulate stale names). *)
+let reset_internals mod_name =
+  Hashtbl.replace internals mod_name (Hashtbl.create 8)
+
+let record_internal ~mod_name name (b : Binding.t) =
+  match Hashtbl.find_opt internals mod_name with
+  | Some tbl -> Hashtbl.replace tbl name b
+  | None ->
+      let tbl = Hashtbl.create 8 in
+      Hashtbl.replace tbl name b;
+      Hashtbl.replace internals mod_name tbl
+
+(** The binding of module [mod_name]'s module-level definition [name], if
+    any (independent of whether it is exported). *)
+let find_internal ~mod_name name : Binding.t option =
+  Option.bind (Hashtbl.find_opt internals mod_name) (fun tbl ->
+      Hashtbl.find_opt tbl name)
+
+(** The module (other than [excluding]) whose module-level definition
+    [name] is exactly the binding [b], if any — the owner a serialized
+    cross-module reference must be re-linked against. *)
+let find_internal_owner ?excluding name (b : Binding.t) : string option =
+  Hashtbl.fold
+    (fun mod_name tbl acc ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          if excluding = Some mod_name then None
+          else (
+            match Hashtbl.find_opt tbl name with
+            | Some b' when Binding.equal b b' -> Some mod_name
+            | _ -> None))
+    internals None
+
 (* -- visiting: replaying compile-time declarations (§5) ----------------------- *)
 
 let rec visit (m : t) =
@@ -165,25 +210,43 @@ let current_requires : string list ref ref = ref (ref [])
    contracts). *)
 let current_module_name : string ref = ref "top-level"
 
+(** File-based module resolution hook, installed by the separate
+    compilation layer ([Liblang_compiled.Resolver]): resolves a
+    [(require "path.scm")] spec to a module loaded/compiled from disk,
+    registered under its canonical path. *)
+let file_require_handler : (path:string -> loc:Srcloc.t -> t) ref =
+  ref (fun ~path ~loc ->
+      err_at loc
+        "require: file-based module resolution is not installed (require of %S)" path)
 
-let module_name_of_spec (id : Stx.t) : string =
-  if Stx.is_id id then Stx.sym_exn id
-  else err_stx id "require: expected a module name, got %s" (Stx.to_string id)
+(** Observer of successful module compilations, invoked with the module's
+    fully-expanded core forms; the artifact store persists them so a later
+    session can skip expansion and typechecking entirely. *)
+let compiled_hook : (t -> lang:string -> core_forms:Stx.t list -> unit) ref =
+  ref (fun _ ~lang:_ ~core_forms:_ -> ())
+
+(* A require spec names its module either by registry name (an identifier)
+   or by file path (a string literal, resolved from disk). *)
+let module_of_spec_head (spec : Stx.t) : t =
+  match spec.Stx.e with
+  | Stx.Id name -> find ~loc:spec.Stx.loc name
+  | Stx.Atom (Datum.Str path) -> !file_require_handler ~path ~loc:spec.Stx.loc
+  | _ -> err_stx spec "require: expected a module name or path, got %s" (Stx.to_string spec)
 
 let handle_require (spec : Stx.t) =
-  let record_and_visit name =
-    let m = find ~loc:spec.Stx.loc name in
+  let record_and_visit mod_spec =
+    let m = module_of_spec_head mod_spec in
     visit m;
     let reqs = !current_requires in
-    if not (List.mem name !reqs) then reqs := name :: !reqs;
+    if not (List.mem m.mod_name !reqs) then reqs := m.mod_name :: !reqs;
     m
   in
   match spec.Stx.e with
-  | Stx.Id _ ->
-      let m = record_and_visit (module_name_of_spec spec) in
+  | Stx.Id _ | Stx.Atom (Datum.Str _) ->
+      let m = record_and_visit spec in
       bind_exports ~ctx:spec m
   | Stx.List (kw :: mod_id :: clauses) when Stx.is_sym "only-in" kw ->
-      let m = record_and_visit (module_name_of_spec mod_id) in
+      let m = record_and_visit mod_id in
       List.iter
         (fun c ->
           match Stx.to_list c with
@@ -273,17 +336,31 @@ let compile_module ~name ~lang (body : Datum.annot list) : t =
   Expander.reset_limits ();
   Trace.span "compile-module" ~detail:name @@ fun () ->
   Metrics.count "module.compiles";
-  (* a module declared again is fully re-expanded and re-compiled: the
-     registry caches declared modules, but nothing caches expansions, so
-     this counter surfaces redundant (cache-less) recompilation work *)
+  (* [module.compiles] counts full (expand + typecheck + compile) module
+     compilations.  Since the separate-compilation layer landed it is no
+     longer the whole story: a file module acquired from the artifact
+     store bumps [module.cache_hits] (in [Liblang_compiled.Loader])
+     instead, so the two counters reconcile in [--profile] output —
+     compiles + cache_hits = modules acquired — and a warm cache shows up
+     as compiles = 0.  Re-declaring a module by the same name still
+     re-expands it eagerly; that residual cache-less work is what
+     [module.reexpansions] surfaces. *)
   if is_declared name then Metrics.count "module.reexpansions";
   with_compiling name @@ fun () ->
   Ct_store.with_fresh_store (fun () ->
       let requires = ref [ lang ] in
+      (* save the enclosing compilation's recording state: a file require
+         compiles its module {e during} the requiring module's expansion,
+         so compilations nest *)
+      let saved_requires = !current_requires in
       current_requires := requires;
       let saved_name = !current_module_name in
       current_module_name := name;
-      Fun.protect ~finally:(fun () -> current_module_name := saved_name) @@ fun () ->
+      Fun.protect
+        ~finally:(fun () ->
+          current_module_name := saved_name;
+          current_requires := saved_requires)
+      @@ fun () ->
       let sc = Scope.fresh () in
       let ctx = Stx.id ~scopes:(Scope.Set.singleton sc) "module-ctx" in
       (* the language's exports form the initial environment (§2.3) *)
@@ -298,6 +375,7 @@ let compile_module ~name ~lang (body : Datum.annot list) : t =
         Metrics.time "phase.expand" @@ fun () -> expand_module_top wrapped
       in
       (* walk the fully-expanded module and compile each form *)
+      reset_internals name;
       let m =
         {
           mod_name = name;
@@ -319,7 +397,12 @@ let compile_module ~name ~lang (body : Datum.annot list) : t =
                 | [ ids; rhs ] ->
                     let ids = Option.get (Stx.to_list ids) in
                     let globals =
-                      List.map (fun id -> Namespace.global_of (resolve_exn id)) ids
+                      List.map
+                        (fun id ->
+                          let b = resolve_exn id in
+                          record_internal ~mod_name:name (Stx.sym_exn id) b;
+                          Namespace.global_of b)
+                        ids
                     in
                     let ast = Compile.compile_expr rhs in
                     (match (globals, ast) with
@@ -349,6 +432,7 @@ let compile_module ~name ~lang (body : Datum.annot list) : t =
       m.body <- List.rev m.body;
       m.requires <- List.rev !requires;
       register m;
+      !compiled_hook m ~lang ~core_forms;
       m)
 
 (** Declare a module from full source text beginning with [#lang <name>]. *)
@@ -444,5 +528,9 @@ let add_builtin_exports (m : t) ~(ctx_id : string -> Stx.t)
     re-registered by their libraries). *)
 let reset_user_modules_for_tests () =
   Hashtbl.iter
-    (fun name m -> if not m.builtin then Hashtbl.remove registry name)
+    (fun name m ->
+      if not m.builtin then begin
+        Hashtbl.remove registry name;
+        Hashtbl.remove internals name
+      end)
     (Hashtbl.copy registry)

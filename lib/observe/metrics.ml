@@ -121,7 +121,7 @@ let reset (c : t) =
 (* -- reports ---------------------------------------------------------------- *)
 
 (** The canonical phase order of the pipeline (see docs/architecture.md). *)
-let phase_order = [ "read"; "expand"; "typecheck"; "optimize"; "compile"; "instantiate" ]
+let phase_order = [ "read"; "expand"; "typecheck"; "optimize"; "compile"; "load"; "instantiate" ]
 
 (** Human-readable profile report (what [--profile] prints). *)
 let render (c : t) : string =
@@ -155,6 +155,8 @@ let render (c : t) : string =
   section "reader" "reader." (fun (k, n) ->
       Buffer.add_string buf (Printf.sprintf "  %-28s %8d\n" k n));
   section "module system" "module." (fun (k, n) ->
+      Buffer.add_string buf (Printf.sprintf "  %-28s %8d\n" k n));
+  section "artifact cache" "cache." (fun (k, n) ->
       Buffer.add_string buf (Printf.sprintf "  %-28s %8d\n" k n));
   if c.interp_apps > 0 then
     Buffer.add_string buf (Printf.sprintf "interpreter applications: %d\n" c.interp_apps);

@@ -153,6 +153,28 @@ let quote_ty (t : Types.t) : Stx.t =
 
 let quote_sym (name : string) : Stx.t = sl [ u "quote"; Stx.id name ]
 
+(* A require/typed target is either a registry module (identifier) or a
+   file module (string path, resolved by the separate-compilation layer);
+   the blame party names it either way. *)
+let is_mod_spec (s : Stx.t) =
+  match s.Stx.e with
+  | Stx.Id _ -> true
+  | Stx.Atom (Liblang_reader.Datum.Str _) -> true
+  | _ -> false
+
+let mod_spec_label (s : Stx.t) : string =
+  match s.Stx.e with
+  | Stx.Id n -> n
+  | Stx.Atom (Liblang_reader.Datum.Str p) -> p
+  | _ -> Stx.to_string s
+
+(* Quote the blame party: a symbol for registry modules, a string for file
+   paths (both are accepted by the contract primitive). *)
+let quote_party (s : Stx.t) : Stx.t =
+  match s.Stx.e with
+  | Stx.Atom (Liblang_reader.Datum.Str _) -> sl [ u "quote"; s ]
+  | _ -> quote_sym (mod_spec_label s)
+
 (** Expand one [(id Ty)] clause of [require/typed] into the three stages of
     figure 4. *)
 let require_typed_clause ~(mod_id : Stx.t) (id : Stx.t) (ty_stx : Stx.t) : Stx.t list =
@@ -181,7 +203,7 @@ let require_typed_clause ~(mod_id : Stx.t) (id : Stx.t) (ty_stx : Stx.t) : Stx.t
                u "contract";
                type_to_contract ty;
                unsafe_id;
-               quote_sym (Stx.sym_exn mod_id);
+               quote_party mod_id;
                quote_sym this_mod;
              ];
          ]);
@@ -195,7 +217,7 @@ let require_typed_clause ~(mod_id : Stx.t) (id : Stx.t) (ty_stx : Stx.t) : Stx.t
 
 let m_require_typed (form : Stx.t) : Stx.t =
   match Stx.to_list form with
-  | Some (_ :: mod_id :: clauses) when Stx.is_id mod_id && clauses <> [] ->
+  | Some (_ :: mod_id :: clauses) when is_mod_spec mod_id && clauses <> [] ->
       let expand_clause c =
         match Stx.to_list c with
         | Some [ id; ty ] when Stx.is_id id -> require_typed_clause ~mod_id id ty

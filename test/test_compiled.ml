@@ -1,0 +1,316 @@
+(** Tests for separate compilation (lib/compiled/): the file-based module
+    resolver, the content-addressed artifact store, §5 replay from
+    artifacts, robustness against unusable artifacts, and exact dependent
+    invalidation.
+
+    Every test works in a fresh temp directory with its own cache dir and
+    calls [Compiled.reset_session] to simulate a fresh process, so a
+    "warm" run really exercises the on-disk store.  Counters are pinned
+    via a fresh metrics collector: [module.compiles] is the
+    expand-and-compile path, [module.cache_hits] the artifact replay path
+    (their sum is the number of modules acquired). *)
+
+open Test_util
+module Core = Liblang_core.Core
+module Compiled = Core.Compiled
+module Modsys = Core.Modsys
+module Prims = Core.Prims
+module Metrics = Core.Metrics
+module Observe = Core.Observe
+
+(* -- temp project dirs -------------------------------------------------------- *)
+
+let tmp_counter = ref 0
+
+let fresh_dir () =
+  incr tmp_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "liblang-test-compiled-%d-%d" (Unix.getpid ()) !tmp_counter)
+  in
+  (try Unix.mkdir d 0o755 with Unix.Unix_error _ -> ());
+  d
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(** Where the store keeps [key]'s artifact under [cache]. *)
+let artifact_file ~cache key =
+  Filename.concat cache (Compiled.Digest_util.key_file key ^ ".lart")
+
+(* -- running through the resolver --------------------------------------------- *)
+
+(** Compile+instantiate [path] as a fresh process would (session state
+    reset first), through a store at [cache] if given; return captured
+    output and the metrics collector. *)
+let run_measured ?cache path : string * Metrics.t =
+  let c = Metrics.create () in
+  Compiled.reset_session ();
+  let go () =
+    let m = Compiled.compile_file path in
+    Modsys.instantiate m
+  in
+  let out, () =
+    Prims.with_captured_output (fun () ->
+        Observe.with_ctx
+          { Observe.metrics = Some c; trace = None }
+          (fun () ->
+            match cache with None -> go () | Some dir -> Compiled.with_cache_dir dir go))
+  in
+  (out, c)
+
+let run_file ?cache path : string = fst (run_measured ?cache path)
+
+(** Same, expecting an error; returns a label describing it. *)
+let run_file_err ?cache path : string =
+  match run_file ?cache path with
+  | out -> "no error; output: " ^ out
+  | exception Modsys.Module_error (m, _) -> "module: " ^ m
+  | exception Core.Contracts.Contract_violation { blame; contract; _ } ->
+      Printf.sprintf "contract: %s blaming %s" contract blame
+  | exception Core.Diagnostic.Failed ds ->
+      "typecheck: " ^ String.concat "; " (List.map Core.Diagnostic.to_string ds)
+
+let compiles c = Metrics.get c "module.compiles"
+let hits c = Metrics.get c "module.cache_hits"
+let stale c = Metrics.get c "cache.stale"
+
+(* -- the file resolver (no cache) --------------------------------------------- *)
+
+let file_require_basic () =
+  let dir = fresh_dir () in
+  write_file (Filename.concat dir "lib.scm")
+    "#lang racket\n(provide double)\n(define (double x) (* 2 x))\n";
+  write_file (Filename.concat dir "main.scm")
+    "#lang racket\n(require \"lib.scm\")\n(display (double 21))\n";
+  check_s "file require output" "42" (run_file (Filename.concat dir "main.scm"))
+
+let file_require_relative_nesting () =
+  (* requires resolve relative to the requiring file, not the cwd *)
+  let dir = fresh_dir () in
+  let sub = Filename.concat dir "sub" in
+  (try Unix.mkdir sub 0o755 with Unix.Unix_error _ -> ());
+  write_file (Filename.concat sub "inner.scm") "#lang racket\n(provide n)\n(define n 7)\n";
+  write_file (Filename.concat sub "mid.scm")
+    "#lang racket\n(provide n)\n(require \"inner.scm\")\n";
+  write_file (Filename.concat dir "main.scm")
+    "#lang racket\n(require \"sub/mid.scm\")\n(display n)\n";
+  check_s "nested relative require" "7" (run_file (Filename.concat dir "main.scm"))
+
+let file_require_missing () =
+  let dir = fresh_dir () in
+  write_file (Filename.concat dir "main.scm") "#lang racket\n(require \"nope.scm\")\n";
+  let msg = run_file_err (Filename.concat dir "main.scm") in
+  check_b "missing file is a module diagnostic" true
+    (contains msg "cannot read module file")
+
+let file_require_cycle () =
+  let dir = fresh_dir () in
+  write_file (Filename.concat dir "a.scm") "#lang racket\n(require \"b.scm\")\n";
+  write_file (Filename.concat dir "b.scm") "#lang racket\n(require \"a.scm\")\n";
+  let msg = run_file_err (Filename.concat dir "a.scm") in
+  check_b "cross-file cycle detected" true (contains msg "cyclic require")
+
+(* -- the warm path ------------------------------------------------------------- *)
+
+(* A three-module project: main requires dep and other. *)
+let project () =
+  let dir = fresh_dir () in
+  let cache = Filename.concat dir "cache" in
+  write_file (Filename.concat dir "dep.scm")
+    "#lang racket\n(provide inc)\n(define (inc x) (+ x 1))\n";
+  write_file (Filename.concat dir "other.scm")
+    "#lang racket\n(provide ten)\n(define ten 10)\n";
+  write_file (Filename.concat dir "main.scm")
+    "#lang racket\n(require \"dep.scm\")\n(require \"other.scm\")\n(display (inc ten))\n";
+  (dir, cache, Filename.concat dir "main.scm")
+
+let warm_run_zero_compiles () =
+  let _, cache, main = project () in
+  let cold, c0 = run_measured ~cache main in
+  check_s "cold output" "11" cold;
+  check_i "cold compiles all three" 3 (compiles c0);
+  check_i "cold hits nothing" 0 (hits c0);
+  let warm, c1 = run_measured ~cache main in
+  check_s "warm output identical" cold warm;
+  check_i "warm compiles nothing" 0 (compiles c1);
+  check_i "warm hits all three" 3 (hits c1)
+
+let dependent_invalidation_exact () =
+  let dir, cache, main = project () in
+  let cold, _ = run_measured ~cache main in
+  ignore (run_measured ~cache main);
+  (* editing dep invalidates dep and main (its dependent) but not other *)
+  write_file (Filename.concat dir "dep.scm")
+    "#lang racket\n(provide inc)\n(define (inc x) (+ x 1))\n;; touched\n";
+  let warm, c = run_measured ~cache main in
+  check_s "output unchanged by the edit" cold warm;
+  check_i "exactly dep and main recompile" 2 (compiles c);
+  check_i "other still hits" 1 (hits c);
+  check_b "staleness was counted" true (stale c >= 1);
+  (* and the rewritten artifacts make the next run fully warm again *)
+  let _, c2 = run_measured ~cache main in
+  check_i "steady state: no compiles" 0 (compiles c2);
+  check_i "steady state: all hits" 3 (hits c2)
+
+(* -- robustness: unusable artifacts degrade to recompiles ---------------------- *)
+
+(** Cold-compile a one-module project, mutate something ([mutate ~src
+    ~art] gets the source path and its artifact path), then re-run warm:
+    output must be byte-identical, the module must recompile, and the
+    staleness must be counted (never an error). *)
+let robustness name mutate =
+  Alcotest.test_case name `Quick (fun () ->
+      let dir = fresh_dir () in
+      let cache = Filename.concat dir "cache" in
+      let src = Filename.concat dir "m.scm" in
+      write_file src "#lang racket\n(define (sq x) (* x x))\n(display (sq 9))\n";
+      let cold, c0 = run_measured ~cache src in
+      check_i (name ^ ": cold compiles") 1 (compiles c0);
+      let art = artifact_file ~cache (Compiled.Resolver.module_key src) in
+      check_b (name ^ ": artifact written") true (Sys.file_exists art);
+      mutate ~src ~art;
+      let warm, c = run_measured ~cache src in
+      check_s (name ^ ": output byte-identical") cold warm;
+      check_i (name ^ ": recompiled from source") 1 (compiles c);
+      check_i (name ^ ": nothing loaded from cache") 0 (hits c);
+      check_b (name ^ ": staleness counted") true (stale c >= 1);
+      (* the recompile rewrote a good artifact *)
+      let _, c2 = run_measured ~cache src in
+      check_i (name ^ ": healed") 1 (hits c2))
+
+let t_corrupt = robustness "corrupt artifact" (fun ~src:_ ~art ->
+    write_file art "(this is ;; not an artifact")
+
+let t_truncated = robustness "truncated artifact" (fun ~src:_ ~art ->
+    let text = read_file art in
+    write_file art (String.sub text 0 (String.length text / 2)))
+
+(* replace the first occurrence of [needle] in [hay] with [repl] *)
+let replace_first hay needle repl =
+  let nh = String.length hay and nn = String.length needle in
+  let rec find i = if i + nn > nh then None else if String.sub hay i nn = needle then Some i else find (i + 1) in
+  match find 0 with
+  | None -> hay
+  | Some i -> String.sub hay 0 i ^ repl ^ String.sub hay (i + nn) (nh - i - nn)
+
+let t_version_skew = robustness "format version skew" (fun ~src:_ ~art ->
+    let text = read_file art in
+    let skewed = replace_first text "(version 1)" "(version 999)" in
+    check_b "artifact records its version" true (text <> skewed);
+    write_file art skewed)
+
+let t_stale_source = robustness "stale source" (fun ~src ~art:_ ->
+    write_file src "#lang racket\n(define (sq x) (* x x))\n(display (sq 9))\n;; edited\n")
+
+let stale_transitive_require () =
+  let dir = fresh_dir () in
+  let cache = Filename.concat dir "cache" in
+  write_file (Filename.concat dir "dep.scm")
+    "#lang racket\n(provide base)\n(define base 40)\n";
+  let main = Filename.concat dir "main.scm" in
+  write_file main "#lang racket\n(require \"dep.scm\")\n(display (+ base 2))\n";
+  let cold, _ = run_measured ~cache main in
+  (* editing dep changes its artifact digest; main's own source is
+     untouched but its recorded require digest no longer matches *)
+  write_file (Filename.concat dir "dep.scm")
+    "#lang racket\n(provide base)\n(define base 40)\n;; touched\n";
+  let warm, c = run_measured ~cache main in
+  check_s "stale require: output byte-identical" cold warm;
+  check_i "stale require: both recompile" 2 (compiles c);
+  check_b "stale require: staleness counted" true (stale c >= 1)
+
+(* -- §5 replay: the type environment comes back from the artifact -------------- *)
+
+let typed_lib_source =
+  "#lang typed/racket\n\
+   (provide scale)\n\
+   (: scale (Integer -> Integer))\n\
+   (define (scale x) (* 10 x))\n"
+
+(** A typed client compiled fresh against an artifact-loaded typed
+    library still sees the library's types: the serialized
+    [begin-for-syntax] declarations are replayed by [visit], not
+    re-expanded. *)
+let replay_types_from_artifact () =
+  let dir = fresh_dir () in
+  let cache = Filename.concat dir "cache" in
+  let lib = Filename.concat dir "lib.scm" in
+  write_file lib typed_lib_source;
+  (* cold-compile the library alone so its artifact exists *)
+  Compiled.reset_session ();
+  Compiled.with_cache_dir cache (fun () -> ignore (Compiled.compile_file lib));
+  (* a new typed client: the library must replay from its artifact *)
+  let client = Filename.concat dir "client.scm" in
+  write_file client
+    "#lang typed/racket\n\
+     (require \"lib.scm\")\n\
+     (define (main) : Integer (scale 4))\n\
+     (display (main))\n";
+  let out, c = run_measured ~cache client in
+  check_s "typed client against replayed lib" "40" out;
+  check_i "only the client compiles" 1 (compiles c);
+  check_i "the lib replays from its artifact" 1 (hits c);
+  (* the replayed type environment really typechecks: an ill-typed use
+     of the replayed export is rejected at compile time *)
+  let bad = Filename.concat dir "bad.scm" in
+  write_file bad "#lang typed/racket\n(require \"lib.scm\")\n(display (scale \"nope\"))\n";
+  let msg = run_file_err ~cache bad in
+  check_b "ill-typed client still rejected" true (contains msg "typecheck")
+
+(** The §6.2 boundary survives replay: an untyped client of a replayed
+    typed module goes through the same defensive export indirection —
+    same output on the good path, same blame on the bad path — whether
+    the typed module was compiled from source or loaded from its
+    artifact. *)
+let replay_boundary_contracts () =
+  let dir = fresh_dir () in
+  let cache = Filename.concat dir "cache" in
+  write_file (Filename.concat dir "lib.scm") typed_lib_source;
+  let good = Filename.concat dir "good.scm" in
+  write_file good "#lang racket\n(require \"lib.scm\")\n(display (scale 4))\n";
+  let bad = Filename.concat dir "bad.scm" in
+  write_file bad "#lang racket\n(require \"lib.scm\")\n(display (scale \"nope\"))\n";
+  (* uncached reference behaviour *)
+  let good_ref = run_file good in
+  let bad_ref = run_file_err bad in
+  check_b "reference: contract blames the untyped client" true (contains bad_ref "contract:");
+  (* cold (writes artifacts), then warm from artifacts only *)
+  ignore (run_measured ~cache good);
+  let good_warm, c = run_measured ~cache good in
+  check_i "boundary client replays fully warm" 2 (hits c);
+  check_i "boundary client: no compiles warm" 0 (compiles c);
+  check_s "good path identical cached/uncached" good_ref good_warm;
+  ignore (run_file_err ~cache bad);
+  let bad_warm = run_file_err ~cache bad in
+  check_s "blame identical cached/uncached" bad_ref bad_warm
+
+(* -- suite --------------------------------------------------------------------- *)
+
+let t name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    t "file require: basic" file_require_basic;
+    t "file require: relative to requiring file" file_require_relative_nesting;
+    t "file require: missing file" file_require_missing;
+    t "file require: cross-file cycle" file_require_cycle;
+    t "warm run: zero compiles, all hits" warm_run_zero_compiles;
+    t "invalidation: exactly the dependents" dependent_invalidation_exact;
+    t_corrupt;
+    t_truncated;
+    t_version_skew;
+    t_stale_source;
+    t "stale transitive require" stale_transitive_require;
+    t "§5 replay: types from artifact" replay_types_from_artifact;
+    t "§6.2 replay: boundary contracts" replay_boundary_contracts;
+  ]

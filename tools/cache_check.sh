@@ -1,0 +1,93 @@
+#!/bin/sh
+# Cache coherence gate (CI): exercise the separate-compilation layer
+# (lib/compiled/, docs/compilation.md) over every example and adversarial
+# corpus file, twice, through one shared artifact store.
+#
+#   pass 1 (cold): every file must either compile (exit 0) or fail with
+#     ordinary diagnostics (exit 1) -- any other exit means the compiler
+#     crashed instead of containing the failure;
+#   pass 2 (warm): every file that compiled must now be satisfied
+#     entirely from the store (compiles=0, misses=0 on the summary line);
+#   runs: every example must print byte-identical output with and
+#     without the cache, with matching exit codes.
+#
+# Usage: tools/cache_check.sh [path/to/liblang.exe]   (from the repo root;
+# the script cd's there itself when invoked from elsewhere)
+
+set -u
+cd "$(dirname "$0")/.." || exit 2
+
+LIBLANG=${1:-_build/default/bin/liblang.exe}
+if [ ! -x "$LIBLANG" ]; then
+  echo "cache_check: $LIBLANG not built (dune build bin/liblang.exe first)" >&2
+  exit 2
+fi
+
+# Bound each invocation when coreutils timeout is available (a hang is a
+# failure, not a freeze).
+if command -v timeout >/dev/null 2>&1; then RUN="timeout 120"; else RUN=""; fi
+
+WORK=$(mktemp -d)
+CACHE="$WORK/cache"
+trap 'rm -rf "$WORK"' EXIT INT TERM
+
+fail=0
+bad() { printf 'cache_check FAIL: %s\n' "$*" >&2; fail=1; }
+
+files="examples/scm/*.scm test/corpus/*.scm"
+
+# -- pass 1: cold ------------------------------------------------------------
+for f in $files; do
+  out=$($RUN "$LIBLANG" compile --cache-dir "$CACHE" "$f" 2>/dev/null)
+  code=$?
+  case $code in
+    0) printf '%s\n' "$f" >>"$WORK/ok" ;;
+    1) ;; # ordinary diagnostics: expected for the adversarial corpus
+    *) bad "$f: cold compile exited $code (diagnostics should exit 1, never crash)" ;;
+  esac
+done
+
+if [ ! -f "$WORK/ok" ]; then
+  bad "no file compiled successfully on the cold pass"
+fi
+
+# -- pass 2: warm ------------------------------------------------------------
+if [ -f "$WORK/ok" ]; then
+  while IFS= read -r f; do
+    out=$($RUN "$LIBLANG" compile --cache-dir "$CACHE" "$f" 2>/dev/null)
+    code=$?
+    if [ "$code" -ne 0 ]; then
+      bad "$f: warm compile exited $code"
+      continue
+    fi
+    case $out in
+      *"compiles=0 "*) : ;;
+      *) bad "$f: warm pass recompiled instead of loading artifacts: $out" ;;
+    esac
+    case $out in
+      *"misses=0"*) : ;;
+      *) bad "$f: warm pass missed the cache: $out" ;;
+    esac
+  done <"$WORK/ok"
+fi
+
+# -- cached vs uncached run output -------------------------------------------
+for f in examples/scm/*.scm; do
+  plain=$($RUN "$LIBLANG" run "$f" 2>/dev/null)
+  pc=$?
+  cached=$($RUN "$LIBLANG" run --cache-dir "$CACHE" "$f" 2>/dev/null)
+  cc=$?
+  if [ "$pc" -ne "$cc" ]; then
+    bad "$f: exit code diverges cached ($cc) vs uncached ($pc)"
+  fi
+  if [ "$plain" != "$cached" ]; then
+    bad "$f: cached run output diverges from uncached"
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  n=0
+  [ -f "$WORK/ok" ] && n=$(wc -l <"$WORK/ok")
+  echo "cache_check OK: $n modules warm-loaded; cached and uncached runs agree"
+fi
+exit "$fail"
