@@ -46,6 +46,13 @@ type result = {
           reset in between — so the warm number is the §5 replay path
           (load from artifact, no expansion or typechecking) and the cold
           number is compile-from-source plus the artifact write *)
+  expand_ms : float;
+      (** expansion-only front-end time for this variant's source: median
+          of repeated [Modsys.expand_source] calls (read + expand, no
+          typecheck/compile/instantiate for untyped variants; typed
+          variants include whatever their language runs during module
+          expansion).  This is the number the hygiene-at-speed series
+          tracks. *)
 }
 
 let now () = Unix.gettimeofday ()
@@ -148,6 +155,40 @@ let run_once (m : Modsys.t) (v : variant) : string * float =
       in
       (out, dt))
 
+(* -- the expansion-only series -------------------------------------------- *)
+
+let expand_name_counter = ref 0
+
+(** Median expansion-only time for [source] (a full [#lang] program) in
+    milliseconds: [Modsys.expand_source] under a monotonic clock, after
+    one warmup, with a fresh module name per call so no session state is
+    reused.  The binding table is snapshotted before and restored after:
+    the throwaway expansions would otherwise keep growing the per-name
+    binder lists that every *later* measurement's resolutions scan,
+    slowly poisoning the rest of the figure (most visibly the
+    [compile_cold_ms] series). *)
+let measure_expand_ms ?(rounds = 3) ~name (source : string) : float =
+  let snap = Core.Binding.snapshot () in
+  Fun.protect
+    ~finally:(fun () -> Core.Binding.restore snap)
+    (fun () ->
+      let once () =
+        incr expand_name_counter;
+        let n = Printf.sprintf "%s-expand-%d" name !expand_name_counter in
+        let t0 = now () in
+        ignore (Core.Modsys.expand_source ~name:n source);
+        now () -. t0
+      in
+      ignore (once ());
+      let samples = List.sort compare (List.init rounds (fun _ -> once ())) in
+      1000.0 *. List.nth samples (rounds / 2))
+
+let variant_source (b : Programs.t) (v : variant) : string =
+  let lang, body =
+    if is_typed v then ("typed/racket", b.Programs.typed) else ("racket", b.Programs.untyped)
+  in
+  "#lang " ^ lang ^ "\n" ^ body
+
 (** Measure one benchmark under several variants at once: warmup each,
     then alternate single runs round-robin (so machine noise affects all
     variants alike) and report the median — the moral equivalent of the
@@ -160,6 +201,13 @@ let measure_variants ?(rounds = 9) (b : Programs.t) (variants : variant list)
   let cached_results =
     List.map
       (fun v -> (v, if !cached_series then Some (measure_cached b v) else None))
+      variants
+  in
+  let expand_rounds = min 3 (max 1 rounds) in
+  let expands =
+    List.map
+      (fun v ->
+        (v, measure_expand_ms ~rounds:expand_rounds ~name:b.Programs.name (variant_source b v)))
       variants
   in
   let ms = List.map (fun v -> (v, declare_variant_counted b v)) variants in
@@ -181,7 +229,8 @@ let measure_variants ?(rounds = 9) (b : Programs.t) (variants : variant list)
       let l = !(List.assoc v samples) in
       let rewrites = snd (List.assoc v ms) in
       let cached = List.assoc v cached_results in
-      { mean_ms = 1000.0 *. median l; checksum; runs = rounds; rewrites; cached }
+      let expand_ms = List.assoc v expands in
+      { mean_ms = 1000.0 *. median l; checksum; runs = rounds; rewrites; cached; expand_ms }
       |> fun r -> (v, r))
     variants
 
@@ -245,6 +294,56 @@ let run_figure ?rounds ~title ~figure ~(variants : variant list) () : row list =
     (Programs.by_figure figure);
   List.rev !rows
 
+(* -- the expansion stress figure ---------------------------------------------
+
+   The macro-heavy stress family ([Programs.expand_family]) is measured
+   expansion-only (the evaluator never sees most of these programs'
+   cost), and each program is additionally run once so its printed
+   checksum can be compared against the generator's closed-form expected
+   value — a mangled expansion cannot pass as a speedup. *)
+
+type expand_row = {
+  stress : Programs.t;
+  stress_expand_ms : float;
+  stress_checksum : string;
+  stress_expected : string;
+}
+
+let run_expand_figure ?(rounds = 3) () : expand_row list =
+  Printf.printf "\n%s\nExpansion stress family (expansion-only; the hygiene-at-speed series)\n%s\n"
+    line line;
+  Printf.printf "%-14s %-10s %14s %12s %10s\n" "benchmark" "suite" "expand(ms)" "checksum" "ok";
+  List.map
+    (fun ((b : Programs.t), expected) ->
+      let source = variant_source b Base in
+      let expand_ms = measure_expand_ms ~rounds ~name:b.Programs.name source in
+      let m = declare_variant b Base in
+      let checksum, _ = run_once m Base in
+      if not (String.equal checksum expected) then begin
+        checksum_mismatches := (b.Programs.name, Base) :: !checksum_mismatches;
+        Printf.printf "!! %s: expected checksum %s, got %s\n" b.Programs.name expected checksum
+      end;
+      Printf.printf "%-14s %-10s %14.2f %12s %10s\n" b.Programs.name b.Programs.suite expand_ms
+        checksum
+        (if String.equal checksum expected then "yes" else "NO");
+      flush stdout;
+      { stress = b; stress_expand_ms = expand_ms; stress_checksum = checksum; stress_expected = expected })
+    Programs.expand_family
+
+let json_of_expand_rows (rows : expand_row list) : Json.t =
+  Json.Arr
+    (List.map
+       (fun r ->
+         Json.Obj
+           [
+             ("name", Json.Str r.stress.Programs.name);
+             ("expand_ms", Json.Num r.stress_expand_ms);
+             ("checksum", Json.Str r.stress_checksum);
+             ("expected", Json.Str r.stress_expected);
+             ("ok", Json.Bool (String.equal r.stress_checksum r.stress_expected));
+           ])
+       rows)
+
 (* -- machine-readable output (BENCH_<figure>.json) ---------------------------- *)
 
 (** The JSON shape of a figure run; schema documented in
@@ -253,7 +352,7 @@ let run_figure ?rounds ~title ~figure ~(variants : variant list) () : row list =
     per-rule firing histogram for the variant's compilation, so a claimed
     speedup (e.g. EXPERIMENTS.md's sumfp 0.55x) is checkable against the
     rules that produced it. *)
-let json_of_figure ~figure ~rounds ~smoke (rows : row list) : Json.t =
+let json_of_figure ?(expansion = []) ~figure ~rounds ~smoke (rows : row list) : Json.t =
   let json_of_result (v, (r : result)) =
     Json.Obj
       ([
@@ -261,6 +360,7 @@ let json_of_figure ~figure ~rounds ~smoke (rows : row list) : Json.t =
          ("median_ms", Json.Num r.mean_ms);
          ("checksum", Json.Str r.checksum);
          ("runs", Json.Num (float_of_int r.runs));
+         ("expand_ms", Json.Num r.expand_ms);
        ]
       @ (match r.cached with
         | None -> []
@@ -314,14 +414,16 @@ let json_of_figure ~figure ~rounds ~smoke (rows : row list) : Json.t =
              (fun (name, v) -> Json.Str (name ^ "/" ^ variant_name v))
              !checksum_mismatches) );
       ("benchmarks", Json.Arr (List.map json_of_row rows));
+      ("expansion_stress", json_of_expand_rows expansion);
     ]
 
 (** Write a figure's rows to [path] (e.g. [BENCH_fig6.json]). *)
-let write_figure_json ~path ~figure ~rounds ~smoke (rows : row list) =
+let write_figure_json ?expansion ~path ~figure ~rounds ~smoke (rows : row list) =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
-      output_string oc (Json.to_string ~pretty:true (json_of_figure ~figure ~rounds ~smoke rows));
+      output_string oc
+        (Json.to_string ~pretty:true (json_of_figure ?expansion ~figure ~rounds ~smoke rows));
       output_char oc '\n');
   Printf.printf "wrote %s\n%!" path

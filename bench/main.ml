@@ -3,7 +3,7 @@
     table.
 
     Usage:
-    [dune exec bench/main.exe -- [fig6|fig7|fig8|fig9|prose|ablate|boundary|bechamel|all] [--quick|--smoke] [--cached]]
+    [dune exec bench/main.exe -- [fig6|fig7|fig8|fig9|prose|ablate|boundary|bechamel|expand|all] [--quick|--smoke] [--cached|--expand]]
 
     [fig6] (alone or within [all]) additionally writes [BENCH_fig6.json]
     — per-benchmark medians, variants, checksums, and optimizer rewrite
@@ -22,12 +22,17 @@ module Core = Liblang_core.Core
 open Harness
 
 let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv
+let expand_mode = Array.exists (fun a -> a = "--expand" || a = "expand") Sys.argv
 let quick = smoke || Array.exists (fun a -> a = "--quick") Sys.argv
 let cached = Array.exists (fun a -> a = "--cached") Sys.argv
 let rounds = if smoke then 1 else if quick then 3 else 9
 let () = Harness.cached_series := cached
 
 let fig6 () =
+  (* the expansion series runs first: expansion-only timings are sensitive
+     to how many bindings earlier compilations have piled into the global
+     binding table, so the stress family is measured on a quiet table *)
+  let expansion = run_expand_figure ~rounds:(if smoke then 1 else 3) () in
   let rows =
     run_figure ~rounds
       ~title:
@@ -37,7 +42,7 @@ let fig6 () =
       ~variants:[ Naive_backend; Base; Typed ]
       ()
   in
-  write_figure_json ~path:"BENCH_fig6.json" ~figure:"fig6" ~rounds ~smoke rows
+  write_figure_json ~expansion ~path:"BENCH_fig6.json" ~figure:"fig6" ~rounds ~smoke rows
 
 let fig7 () =
   run_figure ~rounds ~title:"Figure 7: Computer Language Benchmarks Game" ~figure:"fig7"
@@ -204,7 +209,8 @@ let finish () =
 let () =
   Core.init ();
   let arg =
-    if
+    if expand_mode then "expand"
+    else if
       Array.length Sys.argv > 1
       && Sys.argv.(1) <> "--quick"
       && Sys.argv.(1) <> "--smoke"
@@ -213,6 +219,10 @@ let () =
     else "all"
   in
   (match arg with
+  (* --expand: the hygiene-at-speed series — fig6 with its per-variant
+     [expand_ms] fields plus the expansion stress family, written to
+     BENCH_fig6.json (the CI perf-smoke step runs this with --smoke) *)
+  | "expand" -> fig6 ()
   | "fig6" -> fig6 ()
   | "fig7" -> ignore (fig7 ())
   | "fig8" -> ignore (fig8 ())

@@ -1234,6 +1234,67 @@ let sortedset =
 (display (main))
 |}
 
+(* ------------------------------------------------------------------ *)
+(* Expansion stress family (the hygiene-at-speed series)               *)
+(* ------------------------------------------------------------------ *)
+
+(* Macro-heavy programs that stress the expansion front end rather than
+   the evaluator: a doubling [syntax-rules] tower (every use of [tN]
+   expands to two uses of [tN-1], so one call site explodes into 2^N
+   transformer applications) over a [nest] macro that winds [nvars]
+   [let]-bindings around the body one macro step at a time.  The nest is
+   the adversarial part for sets-of-scopes hygiene: each step re-wraps
+   the whole remaining body, every binder adds a scope, and the innermost
+   references carry scope sets of size O(nvars) — the naive
+   copy-per-scope-op implementation degrades quadratically here, which is
+   exactly what the lazy-propagation series is meant to expose (see
+   docs/architecture.md, "hygiene internals").
+
+   Each program prints [copies * (2^depth + nvars)] so the harness can
+   verify the expansion was not mangled (the checksum gate). *)
+
+let stress_body ~depth ~nvars ~copies : string =
+  let buf = Buffer.create 4096 in
+  let add fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n')
+      fmt
+  in
+  add "(define-syntax-rule (inc x) (+ x 1))";
+  add "(define-syntax-rule (t0 x) (inc x))";
+  for i = 1 to depth do
+    add "(define-syntax-rule (t%d x) (t%d (t%d x)))" i (i - 1) (i - 1)
+  done;
+  add "(define-syntax nest";
+  add "  (syntax-rules ()";
+  add "    [(_ () body) body]";
+  add "    [(_ (v vs ...) body) (let ([v 1]) (nest (vs ...) body))]))";
+  let vars = String.concat " " (List.init nvars (Printf.sprintf "v%d")) in
+  for c = 0 to copies - 1 do
+    add "(define (go%d) (nest (%s) (+ (t%d 0) %s)))" c vars depth vars
+  done;
+  let calls = String.concat " " (List.init copies (Printf.sprintf "(go%d)")) in
+  add "(display (+ %s))" calls;
+  Buffer.contents buf
+
+(* The expansion series is untyped-only: the [typed] field holds the same
+   body, but the harness only expands the untyped variant. *)
+let stress name ~depth ~nvars ~copies =
+  let body = stress_body ~depth ~nvars ~copies in
+  let p = b name "expand" "hygiene" body body in
+  let expected = copies * ((1 lsl depth) + nvars) in
+  (p, string_of_int expected)
+
+let stress_small = stress "stx-small" ~depth:4 ~nvars:96 ~copies:2
+let stress_mid = stress "stx-mid" ~depth:5 ~nvars:128 ~copies:2
+let stress_big = stress "stx-big" ~depth:6 ~nvars:192 ~copies:3
+
+(** The macro-heavy stress family with each program's expected printed
+    checksum (what [display] must produce if expansion is correct). *)
+let expand_family : (t * string) list = [ stress_small; stress_mid; stress_big ]
+
 let all : t list =
   [
     tak; cpstak; takl; deriv; divrec; nqueens; sum; sumfp; fib; fibfp; ack; mbrot; heapsort;
@@ -1242,6 +1303,7 @@ let all : t list =
     pseudoknot;
     raytrace; fft; bankers_queue; sortedset;
   ]
+  @ List.map fst expand_family
 
 let by_figure fig = List.filter (fun b -> String.equal b.figure fig) all
 let find name = List.find (fun b -> String.equal b.name name) all

@@ -62,7 +62,7 @@ let () =
     match Stx.to_list form with
     | Some [ _; arg ] -> (
         let expanded = Expander.local_expand arg Expander.Expression in
-        match expanded.Stx.e with
+        match Stx.view expanded with
         | Stx.List (head :: _)
           when Stx.is_id head
                && Binding.free_identifier_eq head (Expander.core_id "#%plain-lambda") ->

@@ -89,7 +89,7 @@ let load (a : Artifact.t) : Modsys.t =
       Modsys.reset_internals name;
       List.iter
         (fun (form : Stx.t) ->
-          match form.Stx.e with
+          match Stx.view form with
           | Stx.List (hd :: rest) when Stx.is_id hd -> (
               match Modsys.core_kind hd with
               | Some "#%require" -> List.iter Modsys.handle_require rest
@@ -138,7 +138,7 @@ let load (a : Artifact.t) : Modsys.t =
       (* pass B: compile each core form, re-evaluating transformers and
          regenerating compile-time thunks from the serialized declarations *)
       let load_form (form : Stx.t) =
-        match form.Stx.e with
+        match Stx.view form with
         | Stx.List (hd :: rest) when Stx.is_id hd -> (
             match Modsys.core_kind hd with
             | Some "define-values" -> (

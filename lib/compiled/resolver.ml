@@ -216,7 +216,7 @@ let compute_links (m : Liblang_modules.Modsys.t) (core_forms : Stx.t list) :
               | None -> ())))
   in
   let rec walk (s : Stx.t) =
-    match s.Stx.e with
+    match Stx.view s with
     | Stx.Id _ -> consider s
     | Stx.List (hd :: args) when Stx.is_id hd -> (
         match Modsys.core_kind hd with

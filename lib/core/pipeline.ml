@@ -41,20 +41,45 @@ let default_compile_fuel = 10_000_000
 
 let in_note (s : Stx.t) = [ Diagnostic.note ("in: " ^ Diagnostic.truncated (Stx.to_string s)) ]
 
+(* The hygiene engine (lib/stx) keeps plain monotonic int refs for its hot
+   counters — resolver cache hits/misses and lazy scope pushes — so the
+   expander's inner loop never hashes a metric name.  This wrapper flushes
+   the deltas accumulated during [f] into the ambient collector as the
+   ["expand.resolve_hits"]/["expand.resolve_misses"]/["stx.scope_pushes"]
+   metrics (plus interning gauges); it is a no-op without a collector. *)
+let with_stx_counters (f : unit -> 'a) : 'a =
+  if not (Metrics.installed ()) then f ()
+  else begin
+    let h0 = !Binding.resolve_hits
+    and m0 = !Binding.resolve_misses
+    and p0 = !Stx.scope_pushes
+    and sy0 = Stx.Symbol.interned_count ()
+    and sc0 = Liblang_stx.Scope.Set.interned_count () in
+    Fun.protect
+      ~finally:(fun () ->
+        Metrics.countn "expand.resolve_hits" (!Binding.resolve_hits - h0);
+        Metrics.countn "expand.resolve_misses" (!Binding.resolve_misses - m0);
+        Metrics.countn "stx.scope_pushes" (!Stx.scope_pushes - p0);
+        Metrics.countn "stx.symbols_interned" (Stx.Symbol.interned_count () - sy0);
+        Metrics.countn "stx.scope_sets_interned"
+          (Liblang_stx.Scope.Set.interned_count () - sc0))
+      f
+  end
+
 (** Translate a known pipeline exception to a located diagnostic;
     [None] for foreign exceptions (the caller wraps those as [Internal]). *)
 let diagnostic_of_exn : exn -> Diagnostic.t option = function
   | Reader.Error (m, loc) -> Some (Diagnostic.error ~phase:Reader ~loc m)
   | Expander.Expand_error (m, stx) ->
-      Some (Diagnostic.error ~phase:Expander ~loc:stx.Stx.loc m ~notes:(in_note stx))
+      Some (Diagnostic.error ~phase:Expander ~loc:(Stx.loc stx) m ~notes:(in_note stx))
   | Syntax_rules.Bad_syntax (m, stx) ->
-      Some (Diagnostic.error ~phase:Expander ~loc:stx.Stx.loc m ~notes:(in_note stx))
+      Some (Diagnostic.error ~phase:Expander ~loc:(Stx.loc stx) m ~notes:(in_note stx))
   | Binding.Ambiguous id ->
       Some
-        (Diagnostic.error ~phase:Expander ~loc:id.Stx.loc
+        (Diagnostic.error ~phase:Expander ~loc:(Stx.loc id)
            ("ambiguous identifier: " ^ Stx.to_string id))
   | Compile.Compile_error (m, stx) ->
-      Some (Diagnostic.error ~phase:Compile ~loc:stx.Stx.loc m ~notes:(in_note stx))
+      Some (Diagnostic.error ~phase:Compile ~loc:(Stx.loc stx) m ~notes:(in_note stx))
   | Modsys.Module_error (m, loc) -> Some (Diagnostic.error ~phase:Module ~loc m)
   | Check.Type_error (m, s) -> Some (Check.diagnostic_of m s)
   | Types.Parse_error (m, loc) ->
@@ -133,6 +158,7 @@ let run ?fuel ?name ?(observe = Observe.nothing) (source : string) :
   let name = match name with Some n -> n | None -> Core.fresh_module_name "program" in
   Sources.register ~file:name source;
   Observe.with_ctx observe (fun () ->
+      with_stx_counters @@ fun () ->
       Trace.span "run" ~detail:name (fun () ->
           contain ?fuel (fun () ->
               let lang, datums = read_module_body ~name source in
@@ -163,6 +189,7 @@ let compile_file ?fuel ?cache_dir ?(observe = Observe.nothing) (path : string) :
     (unit, Diagnostic.t list) result =
   Core.init ();
   Observe.with_ctx observe (fun () ->
+      with_stx_counters @@ fun () ->
       Trace.span "compile" ~detail:path (fun () ->
           contain ?fuel (fun () ->
               with_optional_cache cache_dir (fun () ->
@@ -188,6 +215,7 @@ let run_file ?fuel ?cache_dir ?(observe = Observe.nothing) (path : string) :
          from its artifact instead of compiled *)
       Core.init ();
       Observe.with_ctx observe (fun () ->
+      with_stx_counters @@ fun () ->
           Trace.span "run" ~detail:path (fun () ->
               contain ?fuel (fun () ->
                   with_optional_cache cache_dir (fun () ->
@@ -204,6 +232,7 @@ let expand ?fuel ?name ?(observe = Observe.nothing) (source : string) :
   let name = match name with Some n -> n | None -> Core.fresh_module_name "program" in
   Sources.register ~file:name source;
   Observe.with_ctx observe (fun () ->
+      with_stx_counters @@ fun () ->
       contain ?fuel (fun () ->
           match Reader.split_lang_line source with
           | None -> ignore (read_module_body ~name source); assert false
@@ -215,6 +244,7 @@ let eval ?fuel ?(lang = "racket") ?(observe = Observe.nothing) (src : string) :
     (Value.value, Diagnostic.t list) result =
   Core.init ();
   Observe.with_ctx observe (fun () ->
+      with_stx_counters @@ fun () ->
       contain ?fuel (fun () ->
           Interp.fuel := (match fuel with Some n -> n | None -> Interp.unlimited);
           Core.eval_expr ~lang src))

@@ -38,14 +38,14 @@ let core_kind (hd : Stx.t) : string option =
 type formals = { ids : Stx.t list; rest : Stx.t option }
 
 let parse_formals (f : Stx.t) : formals =
-  match f.Stx.e with
+  match Stx.view f with
   | Stx.Id _ -> { ids = []; rest = Some f }
   | Stx.List ids -> { ids; rest = None }
   | Stx.DotList (ids, tl) -> { ids; rest = Some tl }
   | _ -> err "lambda: bad formals" f
 
 let rec compile (cenv : cenv) (s : Stx.t) : Ast.t =
-  match s.Stx.e with
+  match Stx.view s with
   | Stx.Id _ -> (
       let b = resolve_exn s in
       match lookup cenv b.Binding.uid with

@@ -21,10 +21,12 @@ type denotation =
   | DCore of string  (** a core form; the string is the dispatch key *)
   | DMacro of transformer
 
-let table : (int, denotation) Hashtbl.t = Hashtbl.create 1024
+module ITbl = Hashtbl.Make (Int)
 
-let set (b : Binding.t) (d : denotation) = Hashtbl.replace table b.Binding.uid d
-let get (b : Binding.t) : denotation option = Hashtbl.find_opt table b.Binding.uid
+let table : denotation ITbl.t = ITbl.create 1024
+
+let set (b : Binding.t) (d : denotation) = ITbl.replace table b.Binding.uid d
+let get (b : Binding.t) : denotation option = ITbl.find_opt table b.Binding.uid
 
 let transformer_name = function
   | Native (n, _) -> n

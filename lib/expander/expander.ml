@@ -44,9 +44,21 @@ let core_form_names =
     "syntax-rules";
   ]
 
+let core_scope_set = Scope.Set.singleton core_scope
+
 (** An identifier carrying (only) the core scope; resolves to core forms. *)
 let core_id ?(loc = Liblang_reader.Srcloc.none) name =
-  Stx.id ~scopes:(Scope.Set.singleton core_scope) ~loc name
+  Stx.id ~scopes:core_scope_set ~loc name
+
+(** Like {!core_id} but from a pre-interned symbol — the hot paths
+    ([#%datum]/[#%app] insertion) never re-hash a keyword string. *)
+let core_id_sym ?(loc = Liblang_reader.Srcloc.none) sym =
+  Stx.id_sym ~scopes:core_scope_set ~loc sym
+
+let sym_datum = Stx.Symbol.intern "#%datum"
+let sym_app = Stx.Symbol.intern "#%app"
+let sym_plain_app = Stx.Symbol.intern "#%plain-app"
+let sym_quote = Stx.Symbol.intern "quote"
 
 let core_bindings : (string * Binding.t) list =
   List.map
@@ -66,14 +78,13 @@ let resolve_id (s : Stx.t) : (Binding.t * Denote.denotation) option =
   | Some b -> Some (b, Option.value (Denote.get b) ~default:Denote.DVar)
 
 let head_of (s : Stx.t) : Stx.t option =
-  match s.Stx.e with
+  match Stx.view s with
   | Stx.List (hd :: _) when Stx.is_id hd -> Some hd
   | _ -> None
 
 (* Rebuild a list form, preserving location and syntax properties of the
    original — out-of-band information must survive rewriting (§3.1). *)
-let relist (orig : Stx.t) (xs : Stx.t list) : Stx.t =
-  { orig with e = Stx.List xs }
+let relist (orig : Stx.t) (xs : Stx.t list) : Stx.t = Stx.rewrap orig (Stx.List xs)
 
 let expect_list msg s = match Stx.to_list s with Some xs -> xs | None -> err msg s
 
@@ -118,15 +129,15 @@ let macro_name_of (t : Denote.transformer) (s : Stx.t) : string =
   match t with
   | Denote.Native (n, _) | Denote.Rules { Syntax_rules.name = n; _ } -> n
   | Denote.ObjProc _ -> (
-      match s.Stx.e with
-      | Stx.Id n -> n
+      match Stx.view s with
+      | Stx.Id n -> Stx.Symbol.name n
       | Stx.List (hd :: _) when Stx.is_id hd -> Stx.sym_exn hd
       | _ -> "#<phase-1 procedure>")
 
 let contain_err name (s : Stx.t) what =
   err
     (Printf.sprintf "while expanding macro %s (invoked at %s): %s" name
-       (Liblang_reader.Srcloc.to_string s.Stx.loc)
+       (Liblang_reader.Srcloc.to_string (Stx.loc s))
        what)
     s
 
@@ -179,7 +190,7 @@ let apply_transformer (t : Denote.transformer) (s : Stx.t) : Stx.t =
       Trace.event ~level:2 "macro"
         [
           ("name", name);
-          ("loc", Liblang_reader.Srcloc.to_string s.Stx.loc);
+          ("loc", Liblang_reader.Srcloc.to_string (Stx.loc s));
           ("before", Stx.to_string s);
         ];
     let interp_fuel0 = !Interp.fuel in
@@ -223,7 +234,7 @@ let rec expand_expr ?(stops : stops = []) (s : Stx.t) : Stx.t =
       raise e
 
 and expand_expr_at ~(stops : stops) (s : Stx.t) : Stx.t =
-  match s.Stx.e with
+  match Stx.view s with
   | Stx.Id _ -> (
       match resolve_id s with
       | Some (b, _) when in_stops stops b -> s
@@ -246,22 +257,23 @@ and expand_expr_at ~(stops : stops) (s : Stx.t) : Stx.t =
 (* Implicit #%datum: self-evaluating literals consult the context's #%datum
    binding, so a language can reinterpret literals. *)
 and expand_datum ~stops (s : Stx.t) : Stx.t =
-  let datum_id = { (Stx.id "#%datum") with Stx.scopes = s.Stx.scopes } in
+  let datum_id = Stx.id_sym ~scopes:(Stx.scopes s) sym_datum in
   match resolve_id datum_id with
   | Some (_, Denote.DMacro t) ->
       expand_expr ~stops (apply_transformer t (relist s [ datum_id; s ]))
-  | _ -> relist s [ core_id ~loc:s.Stx.loc "quote"; s ]
+  | _ -> relist s [ core_id_sym ~loc:(Stx.loc s) sym_quote; s ]
 
 (* Implicit #%app: applications consult the context's #%app binding, so a
    language can reinterpret application (e.g. a lazy language). *)
 and expand_app ~stops (s : Stx.t) : Stx.t =
   let elems = expect_list "application: bad syntax" s in
-  let app_id = { (Stx.id "#%app") with Stx.scopes = s.Stx.scopes } in
+  let app_id = Stx.id_sym ~scopes:(Stx.scopes s) sym_app in
   match resolve_id app_id with
   | Some (_, Denote.DMacro t) ->
       expand_expr ~stops (apply_transformer t (relist s (app_id :: elems)))
   | _ ->
-      relist s (core_id ~loc:s.Stx.loc "#%plain-app" :: List.map (expand_expr ~stops) elems)
+      relist s
+        (core_id_sym ~loc:(Stx.loc s) sym_plain_app :: List.map (expand_expr ~stops) elems)
 
 and expand_core ~stops name (s : Stx.t) (hd : Stx.t) (args : Stx.t list) : Stx.t =
   match (name, args) with
@@ -277,7 +289,8 @@ and expand_core ~stops name (s : Stx.t) (hd : Stx.t) (args : Stx.t list) : Stx.t
   | "#%plain-app", [] -> err "#%plain-app: missing procedure" s
   | "#%app", (f :: rest) ->
       relist s
-        (core_id ~loc:s.Stx.loc "#%plain-app" :: List.map (expand_expr ~stops) (f :: rest))
+        (core_id_sym ~loc:(Stx.loc s) sym_plain_app
+        :: List.map (expand_expr ~stops) (f :: rest))
   | "set!", [ x; e ] ->
       let x = expect_id "set!: expects an identifier" x in
       (match resolve_id x with
@@ -296,13 +309,13 @@ and expand_core ~stops name (s : Stx.t) (hd : Stx.t) (args : Stx.t list) : Stx.t
         id
       in
       let formals =
-        match formals.Stx.e with
+        match Stx.view formals with
         | Stx.Id _ ->
             ignore (bind_formal formals);
             formals
         | Stx.List ids -> relist formals (List.map bind_formal ids)
         | Stx.DotList (ids, tl) ->
-            { formals with e = Stx.DotList (List.map bind_formal ids, bind_formal tl) }
+            Stx.rewrap formals (Stx.DotList (List.map bind_formal ids, bind_formal tl))
         | _ -> err "lambda: bad formals" formals
       in
       let body = List.map (fun e -> expand_expr ~stops (Stx.add_scope sc e)) body in
@@ -395,7 +408,7 @@ let require_handler : (Stx.t -> unit) ref =
 (* Partial expansion: apply macros until the head is a core form or a
    variable; used by pass 1 to discover definitions. *)
 let rec partial_expand (s : Stx.t) : Stx.t =
-  match s.Stx.e with
+  match Stx.view s with
   | Stx.List (hd :: _) when Stx.is_id hd -> (
       match resolve_id hd with
       | Some (_, Denote.DMacro t) -> partial_expand (apply_transformer t s)
@@ -419,7 +432,7 @@ let expand_module_body (forms : Stx.t list) : Stx.t list =
   let acc = ref [] in
   let rec pass1 (form : Stx.t) =
     let form = partial_expand form in
-    match form.Stx.e with
+    match Stx.view form with
     | Stx.List (hd :: rest) when Stx.is_id hd -> (
         match resolve_id hd with
         | Some (_, Denote.DCore "begin") -> List.iter pass1 rest
@@ -476,11 +489,11 @@ let expand_module_body (forms : Stx.t list) : Stx.t list =
     | MDefine (form, ids, rhs) ->
         let rhs' = expand_expr rhs in
         relist form
-          [ core_id ~loc:form.Stx.loc "define-values"; relist form ids; rhs' ]
+          [ core_id ~loc:(Stx.loc form) "define-values"; relist form ids; rhs' ]
         |> Stx.copy_properties ~src:form
     | MDefineSyntaxes form -> form
     | MBeginForSyntax (form, expanded) ->
-        relist form (core_id ~loc:form.Stx.loc "begin-for-syntax" :: expanded)
+        relist form (core_id ~loc:(Stx.loc form) "begin-for-syntax" :: expanded)
     | MProvide form -> form
     | MRequire form -> form
     | MExpr form -> expand_expr form |> Stx.copy_properties ~src:form
@@ -502,7 +515,7 @@ let local_expand ?(stops : Stx.t list = []) (s : Stx.t) (ctx : local_context) : 
       let stop_bindings = List.filter_map Binding.resolve stops in
       expand_expr ~stops:stop_bindings s
   | ModuleBegin -> (
-      match s.Stx.e with
+      match Stx.view s with
       | Stx.List (hd :: forms) when Stx.is_id hd -> (
           match resolve_id hd with
           | Some (_, Denote.DCore "#%plain-module-begin") ->
@@ -538,6 +551,6 @@ let phase1_prims : (string * Value.value) list =
                       (Value.write_string v))
               (Value.to_list parts)
           in
-          Value.StxV (Stx.list ~loc:ctx.Stx.loc stxs)
+          Value.StxV (Stx.list ~loc:(Stx.loc ctx) stxs)
       | _ -> Value.error "make-stx-list: expects a context and a list of syntax objects");
   ]

@@ -4,10 +4,14 @@
     depth, with the usual constraints (a template variable must be used at
     the depth it was matched at).  Literals are compared with
     [free-identifier=?], so a literal keyword respects the binding structure
-    of the program (hygienic literal matching). *)
+    of the program (hygienic literal matching).
+
+    Pattern variables are keyed by interned {!Stx.Symbol.t}, so match-env
+    lookups are O(1) integer comparisons rather than string compares. *)
 
 module Stx = Liblang_stx.Stx
 module Binding = Liblang_stx.Binding
+module Symbol = Liblang_symbol.Symbol
 
 exception Bad_syntax of string * Stx.t
 
@@ -15,14 +19,15 @@ type rule = { pattern : Stx.t; template : Stx.t }
 
 type t = { literals : Stx.t list; rules : rule list; name : string }
 
-let is_ellipsis s = Stx.is_sym "..." s
-let is_underscore s = Stx.is_sym "_" s
+let sym_ellipsis = Symbol.intern "..."
+let sym_underscore = Symbol.intern "_"
+let is_ellipsis s = Stx.has_sym sym_ellipsis s
 
 (* What a pattern variable matched: a single piece of syntax at depth 0, or
    a sequence of matches at depth n+1. *)
 type matched = One of Stx.t | Seq of matched list
 
-type menv = (string * matched) list
+type menv = (Symbol.t * matched) list
 
 let is_literal literals id =
   List.exists (fun l -> Binding.free_identifier_eq l id) literals
@@ -30,22 +35,22 @@ let is_literal literals id =
 (* -- matching -------------------------------------------------------------- *)
 
 let rec match_pattern literals (pat : Stx.t) (s : Stx.t) : menv option =
-  match pat.Stx.e with
-  | Stx.Id "_" -> Some []
+  match Stx.view pat with
+  | Stx.Id name when Symbol.equal name sym_underscore -> Some []
   | Stx.Id _ when is_literal literals pat ->
       if Stx.is_id s && Binding.free_identifier_eq pat s then Some [] else None
   | Stx.Id name -> Some [ (name, One s) ]
   | Stx.Atom a -> (
-      match s.Stx.e with
+      match Stx.view s with
       | Stx.Atom b when Liblang_reader.Datum.atom_equal a b -> Some []
       | _ -> None)
   | Stx.List pats -> (
-      match s.Stx.e with
+      match Stx.view s with
       | Stx.List elems -> match_list literals pats elems
       | _ -> None)
   | Stx.DotList (pats, tailpat) -> (
       (* (p1 p2 . tail) can match both dotted and proper input *)
-      match s.Stx.e with
+      match Stx.view s with
       | Stx.List elems ->
           let n = List.length pats in
           if List.length elems < n then None
@@ -54,7 +59,7 @@ let rec match_pattern literals (pat : Stx.t) (s : Stx.t) : menv option =
             let back = List.filteri (fun i _ -> i >= n) elems in
             combine_envs
               (match_list literals pats front)
-              (match_pattern literals tailpat (Stx.list ~loc:s.Stx.loc back))
+              (match_pattern literals tailpat (Stx.list ~loc:(Stx.loc s) back))
       | Stx.DotList (elems, tl) ->
           let n = List.length pats in
           if List.length elems < n then None
@@ -62,12 +67,12 @@ let rec match_pattern literals (pat : Stx.t) (s : Stx.t) : menv option =
             let front = List.filteri (fun i _ -> i < n) elems in
             let back = List.filteri (fun i _ -> i >= n) elems in
             let tail_stx =
-              if back = [] then tl else Stx.mk ~loc:s.Stx.loc (Stx.DotList (back, tl))
+              if back = [] then tl else Stx.mk ~loc:(Stx.loc s) (Stx.DotList (back, tl))
             in
             combine_envs (match_list literals pats front) (match_pattern literals tailpat tail_stx)
       | _ -> None)
   | Stx.Vec pats -> (
-      match s.Stx.e with
+      match Stx.view s with
       | Stx.Vec elems -> match_list literals pats elems
       | _ -> None)
 
@@ -99,7 +104,10 @@ and match_list literals (pats : Stx.t list) (elems : Stx.t list) : menv option =
                        (fun env ->
                          match List.assoc_opt v env with
                          | Some m -> m
-                         | None -> raise (Bad_syntax ("syntax-rules: internal var " ^ v, p)))
+                         | None ->
+                             raise
+                               (Bad_syntax
+                                  ("syntax-rules: internal var " ^ Symbol.name v, p)))
                        sub_envs) ))
               vars
           in
@@ -109,9 +117,10 @@ and match_list literals (pats : Stx.t list) (elems : Stx.t list) : menv option =
       | [] -> None
       | e :: more -> combine_envs (match_pattern literals p e) (match_list literals rest more))
 
-and pattern_vars literals (pat : Stx.t) : string list =
-  match pat.Stx.e with
-  | Stx.Id "_" | Stx.Id "..." -> []
+and pattern_vars literals (pat : Stx.t) : Symbol.t list =
+  match Stx.view pat with
+  | Stx.Id name when Symbol.equal name sym_underscore || Symbol.equal name sym_ellipsis
+    -> []
   | Stx.Id name -> if is_literal literals pat then [] else [ name ]
   | Stx.Atom _ -> []
   | Stx.List ps | Stx.Vec ps -> List.concat_map (pattern_vars literals) ps
@@ -119,26 +128,30 @@ and pattern_vars literals (pat : Stx.t) : string list =
 
 (* -- template instantiation -------------------------------------------------- *)
 
-let rec template_vars (t : Stx.t) : string list =
-  match t.Stx.e with
+let rec template_vars (t : Stx.t) : Symbol.t list =
+  match Stx.view t with
   | Stx.Id name -> [ name ]
   | Stx.Atom _ -> []
   | Stx.List ts | Stx.Vec ts -> List.concat_map template_vars ts
   | Stx.DotList (ts, tl) -> List.concat_map template_vars ts @ template_vars tl
 
 let rec instantiate (env : menv) (tmpl : Stx.t) : Stx.t =
-  match tmpl.Stx.e with
+  match Stx.view tmpl with
   | Stx.Id name -> (
       match List.assoc_opt name env with
       | Some (One s) -> s
       | Some (Seq _) ->
-          raise (Bad_syntax ("syntax-rules: pattern variable used at wrong ellipsis depth: " ^ name, tmpl))
+          raise
+            (Bad_syntax
+               ( "syntax-rules: pattern variable used at wrong ellipsis depth: "
+                 ^ Symbol.name name,
+                 tmpl ))
       | None -> tmpl)
   | Stx.Atom _ -> tmpl
-  | Stx.List ts -> { tmpl with e = Stx.List (instantiate_seq env ts) }
+  | Stx.List ts -> Stx.rewrap tmpl (Stx.List (instantiate_seq env ts))
   | Stx.DotList (ts, tl) ->
-      { tmpl with e = Stx.DotList (instantiate_seq env ts, instantiate env tl) }
-  | Stx.Vec ts -> { tmpl with e = Stx.Vec (instantiate_seq env ts) }
+      Stx.rewrap tmpl (Stx.DotList (instantiate_seq env ts, instantiate env tl))
+  | Stx.Vec ts -> Stx.rewrap tmpl (Stx.Vec (instantiate_seq env ts))
 
 and instantiate_seq env (ts : Stx.t list) : Stx.t list =
   match ts with
@@ -168,7 +181,9 @@ and expand_ellipsis env (t : Stx.t) (depth : int) : Stx.t list =
       (fun v ->
         match List.assoc v env with
         | Seq ms when List.length ms <> len ->
-            raise (Bad_syntax ("syntax-rules: mismatched ellipsis counts for " ^ v, t))
+            raise
+              (Bad_syntax
+                 ("syntax-rules: mismatched ellipsis counts for " ^ Symbol.name v, t))
         | _ -> ())
       seq_vars;
     List.concat
@@ -208,9 +223,10 @@ let apply (sr : t) (form : Stx.t) : Stx.t =
   let try_rule { pattern; template } =
     let pattern' =
       (* replace the head of the pattern with _ so the macro name matches itself *)
-      match pattern.Stx.e with
+      match Stx.view pattern with
       | Stx.List (hd :: rest) when Stx.is_id hd ->
-          { pattern with e = Stx.List ({ hd with e = Stx.Id "_" } :: rest) }
+          Stx.rewrap pattern
+            (Stx.List (Stx.rewrap hd (Stx.Id sym_underscore) :: rest))
       | _ -> pattern
     in
     match match_pattern sr.literals pattern' form with

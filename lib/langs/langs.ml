@@ -32,7 +32,7 @@ let count_module_begin form =
   match Stx.to_list form with
   | Some (_ :: body) ->
       let n = List.length body in
-      sl ~loc:form.Stx.loc
+      sl ~loc:(Stx.loc form)
         ((u "#%plain-module-begin")
         :: sl
              [
@@ -88,7 +88,7 @@ let lazy_mod, lid =
 let lazy_app form =
   match Stx.to_list form with
   | Some (_ :: f :: args) ->
-      sl ~loc:form.Stx.loc
+      sl ~loc:(Stx.loc form)
         ((lid "lazy-apply") :: f :: List.map (fun a -> sl [ u "delay"; a ]) args)
   | _ -> err "#%app: bad syntax" form
 
@@ -96,13 +96,13 @@ let lazy_app form =
 let lazy_if form =
   match Stx.to_list form with
   | Some [ _; c; t; e ] ->
-      sl ~loc:form.Stx.loc [ Expander.core_id "if"; sl [ u "force"; c ]; t; e ]
+      sl ~loc:(Stx.loc form) [ Expander.core_id "if"; sl [ u "force"; c ]; t; e ]
   | _ -> err "if: bad syntax" form
 
 (* (! e) forces explicitly *)
 let lazy_force form =
   match Stx.to_list form with
-  | Some [ _; e ] -> sl ~loc:form.Stx.loc [ u "force"; e ]
+  | Some [ _; e ] -> sl ~loc:(Stx.loc form) [ u "force"; e ]
   | _ -> err "!: bad syntax" form
 
 let () =

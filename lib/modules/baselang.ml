@@ -42,26 +42,26 @@ let quote_ d = sl [ b "quote"; d ]
 let m_lambda form =
   match Stx.to_list form with
   | Some (_ :: formals :: body) when body <> [] ->
-      sl ~loc:form.Stx.loc ((b "#%plain-lambda") :: formals :: body)
+      sl ~loc:(Stx.loc form) ((b "#%plain-lambda") :: formals :: body)
   | _ -> err "lambda: bad syntax" form
 
 let m_define form =
   match Stx.to_list form with
   | Some [ kw; target; rhs ] when Stx.is_id target ->
       ignore kw;
-      sl ~loc:form.Stx.loc [ b "define-values"; sl [ target ]; rhs ]
+      sl ~loc:(Stx.loc form) [ b "define-values"; sl [ target ]; rhs ]
   | Some (_ :: target :: body) when body <> [] -> (
       (* (define (f . formals) body ...) *)
-      match target.Stx.e with
+      match Stx.view target with
       | Stx.List (fname :: formals) when Stx.is_id fname ->
-          sl ~loc:form.Stx.loc
+          sl ~loc:(Stx.loc form)
             [
               b "define-values";
               sl [ fname ];
               sl ((b "#%plain-lambda") :: sl formals :: body);
             ]
       | Stx.DotList (fname :: formals, rest) when Stx.is_id fname ->
-          sl ~loc:form.Stx.loc
+          sl ~loc:(Stx.loc form)
             [
               b "define-values";
               sl [ fname ];
@@ -73,11 +73,11 @@ let m_define form =
 let m_define_syntax form =
   match Stx.to_list form with
   | Some [ _; target; rhs ] when Stx.is_id target ->
-      sl ~loc:form.Stx.loc [ b "define-syntaxes"; sl [ target ]; rhs ]
+      sl ~loc:(Stx.loc form) [ b "define-syntaxes"; sl [ target ]; rhs ]
   | Some (_ :: target :: body) when body <> [] -> (
-      match target.Stx.e with
+      match Stx.view target with
       | Stx.List (fname :: formals) when Stx.is_id fname ->
-          sl ~loc:form.Stx.loc
+          sl ~loc:(Stx.loc form)
             [
               b "define-syntaxes";
               sl [ fname ];
@@ -89,9 +89,9 @@ let m_define_syntax form =
 let m_define_syntax_rule form =
   match Stx.to_list form with
   | Some [ _; pattern; template ] -> (
-      match pattern.Stx.e with
+      match Stx.view pattern with
       | Stx.List (name :: _) when Stx.is_id name ->
-          sl ~loc:form.Stx.loc
+          sl ~loc:(Stx.loc form)
             [
               b "define-syntaxes";
               sl [ name ];
@@ -118,7 +118,7 @@ let m_let form =
       let parsed = List.map (parse_binding_clause "let") clauses in
       let formals = sl (List.map fst parsed) in
       let inits = List.map snd parsed in
-      sl ~loc:form.Stx.loc
+      sl ~loc:(Stx.loc form)
         [
           b "letrec-values";
           sl [ sl [ sl [ loop_name ]; sl ((b "#%plain-lambda") :: formals :: body) ] ];
@@ -126,7 +126,7 @@ let m_let form =
         ]
   | Some (_ :: clauses :: body) when body <> [] ->
       let parsed = List.map (parse_binding_clause "let") (expect_list "let: bad bindings" clauses) in
-      sl ~loc:form.Stx.loc
+      sl ~loc:(Stx.loc form)
         ((b "let-values")
         :: sl (List.map (fun (x, e) -> sl [ sl [ x ]; e ]) parsed)
         :: body)
@@ -150,13 +150,15 @@ let m_letrec form =
       let parsed =
         List.map (parse_binding_clause "letrec") (expect_list "letrec: bad bindings" clauses)
       in
-      sl ~loc:form.Stx.loc
+      sl ~loc:(Stx.loc form)
         ((b "letrec-values")
         :: sl (List.map (fun (x, e) -> sl [ sl [ x ]; e ]) parsed)
         :: body)
   | _ -> err "letrec: bad syntax" form
 
-let is_else s = Stx.is_sym "else" s
+let sym_else = Stx.Symbol.intern "else"
+let sym_wild = Stx.Symbol.intern "_"
+let is_else s = Stx.has_sym sym_else s
 
 let m_cond form =
   match Stx.to_list form with
@@ -203,7 +205,7 @@ let m_case form =
             sl (app [ b "memv"; t; quote_ data ] :: body)
         | _ -> err "case: bad clause" c
       in
-      sl ~loc:form.Stx.loc
+      sl ~loc:(Stx.loc form)
         [
           b "let-values";
           sl [ sl [ sl [ t ]; subject ] ];
@@ -214,13 +216,13 @@ let m_case form =
 let m_when form =
   match Stx.to_list form with
   | Some (_ :: test :: body) when body <> [] ->
-      sl ~loc:form.Stx.loc [ b "if"; test; sl ((b "begin") :: body); app [ b "void" ] ]
+      sl ~loc:(Stx.loc form) [ b "if"; test; sl ((b "begin") :: body); app [ b "void" ] ]
   | _ -> err "when: bad syntax" form
 
 let m_unless form =
   match Stx.to_list form with
   | Some (_ :: test :: body) when body <> [] ->
-      sl ~loc:form.Stx.loc [ b "if"; test; app [ b "void" ]; sl ((b "begin") :: body) ]
+      sl ~loc:(Stx.loc form) [ b "if"; test; app [ b "void" ]; sl ((b "begin") :: body) ]
   | _ -> err "unless: bad syntax" form
 
 let m_and form =
@@ -259,7 +261,7 @@ let m_begin0 form =
 (* -- quasiquote --------------------------------------------------------------- *)
 
 let rec qq (t : Stx.t) (depth : int) : Stx.t =
-  match t.Stx.e with
+  match Stx.view t with
   | Stx.List [ kw; e ] when Stx.is_sym "unquote" kw ->
       if depth = 1 then e
       else app [ b "list"; quote_ kw; qq e (depth - 1) ]
@@ -280,7 +282,7 @@ and qq_list orig elems tail depth =
     | [ kw; e ] when Stx.is_sym "unquote" kw && depth = 1 && tail = None -> e
     | [] -> tail_expr
     | elem :: rest -> (
-        match elem.Stx.e with
+        match Stx.view elem with
         | Stx.List [ kw; e ] when Stx.is_sym "unquote-splicing" kw && depth = 1 ->
             app [ b "append"; e; build rest ]
         | Stx.List [ kw; e ] when Stx.is_sym "unquote-splicing" kw ->
@@ -288,7 +290,7 @@ and qq_list orig elems tail depth =
         | _ -> app [ b "cons"; qq elem depth; build rest ])
   in
   build elems
-  |> fun e -> { e with Stx.loc = orig.Stx.loc }
+  |> Stx.with_loc (Stx.loc orig)
 
 let m_quasiquote form =
   match Stx.to_list form with
@@ -298,11 +300,11 @@ let m_quasiquote form =
 (* -- quasisyntax: building syntax with escapes (#`...) ------------------------- *)
 
 let rec qs (t : Stx.t) : Stx.t =
-  match t.Stx.e with
+  match Stx.view t with
   | Stx.List [ kw; e ] when Stx.is_sym "unsyntax" kw -> e
   | Stx.List elems ->
       let part elem =
-        match elem.Stx.e with
+        match Stx.view elem with
         | Stx.List [ kw; e ] when Stx.is_sym "unsyntax-splicing" kw ->
             app [ b "syntax->splice-list"; e ]
         | _ -> app [ b "list"; qs elem ]
@@ -493,9 +495,9 @@ let m_for_sum form =
 
 let rec compile_pat (pat : Stx.t) (target : Stx.t) (success : Stx.t) (fail : Stx.t) : Stx.t =
   let fail_call = app [ fail ] in
-  match pat.Stx.e with
-  | Stx.Id "_" -> success
-  | Stx.Id "else" -> success
+  match Stx.view pat with
+  | Stx.Id sym when Stx.Symbol.equal sym sym_wild || Stx.Symbol.equal sym sym_else ->
+      success
   | Stx.Id _ -> sl [ b "let-values"; sl [ sl [ sl [ pat ]; target ] ]; success ]
   | Stx.Atom _ ->
       sl [ b "if"; app [ b "equal?"; target; quote_ pat ]; success; fail_call ]
@@ -600,7 +602,7 @@ let m_match form =
                   ]
             | _ -> err "match: bad clause" c)
       in
-      sl ~loc:form.Stx.loc
+      sl ~loc:(Stx.loc form)
         [ b "let-values"; sl [ sl [ sl [ t ]; subject ] ]; build clauses ]
   | _ -> err "match: bad syntax" form
 
@@ -608,17 +610,17 @@ let m_match form =
 
 let m_module_begin form =
   match Stx.to_list form with
-  | Some (_ :: forms) -> sl ~loc:form.Stx.loc ((b "#%plain-module-begin") :: forms)
+  | Some (_ :: forms) -> sl ~loc:(Stx.loc form) ((b "#%plain-module-begin") :: forms)
   | _ -> err "#%module-begin: bad syntax" form
 
 let m_provide form =
   match Stx.to_list form with
-  | Some (_ :: specs) -> sl ~loc:form.Stx.loc ((b "#%provide") :: specs)
+  | Some (_ :: specs) -> sl ~loc:(Stx.loc form) ((b "#%provide") :: specs)
   | _ -> err "provide: bad syntax" form
 
 let m_require form =
   match Stx.to_list form with
-  | Some (_ :: specs) -> sl ~loc:form.Stx.loc ((b "#%require") :: specs)
+  | Some (_ :: specs) -> sl ~loc:(Stx.loc form) ((b "#%require") :: specs)
   | _ -> err "require: bad syntax" form
 
 (* -- registration --------------------------------------------------------------------- *)

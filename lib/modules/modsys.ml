@@ -31,7 +31,7 @@ exception Module_error of string * Srcloc.t
 
 let err_at loc fmt = Printf.ksprintf (fun s -> raise (Module_error (s, loc))) fmt
 let err fmt = err_at Srcloc.none fmt
-let err_stx (stx : Stx.t) fmt = err_at stx.Stx.loc fmt
+let err_stx (stx : Stx.t) fmt = err_at (Stx.loc stx) fmt
 
 (* Names of modules whose compilation is currently in progress (innermost
    first).  A [require] of a module on this stack is a require cycle; the
@@ -199,7 +199,7 @@ let bind_export_as (m : t) ~(ext_name : string) ~(as_id : Stx.t) =
 let bind_exports ~(ctx : Stx.t) (m : t) =
   List.iter
     (fun e ->
-      let id = { (Stx.id e.ext_name) with Stx.scopes = ctx.Stx.scopes } in
+      let id = Stx.id ~scopes:(Stx.scopes ctx) e.ext_name in
       Binding.add id e.binding)
     m.exports
 
@@ -228,9 +228,9 @@ let compiled_hook : (t -> lang:string -> core_forms:Stx.t list -> unit) ref =
 (* A require spec names its module either by registry name (an identifier)
    or by file path (a string literal, resolved from disk). *)
 let module_of_spec_head (spec : Stx.t) : t =
-  match spec.Stx.e with
-  | Stx.Id name -> find ~loc:spec.Stx.loc name
-  | Stx.Atom (Datum.Str path) -> !file_require_handler ~path ~loc:spec.Stx.loc
+  match Stx.view spec with
+  | Stx.Id name -> find ~loc:(Stx.loc spec) (Stx.Symbol.name name)
+  | Stx.Atom (Datum.Str path) -> !file_require_handler ~path ~loc:(Stx.loc spec)
   | _ -> err_stx spec "require: expected a module name or path, got %s" (Stx.to_string spec)
 
 let handle_require (spec : Stx.t) =
@@ -241,7 +241,7 @@ let handle_require (spec : Stx.t) =
     if not (List.mem m.mod_name !reqs) then reqs := m.mod_name :: !reqs;
     m
   in
-  match spec.Stx.e with
+  match Stx.view spec with
   | Stx.Id _ | Stx.Atom (Datum.Str _) ->
       let m = record_and_visit spec in
       bind_exports ~ctx:spec m
@@ -253,8 +253,8 @@ let handle_require (spec : Stx.t) =
           | Some [ orig; new_id ] when Stx.is_id new_id ->
               bind_export_as m ~ext_name:(Stx.sym_exn orig) ~as_id:new_id
           | _ -> (
-              match c.Stx.e with
-              | Stx.Id n -> bind_export_as m ~ext_name:n ~as_id:c
+              match Stx.view c with
+              | Stx.Id n -> bind_export_as m ~ext_name:(Stx.Symbol.name n) ~as_id:c
               | _ -> err_stx c "only-in: bad clause %s" (Stx.to_string c)))
         clauses
   | _ -> err_stx spec "require: bad require spec %s" (Stx.to_string spec)
@@ -269,8 +269,8 @@ let resolve_exn id =
   | None -> err_stx id "%s: unbound identifier in module compilation" (Stx.sym_exn id)
 
 let parse_provide_spec (spec : Stx.t) : export list =
-  match spec.Stx.e with
-  | Stx.Id name -> [ { ext_name = name; binding = resolve_exn spec } ]
+  match Stx.view spec with
+  | Stx.Id name -> [ { ext_name = Stx.Symbol.name name; binding = resolve_exn spec } ]
   | Stx.List (kw :: clauses) when Stx.is_sym "rename-out" kw ->
       List.map
         (fun c ->
@@ -290,7 +290,7 @@ let core_kind (hd : Stx.t) : string option =
    #%module-begin) down to (#%plain-module-begin core-form ...). *)
 let expand_module_top (wrapped : Stx.t) : Stx.t list =
   let w = Expander.partial_expand wrapped in
-  match w.Stx.e with
+  match Stx.view w with
   | Stx.List (hd :: forms) when Stx.is_id hd -> (
       match core_kind hd with
       | Some "#%plain-module-begin" -> Expander.expand_module_body forms
@@ -312,7 +312,7 @@ let expand_in_language ~name ~lang (body : Datum.annot list) (k : Stx.t list -> 
       visit lang_mod;
       bind_exports ~ctx lang_mod;
       let forms = List.map (Stx.of_datum ~scopes:(Scope.Set.singleton sc)) body in
-      let mb = { (Stx.id "#%module-begin") with Stx.scopes = ctx.Stx.scopes } in
+      let mb = Stx.id ~scopes:(Stx.scopes ctx) "#%module-begin" in
       let wrapped = Stx.list (mb :: forms) in
       k
         (Trace.span "expand" ~detail:name @@ fun () ->
@@ -368,7 +368,7 @@ let compile_module ~name ~lang (body : Datum.annot list) : t =
       visit lang_mod;
       bind_exports ~ctx lang_mod;
       let forms = List.map (Stx.of_datum ~scopes:(Scope.Set.singleton sc)) body in
-      let mb = { (Stx.id "#%module-begin") with Stx.scopes = ctx.Stx.scopes } in
+      let mb = Stx.id ~scopes:(Stx.scopes ctx) "#%module-begin" in
       let wrapped = Stx.list (mb :: forms) in
       let core_forms =
         Trace.span "expand" ~detail:name @@ fun () ->
@@ -389,7 +389,7 @@ let compile_module ~name ~lang (body : Datum.annot list) : t =
         }
       in
       let compile_form (form : Stx.t) =
-        match form.Stx.e with
+        match Stx.view form with
         | Stx.List (hd :: rest) when Stx.is_id hd -> (
             match core_kind hd with
             | Some "define-values" -> (

@@ -154,6 +154,24 @@ let render (c : t) : string =
       Buffer.add_string buf (Printf.sprintf "  %-28s %8d\n" rule n));
   section "reader" "reader." (fun (k, n) ->
       Buffer.add_string buf (Printf.sprintf "  %-28s %8d\n" k n));
+  (let hyg =
+     List.filter_map
+       (fun k ->
+         match Hashtbl.find_opt c.counters k with Some r -> Some (k, !r) | None -> None)
+       [
+         "expand.resolve_hits";
+         "expand.resolve_misses";
+         "stx.scope_pushes";
+         "stx.symbols_interned";
+         "stx.scope_sets_interned";
+       ]
+   in
+   if hyg <> [] then begin
+     Buffer.add_string buf "hygiene engine:\n";
+     List.iter
+       (fun (k, n) -> Buffer.add_string buf (Printf.sprintf "  %-28s %8d\n" k n))
+       hyg
+   end);
   section "module system" "module." (fun (k, n) ->
       Buffer.add_string buf (Printf.sprintf "  %-28s %8d\n" k n));
   section "artifact cache" "cache." (fun (k, n) ->

@@ -4,7 +4,13 @@
     vectors, booleans, characters, strings, fixnums (decimal / #x / #b / #o),
     flonums, float-complex literals such as [2.0+2.0i], [+inf.0] / [+nan.0],
     line comments [;], nestable block comments [#| |#], datum comments [#;],
-    and the quotation shorthands ['] [`] [,] [,@] [#'] [#`] [#,] [#,@]. *)
+    and the quotation shorthands ['] [`] [,] [,@] [#'] [#`] [#,] [#,@].
+
+    Symbol tokens are interned through {!Liblang_symbol.Symbol} at creation:
+    equal names share one canonical string, and the downstream syntax layer
+    ({!Liblang_stx.Stx}) re-interns them into O(1) symbol ids for free. *)
+
+module Symbol = Liblang_symbol.Symbol
 
 exception Error of string * Srcloc.t
 
@@ -272,7 +278,7 @@ and wrap_quote st name =
   skip_atmosphere st;
   let x = read_datum_exn st in
   let loc = x.Datum.loc in
-  { Datum.d = Datum.List [ { Datum.d = Datum.Atom (Datum.Sym name); loc }; x ]; loc }
+  { Datum.d = Datum.List [ { Datum.d = Datum.Atom (Datum.Sym (Symbol.canon name)); loc }; x ]; loc }
 
 and read_datum_exn st =
   match read_datum st with
@@ -361,7 +367,7 @@ and read_datum st : Datum.annot option =
         | '%' ->
             (* #%app, #%plain-lambda, ... are ordinary symbols *)
             let text = read_token_text st in
-            Some { Datum.d = Datum.Atom (Datum.Sym ("#" ^ text)); loc = mkloc () }
+            Some { Datum.d = Datum.Atom (Datum.Sym (Symbol.canon ("#" ^ text))); loc = mkloc () }
         | c -> err st (Printf.sprintf "unknown reader syntax #%c" c))
     | _ -> (
         let text = read_token_text st in
@@ -369,7 +375,7 @@ and read_datum st : Datum.annot option =
         else
           match parse_number text with
           | Some a -> Some { Datum.d = Datum.Atom a; loc = mkloc () }
-          | None -> Some { Datum.d = Datum.Atom (Datum.Sym text); loc = mkloc () })
+          | None -> Some { Datum.d = Datum.Atom (Datum.Sym (Symbol.canon text)); loc = mkloc () })
   end
 
 (* -- entry points -------------------------------------------------------- *)

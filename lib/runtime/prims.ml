@@ -758,8 +758,8 @@ let stx_prims =
   [
     p1 "syntax-e" (fun v ->
         let s = stx_arg "syntax-e" v in
-        match s.Stx.e with
-        | Stx.Id name -> Sym name
+        match Stx.view s with
+        | Stx.Id name -> Sym (Stx.Symbol.name name)
         | Stx.Atom a -> of_datum (Liblang_reader.Datum.Atom a)
         | Stx.List xs -> of_list (List.map (fun x -> StxV x) xs)
         | Stx.DotList (xs, tl) ->

@@ -5,7 +5,11 @@
     "identifiers in Racket are given globally fresh names that are stable
     across modules during the expansion process", so identifier-keyed
     tables (type environments, namespaces) work across modules with no
-    extra plumbing. *)
+    extra plumbing.
+
+    The table is keyed by interned symbol id and {!resolve} is memoized per
+    (symbol id, scope-set representative id), with invalidation on {!add}
+    — see docs/architecture.md, "hygiene internals". *)
 
 exception Ambiguous of Stx.t
 (** raised by {!resolve} when candidate bindings are not totally ordered by
@@ -20,19 +24,43 @@ val to_string : t -> string
 
 (** [add id b] records that [id]'s name, under [id]'s scope set, refers to
     [b].  Re-adding with the same name and scope set replaces (supports
-    module-level redefinition). *)
+    module-level redefinition).  Invalidates the resolver cache for that
+    name. *)
 val add : Stx.t -> t -> unit
 
 (** Bind [id] to a fresh binding and return it. *)
 val bind : Stx.t -> t
 
 (** Resolve a reference: among all bindings for the name whose scope set is
-    a subset of the reference's, the one with the largest scope set. *)
+    a subset of the reference's, the one with the largest scope set.
+    Memoized; when exactly one candidate matches, the ambiguity
+    total-order check is skipped. *)
 val resolve : Stx.t -> t option
 
 (** Racket's [free-identifier=?]: do two identifiers refer to the same
     binding?  Unbound identifiers compare by name. *)
 val free_identifier_eq : Stx.t -> Stx.t -> bool
 
-(** Testing hook: forget all bindings. *)
+(** Resolver-cache hit/miss counts (monotonic int refs — the hot path never
+    hashes a metric name).  The pipeline reports deltas as the
+    ["expand.resolve_hits"] / ["expand.resolve_misses"] metrics. *)
+val resolve_hits : int ref
+
+val resolve_misses : int ref
+
+(** Testing hook: forget all bindings (and the resolver cache). *)
 val reset_for_tests : unit -> unit
+
+type snapshot
+(** An immutable copy of the binding table, for measurement isolation. *)
+
+(** Capture the current binding table.  O(table size); entry lists are
+    immutable, so the copy is shallow. *)
+val snapshot : unit -> snapshot
+
+(** Replace the binding table with a previously captured {!snapshot} and
+    drop the resolver cache.  Used by the bench harness to make
+    expansion-only measurements leave no residue: throwaway modules
+    expanded for timing would otherwise keep growing the per-name binder
+    lists that every later resolution scans. *)
+val restore : snapshot -> unit

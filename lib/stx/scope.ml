@@ -1,7 +1,22 @@
 (** Scopes for the sets-of-scopes hygiene model (Flatt 2016).  A scope is an
     opaque token; binders and references carry sets of them, and a reference
     resolves to the binder whose scope set is the largest subset of the
-    reference's. *)
+    reference's.
+
+    Scope {e sets} are hash-consed: every distinct set of scopes has exactly
+    one live representative, carrying a unique id, a cached hash, and a
+    sorted-array backing.  Consequences, all load-bearing for expansion
+    performance:
+
+    - set equality is pointer equality (one instruction);
+    - [subset] is a linear sorted-array merge with an O(1) size-based early
+      exit (and an O(1) pointer-equality fast path);
+    - the unique [id] doubles as a memoization key — {!Binding}'s resolver
+      cache is keyed by (symbol id, scope-set id).
+
+    The cons table only grows; the number of distinct scope sets in an
+    expansion is bounded by the binding structure of the program, which is
+    the usual compiler trade-off. *)
 
 type t = int
 
@@ -12,16 +27,219 @@ let fresh () =
   !counter
 
 let compare : t -> t -> int = Int.compare
+let equal : t -> t -> bool = Int.equal
 let to_string (s : t) = "sc" ^ string_of_int s
 
 module Set = struct
-  include Set.Make (Int)
+  type elt = t
 
-  let to_string s = "{" ^ String.concat "," (List.map to_string (elements s)) ^ "}"
+  type t = {
+    id : int;  (** unique per distinct set; stable for the process lifetime *)
+    elems : int array;  (** strictly increasing *)
+    hash : int;  (** cached structural hash of [elems] *)
+  }
+
+  let hash_elems (a : int array) : int =
+    let h = ref 5381 in
+    for i = 0 to Array.length a - 1 do
+      h := ((!h lsl 5) + !h) lxor a.(i)
+    done;
+    !h land max_int
+
+  (* -- the cons table ------------------------------------------------------ *)
+
+  module Key = struct
+    type t = int array
+
+    let equal a b =
+      a == b
+      ||
+      let la = Array.length a in
+      la = Array.length b
+      &&
+      let rec go i = i < 0 || (a.(i) = b.(i) && go (i - 1)) in
+      go (la - 1)
+
+    let hash = hash_elems
+  end
+
+  module Tbl = Hashtbl.Make (Key)
+
+  let table : t Tbl.t = Tbl.create 65536
+  let next_id = ref 0
+
+  (** Number of distinct scope sets interned so far (diagnostics). *)
+  let interned_count () = !next_id
+
+  (* [elems] must be strictly increasing and must never be mutated after
+     this call. *)
+  let hashcons (elems : int array) : t =
+    match Tbl.find_opt table elems with
+    | Some s -> s
+    | None ->
+        let s = { id = !next_id; elems; hash = hash_elems elems } in
+        incr next_id;
+        Tbl.add table elems s;
+        s
+
+  let empty = hashcons [||]
+
+  (* -- single-op memo --------------------------------------------------------
+
+     [(set id, scope, op)] → result set.  Lazy scope propagation pushes the
+     same one-scope delta onto many sibling nodes that share one interned
+     scope set, so the same (set, scope) pair recurs constantly; this memo
+     turns the repeat applications from an O(n) array copy + rehash into a
+     three-int table hit.  Both tables only grow, bounded by the number of
+     distinct (set, scope) pairs the expansion touches. *)
+
+  module OpKey = struct
+    type nonrec t = int * elt * int
+
+    let equal ((a, b, c) : t) ((x, y, z) : t) = a = x && b = y && c = z
+    let hash ((a, b, c) : t) = (((a * 0x01000193) lxor b) * 0x01000193) lxor c
+  end
+
+  module OpTbl = Hashtbl.Make (OpKey)
+
+  let op_table : t OpTbl.t = OpTbl.create 4096
+
+  (* Below this cardinality the array copy + rehash is cheaper than the
+     memo probe + insert, so small sets go straight to the cons table. *)
+  let memo_threshold = 8
+
+  let memo_op (sid : int) (x : elt) (tag : int) (compute : unit -> t) : t =
+    let key = (sid, x, tag) in
+    match OpTbl.find_opt op_table key with
+    | Some r -> r
+    | None ->
+        let r = compute () in
+        OpTbl.add op_table key r;
+        r
+
+  (* -- O(1) observers ------------------------------------------------------ *)
+
+  let id (s : t) = s.id
+  let hash (s : t) = s.hash
+  let equal (a : t) (b : t) = a == b
+  let compare (a : t) (b : t) = Int.compare a.id b.id
+  let cardinal (s : t) = Array.length s.elems
+  let is_empty (s : t) = Array.length s.elems = 0
+
+  (* -- membership / modification ------------------------------------------- *)
+
+  (* Position of [x] in [a], or the insertion point encoded as [-(i+1)]. *)
+  let search (a : int array) (x : int) : int =
+    let lo = ref 0 and hi = ref (Array.length a - 1) and found = ref (-1) in
+    while !found < 0 && !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let v = a.(mid) in
+      if v = x then found := mid else if v < x then lo := mid + 1 else hi := mid - 1
+    done;
+    if !found >= 0 then !found else - !lo - 1
+
+  let mem (x : elt) (s : t) = search s.elems x >= 0
+
+  let add_build (s : t) (i : int) (x : elt) : t =
+    let at = -i - 1 in
+    let n = Array.length s.elems in
+    let out = Array.make (n + 1) x in
+    Array.blit s.elems 0 out 0 at;
+    Array.blit s.elems at out (at + 1) (n - at);
+    hashcons out
+
+  let add (x : elt) (s : t) : t =
+    let i = search s.elems x in
+    if i >= 0 then s
+    else if Array.length s.elems < memo_threshold then add_build s i x
+    else memo_op s.id x 0 (fun () -> add_build s i x)
+
+  let remove_build (s : t) (i : int) : t =
+    let n = Array.length s.elems in
+    let out = Array.make (n - 1) 0 in
+    Array.blit s.elems 0 out 0 i;
+    Array.blit s.elems (i + 1) out i (n - 1 - i);
+    hashcons out
+
+  let remove (x : elt) (s : t) : t =
+    let i = search s.elems x in
+    if i < 0 then s
+    else if Array.length s.elems < memo_threshold then remove_build s i
+    else memo_op s.id x 1 (fun () -> remove_build s i)
 
   (** Symmetric difference on a single scope: used when applying a macro's
       introduction scope to its result (scopes present are removed, absent
       are added), which distinguishes macro-introduced syntax from syntax
       that came in through the macro's input. *)
-  let flip sc s = if mem sc s then remove sc s else add sc s
+  let flip (x : elt) (s : t) = if mem x s then remove x s else add x s
+
+  let singleton (x : elt) = hashcons [| x |]
+
+  (** [subset a b]: pointer-equal sets are subsets in O(1); larger-than
+    rules out in O(1); otherwise a linear merge over the sorted arrays. *)
+  let subset (a : t) (b : t) : bool =
+    a == b
+    || begin
+         let la = Array.length a.elems and lb = Array.length b.elems in
+         la <= lb
+         &&
+         let i = ref 0 and j = ref 0 and ok = ref true in
+         while !ok && !i < la do
+           if !j >= lb || a.elems.(!i) < b.elems.(!j) then ok := false
+           else if a.elems.(!i) = b.elems.(!j) then begin
+             incr i;
+             incr j
+           end
+           else incr j;
+           (* early exit: not enough room left in b for the rest of a *)
+           if !ok && la - !i > lb - !j then ok := false
+         done;
+         !ok
+       end
+
+  let union (a : t) (b : t) : t =
+    if a == b || is_empty b then a
+    else if is_empty a then b
+    else begin
+      let la = Array.length a.elems and lb = Array.length b.elems in
+      let tmp = Array.make (la + lb) 0 in
+      let i = ref 0 and j = ref 0 and k = ref 0 in
+      while !i < la || !j < lb do
+        let v =
+          if !j >= lb then (
+            let v = a.elems.(!i) in
+            incr i;
+            v)
+          else if !i >= la then (
+            let v = b.elems.(!j) in
+            incr j;
+            v)
+          else
+            let x = a.elems.(!i) and y = b.elems.(!j) in
+            if x < y then (
+              incr i;
+              x)
+            else if y < x then (
+              incr j;
+              y)
+            else (
+              incr i;
+              incr j;
+              x)
+        in
+        tmp.(!k) <- v;
+        incr k
+      done;
+      hashcons (Array.sub tmp 0 !k)
+    end
+
+  let elements (s : t) = Array.to_list s.elems
+  let iter f (s : t) = Array.iter f s.elems
+  let fold f (s : t) acc = Array.fold_left (fun acc x -> f x acc) acc s.elems
+
+  let of_list (l : elt list) : t =
+    let a = Array.of_list (List.sort_uniq Int.compare l) in
+    hashcons a
+
+  let to_string s = "{" ^ String.concat "," (List.map to_string (elements s)) ^ "}"
 end

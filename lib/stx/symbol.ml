@@ -1,0 +1,57 @@
+(** Interned symbols: the expansion front end's identifier currency.
+
+    Every identifier name is interned once into a global table and
+    represented as a dense integer id from then on, so symbol equality and
+    hashing are O(1) int operations instead of string traversals.  The
+    reader interns at token creation (sharing one canonical string per
+    distinct name), {!Liblang_stx.Stx} stores ids in syntax objects, and
+    {!Liblang_stx.Binding} keys its binding table and resolver cache by id.
+
+    Ids are process-local and never serialized: compiled artifacts
+    (lib/compiled) flatten syntax back to datums, whose symbols are plain
+    strings, so on-disk formats are stable across sessions while in-memory
+    comparisons stay O(1).
+
+    The table only grows (symbols are never forgotten); that is the usual
+    compiler trade-off — the set of distinct identifier names in a workload
+    is small and bounded by the source text. *)
+
+type t = int
+
+(* string -> id *)
+let table : (string, int) Hashtbl.t = Hashtbl.create 4096
+
+(* id -> canonical string, growable *)
+let names : string array ref = ref (Array.make 1024 "")
+let count = ref 0
+
+let name (i : t) : string =
+  if i < 0 || i >= !count then invalid_arg "Symbol.name: not an interned symbol id";
+  !names.(i)
+
+let intern (s : string) : t =
+  match Hashtbl.find_opt table s with
+  | Some i -> i
+  | None ->
+      let i = !count in
+      if i = Array.length !names then begin
+        let bigger = Array.make (2 * i) "" in
+        Array.blit !names 0 bigger 0 i;
+        names := bigger
+      end;
+      !names.(i) <- s;
+      Hashtbl.add table s i;
+      incr count;
+      i
+
+(** Intern [s] and return its canonical string, so equal names share one
+    allocation (the reader calls this on every symbol token). *)
+let canon (s : string) : string = name (intern s)
+
+let equal : t -> t -> bool = Int.equal
+let compare : t -> t -> int = Int.compare
+let hash (i : t) : int = i
+let to_string = name
+
+(** Number of distinct symbols interned so far (diagnostics/metrics). *)
+let interned_count () = !count

@@ -1,0 +1,22 @@
+(** Interned symbols: string ↔ dense int id, O(1) equality and hashing.
+
+    Used by the reader (canonical strings for symbol tokens), by
+    {!Liblang_stx.Stx} (identifier payloads), and by
+    {!Liblang_stx.Binding} (binding-table and resolver-cache keys).  Ids
+    are process-local; serialized formats keep plain strings. *)
+
+type t = int
+
+val intern : string -> t
+val name : t -> string
+
+(** [canon s] interns [s] and returns the canonical shared string. *)
+val canon : string -> string
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val to_string : t -> string
+
+(** Number of distinct symbols interned so far. *)
+val interned_count : unit -> int

@@ -103,9 +103,9 @@ let make_export_transformer_prim =
           | [ Value.StxV form ] ->
               let chosen = if in_typed_context () then real else defensive in
               let out =
-                match form.Stx.e with
+                match Stx.view form with
                 | Stx.Id _ -> chosen
-                | Stx.List (_ :: rest) -> { form with Stx.e = Stx.List (chosen :: rest) }
+                | Stx.List (_ :: rest) -> Stx.rewrap form (Stx.List (chosen :: rest))
                 | _ -> Value.error "export transformer: bad use"
               in
               Value.StxV out
@@ -157,21 +157,21 @@ let quote_sym (name : string) : Stx.t = sl [ u "quote"; Stx.id name ]
    file module (string path, resolved by the separate-compilation layer);
    the blame party names it either way. *)
 let is_mod_spec (s : Stx.t) =
-  match s.Stx.e with
+  match Stx.view s with
   | Stx.Id _ -> true
   | Stx.Atom (Liblang_reader.Datum.Str _) -> true
   | _ -> false
 
 let mod_spec_label (s : Stx.t) : string =
-  match s.Stx.e with
-  | Stx.Id n -> n
+  match Stx.view s with
+  | Stx.Id n -> Stx.Symbol.name n
   | Stx.Atom (Liblang_reader.Datum.Str p) -> p
   | _ -> Stx.to_string s
 
 (* Quote the blame party: a symbol for registry modules, a string for file
    paths (both are accepted by the contract primitive). *)
 let quote_party (s : Stx.t) : Stx.t =
-  match s.Stx.e with
+  match Stx.view s with
   | Stx.Atom (Liblang_reader.Datum.Str _) -> sl [ u "quote"; s ]
   | _ -> quote_sym (mod_spec_label s)
 
@@ -223,7 +223,7 @@ let m_require_typed (form : Stx.t) : Stx.t =
         | Some [ id; ty ] when Stx.is_id id -> require_typed_clause ~mod_id id ty
         | _ -> berr c "require/typed: expected [id Type]"
       in
-      sl ~loc:form.Stx.loc ((u "begin") :: List.concat_map expand_clause clauses)
+      sl ~loc:(Stx.loc form) ((u "begin") :: List.concat_map expand_clause clauses)
   | _ -> berr form "require/typed: bad syntax"
 
 (* -- export rewriting (§5 + §6.2) ------------------------------------------------------------ *)
@@ -302,11 +302,11 @@ let rewrite_provides (forms : Stx.t list) : Stx.t list =
   let rest =
     List.filter
       (fun form ->
-        match form.Stx.e with
+        match Stx.view form with
         | Stx.List (hd :: specs) when Stx.is_id hd && core_kind hd = Some "#%provide" ->
             List.iter
               (fun spec ->
-                match spec.Stx.e with
+                match Stx.view spec with
                 | Stx.Id _ -> rewritten := !rewritten @ rewrite_one_provide spec
                 | _ -> berr spec "typed provide: only plain identifiers are supported")
               specs;

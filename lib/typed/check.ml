@@ -30,7 +30,7 @@ let terr s fmt = Printf.ksprintf (fun m -> raise (Type_error (m, s))) fmt
    fail-fast [Type_error] exception is preserved. *)
 
 let diagnostic_of (m : string) (s : Stx.t) : Diagnostic.t =
-  Diagnostic.error ~phase:Diagnostic.Typecheck ~loc:s.Stx.loc m
+  Diagnostic.error ~phase:Diagnostic.Typecheck ~loc:(Stx.loc s) m
     ~notes:[ Diagnostic.note ("in: " ^ Diagnostic.truncated (Stx.to_string s)) ]
 
 (* Emit into the ambient reporter, or raise if none is installed. *)
@@ -126,7 +126,7 @@ let rec type_of_datum (d : Datum.t) : Types.t =
 let assigned_table () = Ct_store.uid_table "typed:assigned"
 
 let rec record_assignments (s : Stx.t) : unit =
-  match s.Stx.e with
+  match Stx.view s with
   | Stx.List (hd :: rest) when Stx.is_id hd -> (
       match core_kind hd with
       | Some "set!" -> (
@@ -228,7 +228,7 @@ let narrowing_by_predicate (pred_name : string) (t : Types.t) : (Types.t * Types
 
 (* recognize [(pred x)] and [(not (pred x))] in core form *)
 let rec narrowing_of (cond : Stx.t) : (Binding.t * Types.t * Types.t) option =
-  match cond.Stx.e with
+  match Stx.view cond with
   | Stx.List [ app; pred; x ]
     when Stx.is_id app && core_kind app = Some "#%plain-app" && Stx.is_id pred && Stx.is_id x
     -> (
@@ -287,7 +287,7 @@ let rec typecheck ?(expect : Types.t option) (s : Stx.t) : Types.t =
 and infer ?expect (s : Stx.t) : Types.t =
   if is_ignored s then Any
   else
-    match s.Stx.e with
+    match Stx.view s with
     | Stx.Id _ -> type_of_ref ?expect s
     | Stx.List (hd :: args) when Stx.is_id hd -> (
         match core_kind hd with
@@ -407,7 +407,7 @@ and infer_core ?expect kind (s : Stx.t) (args : Stx.t list) : Types.t =
 
 and infer_lambda ?expect (s : Stx.t) (formals : Stx.t) (body : Stx.t list) : Types.t =
   let ids =
-    match formals.Stx.e with
+    match Stx.view formals with
     | Stx.List ids -> ids
     | Stx.Id _ | Stx.DotList _ -> terr formals "rest arguments are not supported in typed code"
     | _ -> terr formals "bad formals"
@@ -519,7 +519,7 @@ and check_special_args (name : string) (operands : Stx.t list) : Types.t list =
 (* -- the module-level driver (figure 2 / §4.4) ----------------------------------------- *)
 
 let definition_parts (form : Stx.t) : (Stx.t * Stx.t) option =
-  match form.Stx.e with
+  match Stx.view form with
   | Stx.List [ hd; ids; rhs ] when Stx.is_id hd && core_kind hd = Some "define-values" -> (
       match Stx.to_list ids with Some [ id ] -> Some (id, rhs) | _ -> None)
   | _ -> None
@@ -527,7 +527,7 @@ let definition_parts (form : Stx.t) : (Stx.t * Stx.t) option =
 let check_top_form (form : Stx.t) : unit =
   if is_ignored form then ()
   else
-    match form.Stx.e with
+    match Stx.view form with
     | Stx.List (hd :: _) when Stx.is_id hd -> (
         match core_kind hd with
         | Some "define-values" -> (

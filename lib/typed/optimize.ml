@@ -106,7 +106,7 @@ let core_kind (hd : Stx.t) : string option =
 let rec optimize (s : Stx.t) : Stx.t =
   if (not !enabled) || Option.is_some (Stx.property_get Check.ignore_key s) then s
   else
-    match s.Stx.e with
+    match Stx.view s with
     | Stx.List (hd :: args) when Stx.is_id hd -> (
         match core_kind hd with
         | Some "#%plain-app" -> (
@@ -124,15 +124,15 @@ let rec optimize (s : Stx.t) : Stx.t =
                 | Some (b, then_t, else_t) ->
                     let t' = Check.with_narrowed b then_t (fun () -> optimize t) in
                     let e' = Check.with_narrowed b else_t (fun () -> optimize e) in
-                    { s with Stx.e = Stx.List [ hd; c'; t'; e' ] }
-                | None -> { s with Stx.e = Stx.List [ hd; c'; optimize t; optimize e ] })
-            | _ -> { s with Stx.e = Stx.List (hd :: List.map optimize args) })
+                    Stx.rewrap s (Stx.List [ hd; c'; t'; e' ])
+                | None -> Stx.rewrap s (Stx.List [ hd; c'; optimize t; optimize e ]))
+            | _ -> Stx.rewrap s (Stx.List (hd :: List.map optimize args)))
         | Some ("begin" | "#%expression" | "set!") ->
-            { s with Stx.e = Stx.List (hd :: List.map optimize args) }
+            Stx.rewrap s (Stx.List (hd :: List.map optimize args))
         | Some "#%plain-lambda" -> (
             match args with
             | formals :: body ->
-                { s with Stx.e = Stx.List (hd :: formals :: List.map optimize body) }
+                Stx.rewrap s (Stx.List (hd :: formals :: List.map optimize body))
             | [] -> s)
         | Some ("let-values" | "letrec-values") -> (
             match args with
@@ -142,17 +142,17 @@ let rec optimize (s : Stx.t) : Stx.t =
                   | Some cs ->
                       let opt_clause c =
                         match Stx.to_list c with
-                        | Some [ ids; rhs ] -> { c with Stx.e = Stx.List [ ids; optimize rhs ] }
+                        | Some [ ids; rhs ] -> Stx.rewrap c (Stx.List [ ids; optimize rhs ])
                         | _ -> c
                       in
-                      { clauses with Stx.e = Stx.List (List.map opt_clause cs) }
+                      Stx.rewrap clauses (Stx.List (List.map opt_clause cs))
                   | None -> clauses
                 in
-                { s with Stx.e = Stx.List (hd :: clauses' :: List.map optimize body) }
+                Stx.rewrap s (Stx.List (hd :: clauses' :: List.map optimize body))
             | [] -> s)
         | Some "define-values" -> (
             match args with
-            | [ ids; rhs ] -> { s with Stx.e = Stx.List [ hd; ids; optimize rhs ] }
+            | [ ids; rhs ] -> Stx.rewrap s (Stx.List [ hd; ids; optimize rhs ])
             | _ -> s)
         | Some ("define-syntaxes" | "begin-for-syntax" | "#%provide" | "#%require") -> s
         | _ -> s)
@@ -160,7 +160,7 @@ let rec optimize (s : Stx.t) : Stx.t =
 
 and optimize_app (s : Stx.t) (app_hd : Stx.t) (op : Stx.t) (operands : Stx.t list) : Stx.t =
   let default () =
-    { s with Stx.e = Stx.List (app_hd :: op :: List.map optimize operands) }
+    Stx.rewrap s (Stx.List (app_hd :: op :: List.map optimize operands))
   in
   match prim_name_of op with
   | None -> default ()

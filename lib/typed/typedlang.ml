@@ -33,7 +33,7 @@ let arrow_ty (doms : Stx.t list) (rng : Stx.t) : Stx.t = sl (doms @ [ Stx.id "->
 
 (* A formal is either [x] or [x : T]; returns the (possibly annotated) id. *)
 let parse_formal (f : Stx.t) : Stx.t * Stx.t option =
-  match f.Stx.e with
+  match Stx.view f with
   | Stx.Id _ -> (f, None)
   | Stx.List [ x; colon; ty ] when Stx.is_id x && Stx.is_sym ":" colon -> (annotate x ty, Some ty)
   | _ -> err "expected a formal: x or [x : Type]" f
@@ -51,12 +51,12 @@ let m_define form =
   match Stx.to_list form with
   | Some [ _; x; colon; ty; rhs ] when Stx.is_id x && Stx.is_sym ":" colon ->
       (* (define x : T rhs) *)
-      sl ~loc:form.Stx.loc [ u "define-values"; sl [ annotate x ty ]; rhs ]
+      sl ~loc:(Stx.loc form) [ u "define-values"; sl [ annotate x ty ]; rhs ]
   | Some [ _; x; rhs ] when Stx.is_id x ->
-      sl ~loc:form.Stx.loc [ u "define-values"; sl [ x ]; rhs ]
+      sl ~loc:(Stx.loc form) [ u "define-values"; sl [ x ]; rhs ]
   | Some (_ :: header :: rest) -> (
       (* (define (f formal ...) [: R] body ...) *)
-      match header.Stx.e with
+      match Stx.view header with
       | Stx.DotList _ -> err "define: rest arguments are not supported in typed code" header
       | Stx.List (fname :: formals) when Stx.is_id fname -> (
           let formals = List.map parse_formal formals in
@@ -68,7 +68,7 @@ let m_define form =
                   annotate fname (arrow_ty (List.map Option.get tys) rng)
               | _ -> fname
             in
-            sl ~loc:form.Stx.loc
+            sl ~loc:(Stx.loc form)
               [
                 u "define-values";
                 sl [ fname ];
@@ -86,10 +86,10 @@ let m_define form =
 let m_lambda form =
   match Stx.to_list form with
   | Some (_ :: formals :: body) when body <> [] -> (
-      match formals.Stx.e with
+      match Stx.view formals with
       | Stx.List fs ->
           let ids = List.map (fun f -> fst (parse_formal f)) fs in
-          sl ~loc:form.Stx.loc ((u "#%plain-lambda") :: sl ids :: body)
+          sl ~loc:(Stx.loc form) ((u "#%plain-lambda") :: sl ids :: body)
       | _ -> err "lambda: typed code does not support rest arguments" formals)
   | _ -> err "lambda: bad syntax" form
 
@@ -101,7 +101,7 @@ let rec m_let form =
     when Stx.is_id name && Stx.is_sym ":" colon && body <> [] ->
       build_named_let form name (Some ret_ty) clauses body
   | Some (_ :: name :: clauses :: body)
-    when Stx.is_id name && (match clauses.Stx.e with Stx.List _ -> true | _ -> false)
+    when Stx.is_id name && (match Stx.view clauses with Stx.List _ -> true | _ -> false)
          && body <> []
          && not (Stx.is_sym ":" name) ->
       (* distinguish named let from plain let: plain let's second element is
@@ -113,7 +113,7 @@ let rec m_let form =
         | Some cs -> List.map parse_clause cs
         | None -> err "let: bad bindings" clauses
       in
-      sl ~loc:form.Stx.loc
+      sl ~loc:(Stx.loc form)
         ((u "let-values")
         :: sl (List.map (fun (x, e) -> sl [ sl [ x ]; e ]) parsed)
         :: body)
@@ -141,7 +141,7 @@ and build_named_let form name ret_ty clauses body =
         annotate name (arrow_ty arg_tys rng)
     | None -> name
   in
-  sl ~loc:form.Stx.loc
+  sl ~loc:(Stx.loc form)
     [
       u "letrec-values";
       sl [ sl [ sl [ name ]; sl ((u "#%plain-lambda") :: sl ids :: body) ] ];
@@ -187,7 +187,7 @@ let m_ann form =
   match Stx.to_list form with
   | Some [ _; e; ty ] ->
       Stx.property_put "type-ascription" ty
-        (sl ~loc:form.Stx.loc [ Expander.core_id "#%expression"; e ])
+        (sl ~loc:(Stx.loc form) [ Expander.core_id "#%expression"; e ])
   | _ -> err "ann: bad syntax" form
 
 let m_define_type form =
@@ -202,7 +202,7 @@ let m_define_type form =
       in
       Types.define_name name_s ty;
       (* persist across compilations, like type declarations (§5) *)
-      sl ~loc:form.Stx.loc
+      sl ~loc:(Stx.loc form)
         [
           Expander.core_id "begin-for-syntax";
           sl
@@ -225,7 +225,7 @@ let m_module_begin form =
       Hashtbl.reset Check.pending_decls;
       let wrapped = sl ((Expander.core_id "#%plain-module-begin") :: forms) in
       let expanded = Expander.local_expand wrapped Expander.ModuleBegin in
-      match expanded.Stx.e with
+      match Stx.view expanded with
       | Stx.List (mb :: core_forms) ->
           (* Check with a dedicated reporter so the checker accumulates
              every type error in the module (multi-error recovery); on any
@@ -243,7 +243,7 @@ let m_module_begin form =
           (if Sys.getenv_opt "LIBLANG_DEBUG_OPT" <> None then
              List.iter (fun f -> print_endline (Stx.to_string f)) optimized);
           let rewritten = Boundary.rewrite_provides optimized in
-          { expanded with Stx.e = Stx.List (mb :: rewritten) }
+          Stx.rewrap expanded (Stx.List (mb :: rewritten))
       | _ -> err "internal error: bad module-begin expansion" form)
   | _ -> err "#%module-begin: bad syntax" form
 

@@ -208,7 +208,7 @@ let rec of_datum (d : Datum.t) : t =
 let of_stx (s : Stx.t) : t =
   try of_datum (Stx.to_datum s)
   with Parse_error (m, loc) when Liblang_reader.Srcloc.is_none loc ->
-    raise (Parse_error (m, s.Stx.loc))
+    raise (Parse_error (m, Stx.loc s))
 
 (* -- serialization (§5): types as datums ---------------------------------------------- *)
 

@@ -133,7 +133,7 @@ let hooks =
         let doubler form =
           match Stx.to_list form with
           | Some [ _; lit ] -> (
-              match lit.Stx.e with
+              match Stx.view lit with
               | Stx.Atom (Datum.Int n) ->
                   Stx.list [ Expander.core_id "quote"; Stx.int_ (2 * n) ]
               | _ -> Stx.list [ Expander.core_id "quote"; lit ])

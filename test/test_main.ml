@@ -20,6 +20,7 @@ let () =
       ("observe", Test_observe.suite);
       ("extra", Test_extra.suite);
       ("properties", Test_props.suite);
+      ("hygiene", Test_hygiene.suite);
       (* last: these tests reset the module registry between runs to
          simulate fresh processes *)
       ("compiled", Test_compiled.suite);

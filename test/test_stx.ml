@@ -31,7 +31,7 @@ let conversions =
         let sc = Scope.fresh () in
         let ctx = Stx.id ~scopes:(Scope.Set.singleton sc) "ctx" in
         let s = Stx.datum_to_syntax ~ctx (Datum.Atom (Datum.Sym "x")) in
-        check_b "scope copied" true (Scope.Set.mem sc s.Stx.scopes));
+        check_b "scope copied" true (Scope.Set.mem sc (Stx.scopes s)));
   ]
 
 let scopes =
@@ -39,28 +39,28 @@ let scopes =
     Alcotest.test_case "add_scope is recursive" `Quick (fun () ->
         let sc = Scope.fresh () in
         let s = Stx.add_scope sc (stx_of "(a (b c))") in
-        match s.Stx.e with
+        match Stx.view s with
         | Stx.List [ a; inner ] ->
-            check_b "outer" true (Scope.Set.mem sc s.Stx.scopes);
-            check_b "a" true (Scope.Set.mem sc a.Stx.scopes);
-            check_b "inner" true (Scope.Set.mem sc inner.Stx.scopes)
+            check_b "outer" true (Scope.Set.mem sc (Stx.scopes s));
+            check_b "a" true (Scope.Set.mem sc (Stx.scopes a));
+            check_b "inner" true (Scope.Set.mem sc (Stx.scopes inner))
         | _ -> Alcotest.fail "shape");
     Alcotest.test_case "flip twice is identity" `Quick (fun () ->
         let sc = Scope.fresh () in
         let s = stx_of "x" in
         let s' = Stx.flip_scope sc (Stx.flip_scope sc s) in
-        check_b "same scopes" true (Scope.Set.equal s.Stx.scopes s'.Stx.scopes));
+        check_b "same scopes" true (Scope.Set.equal (Stx.scopes s) (Stx.scopes s')));
     Alcotest.test_case "flip adds when absent, removes when present" `Quick (fun () ->
         let sc = Scope.fresh () in
         let s = stx_of "x" in
         let once = Stx.flip_scope sc s in
-        check_b "added" true (Scope.Set.mem sc once.Stx.scopes);
+        check_b "added" true (Scope.Set.mem sc (Stx.scopes once));
         let twice = Stx.flip_scope sc once in
-        check_b "removed" false (Scope.Set.mem sc twice.Stx.scopes));
+        check_b "removed" false (Scope.Set.mem sc (Stx.scopes twice)));
     Alcotest.test_case "remove_scope" `Quick (fun () ->
         let sc = Scope.fresh () in
         let s = Stx.remove_scope sc (Stx.add_scope sc (stx_of "x")) in
-        check_b "gone" false (Scope.Set.mem sc s.Stx.scopes));
+        check_b "gone" false (Scope.Set.mem sc (Stx.scopes s)));
   ]
 
 let properties =

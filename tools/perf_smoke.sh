@@ -1,0 +1,106 @@
+#!/bin/sh
+# Hygiene-engine perf smoke gate (CI): the fast path must stay *wired*,
+# not just fast.  Three checks (docs/architecture.md "Hygiene internals",
+# docs/observability.md metric catalogue):
+#
+#   1. the expansion stress family (bench --expand --smoke) expands and
+#      its closed-form checksums hold -- the bench driver exits 1 on any
+#      mismatch, same contract as the cross-variant checksum gate;
+#   2. BENCH_fig6.json actually carries the expansion_stress rows with
+#      ok:true (guards against the bench wiring silently dropping them);
+#   3. a shadowing-heavy program reports expand.resolve_hits > 0 under
+#      --profile=json -- the memoized binding resolver only caches
+#      multi-binder symbols, so this asserts the cache is exercised
+#      rather than silently bypassed by the single-binder fast path.
+#
+# Timings are noise in CI and are not asserted; correctness of the perf
+# machinery is what this gate pins down.
+#
+# Usage: tools/perf_smoke.sh [path/to/bench/main.exe [path/to/liblang.exe]]
+# (from the repo root; the script cd's there itself when invoked from
+# elsewhere).  With PERF_SMOKE_REUSE_JSON=1 and a BENCH_fig6.json already
+# present, step 1 is skipped and the existing file is checked instead --
+# CI uses this so the artifact it uploads keeps the --cached series from
+# its own bench step rather than being overwritten here.
+
+set -u
+cd "$(dirname "$0")/.." || exit 2
+
+BENCH=${1:-_build/default/bench/main.exe}
+LIBLANG=${2:-_build/default/bin/liblang.exe}
+for exe in "$BENCH" "$LIBLANG"; do
+  if [ ! -x "$exe" ]; then
+    echo "perf_smoke: $exe not built (dune build first)" >&2
+    exit 2
+  fi
+done
+
+if command -v timeout >/dev/null 2>&1; then RUN="timeout 300"; else RUN=""; fi
+
+fail=0
+
+# -- 1. expansion stress family + checksum gate ------------------------------
+if [ "${PERF_SMOKE_REUSE_JSON:-0}" = 1 ] && [ -f BENCH_fig6.json ]; then
+  echo "== perf_smoke: reusing existing BENCH_fig6.json (PERF_SMOKE_REUSE_JSON=1) =="
+else
+  echo "== perf_smoke: bench --expand --smoke =="
+  if ! $RUN "$BENCH" --expand --smoke; then
+    echo "perf_smoke: FAIL: bench --expand --smoke exited nonzero (checksum gate?)" >&2
+    fail=1
+  fi
+fi
+
+# -- 2. expansion_stress rows present and ok in BENCH_fig6.json --------------
+if [ ! -f BENCH_fig6.json ]; then
+  echo "perf_smoke: FAIL: BENCH_fig6.json not written" >&2
+  fail=1
+else
+  rows=$(grep -c '"expand_ms"' BENCH_fig6.json || true)
+  if [ "$rows" -lt 3 ]; then
+    echo "perf_smoke: FAIL: expected >=3 expand_ms rows in BENCH_fig6.json, got $rows" >&2
+    fail=1
+  fi
+  if grep -q '"ok": false' BENCH_fig6.json; then
+    echo "perf_smoke: FAIL: expansion stress checksum row not ok in BENCH_fig6.json" >&2
+    fail=1
+  fi
+  if ! grep -q '"expansion_stress"' BENCH_fig6.json; then
+    echo "perf_smoke: FAIL: no expansion_stress section in BENCH_fig6.json" >&2
+    fail=1
+  fi
+fi
+
+# -- 3. the resolver cache is exercised (hits > 0 on shadowing) --------------
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+cat > "$WORK/shadow.scm" <<'EOF'
+#lang racket
+(define x 1)
+(define (f x)
+  (let ([x (+ x 10)])
+    (let ([x (+ x 100)])
+      (+ x x))))
+(define (g x) (+ x (f x)))
+(display (g x))
+EOF
+
+out=$($RUN "$LIBLANG" run --profile=json "$WORK/shadow.scm" 2>/dev/null)
+# Program output precedes the JSON object on stdout; the counter line is
+# unambiguous either way.
+hits=$(printf '%s\n' "$out" | sed -n 's/.*"expand\.resolve_hits": *\([0-9][0-9]*\).*/\1/p' | head -n 1)
+if [ -z "${hits:-}" ]; then
+  echo "perf_smoke: FAIL: expand.resolve_hits missing from --profile=json output" >&2
+  fail=1
+elif [ "$hits" -le 0 ]; then
+  echo "perf_smoke: FAIL: expand.resolve_hits = $hits (resolver cache not exercised)" >&2
+  fail=1
+else
+  echo "perf_smoke: resolver cache exercised (expand.resolve_hits = $hits)"
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "perf_smoke: FAILED" >&2
+  exit 1
+fi
+echo "perf_smoke: OK"
