@@ -53,9 +53,38 @@ type result = {
           variants include whatever their language runs during module
           expansion).  This is the number the hygiene-at-speed series
           tracks. *)
+  gc_minor_words : float;
+      (** GC pressure of the median instantiation run: words allocated in
+          the minor heap ([Gc.quick_stat] delta around the run).  Tracks
+          allocation-rate regressions that wall-clock medians can hide
+          (an optimization that trades time for allocation shows up here
+          first). *)
+  gc_major_words : float;  (** same, words promoted to / allocated in the major heap *)
 }
 
 let now () = Unix.gettimeofday ()
+
+(* -- --filter ----------------------------------------------------------------- *)
+
+(** When set (the driver's [--filter REGEX]), only benchmarks whose name
+    matches the (unanchored) regex are measured — across the figure rows,
+    the expansion stress family and the parallel-build family alike.  CI
+    smoke uses this to run a representative subset instead of the full
+    figure.  A top-level [|] is alternation ([Str] would want [\|]; we
+    split on it so the conventional spelling works): [--filter
+    'sumfp|par-'] keeps [sumfp] and the parallel projects. *)
+let filter_res : Str.regexp list option ref = ref None
+
+let set_filter (s : string) =
+  filter_res := Some (List.map Str.regexp (String.split_on_char '|' s))
+
+let matches_filter (name : string) : bool =
+  match !filter_res with
+  | None -> true
+  | Some res ->
+      List.exists
+        (fun re -> try ignore (Str.search_forward re name 0); true with Not_found -> false)
+        res
 
 (* -- the --cached compile series ---------------------------------------------- *)
 
@@ -213,13 +242,22 @@ let measure_variants ?(rounds = 9) (b : Programs.t) (variants : variant list)
   let ms = List.map (fun v -> (v, declare_variant_counted b v)) variants in
   let firsts = List.map (fun (v, (m, _)) -> (v, run_once m v)) ms in
   let samples = List.map (fun v -> (v, ref [])) variants in
+  let gc_samples = List.map (fun v -> (v, ref [])) variants in
   for _ = 1 to rounds do
     List.iter
       (fun (v, (m, _)) ->
         Gc.minor ();
+        (* allocation deltas around the run: the GC-pressure series *)
+        let s0 = Gc.quick_stat () in
         let _, dt = run_once m v in
+        let s1 = Gc.quick_stat () in
         let l = List.assoc v samples in
-        l := dt :: !l)
+        l := dt :: !l;
+        let g = List.assoc v gc_samples in
+        g :=
+          ( s1.Gc.minor_words -. s0.Gc.minor_words,
+            s1.Gc.major_words -. s0.Gc.major_words )
+          :: !g)
       ms
   done;
   let median l = List.nth (List.sort compare l) (List.length l / 2) in
@@ -227,10 +265,20 @@ let measure_variants ?(rounds = 9) (b : Programs.t) (variants : variant list)
     (fun v ->
       let checksum, _ = List.assoc v firsts in
       let l = !(List.assoc v samples) in
+      let gl = !(List.assoc v gc_samples) in
       let rewrites = snd (List.assoc v ms) in
       let cached = List.assoc v cached_results in
       let expand_ms = List.assoc v expands in
-      { mean_ms = 1000.0 *. median l; checksum; runs = rounds; rewrites; cached; expand_ms }
+      {
+        mean_ms = 1000.0 *. median l;
+        checksum;
+        runs = rounds;
+        rewrites;
+        cached;
+        expand_ms;
+        gc_minor_words = median (List.map fst gl);
+        gc_major_words = median (List.map snd gl);
+      }
       |> fun r -> (v, r))
     variants
 
@@ -291,7 +339,9 @@ let run_figure ?rounds ~title ~figure ~(variants : variant list) () : row list =
       Printf.printf "%14.1f\n" base_ms;
       rows := { program = b; results } :: !rows;
       flush stdout)
-    (Programs.by_figure figure);
+    (List.filter
+       (fun (b : Programs.t) -> matches_filter b.Programs.name)
+       (Programs.by_figure figure));
   List.rev !rows
 
 (* -- the expansion stress figure ---------------------------------------------
@@ -328,7 +378,9 @@ let run_expand_figure ?(rounds = 3) () : expand_row list =
         (if String.equal checksum expected then "yes" else "NO");
       flush stdout;
       { stress = b; stress_expand_ms = expand_ms; stress_checksum = checksum; stress_expected = expected })
-    Programs.expand_family
+    (List.filter
+       (fun ((b : Programs.t), _) -> matches_filter b.Programs.name)
+       Programs.expand_family)
 
 let json_of_expand_rows (rows : expand_row list) : Json.t =
   Json.Arr
@@ -344,6 +396,148 @@ let json_of_expand_rows (rows : expand_row list) : Json.t =
            ])
        rows)
 
+(* -- the parallel-build figure (-j) -------------------------------------------
+
+   The domain-parallel build driver measured over synthetic require
+   graphs ({!Liblang_compiled.Genproj}): each shape is built cold twice —
+   [-j 1] and [-j jobs] — into separate fresh cache dirs, the artifact
+   sets are compared byte-for-byte, and the program is then warm-run so
+   its printed value can be checked against the generator's closed form.
+   A speedup can only come from the domain pool; a determinism or
+   correctness slip fails the run like any other checksum mismatch. *)
+
+type par_row = {
+  par_shape : string;
+  par_modules : int;
+  par_jobs : int;  (** worker domains of the parallel build *)
+  par_graph_ms : float;  (** require-graph scan (parallel build) *)
+  par_serial_ms : float;  (** cold [-j 1] wall clock, whole build *)
+  par_parallel_ms : float;  (** cold [-j jobs] wall clock, whole build *)
+  par_tasks : int;
+  par_lock_waits : int;
+  par_identical : bool;  (** artifact stores byte-identical across -j1/-jN *)
+  par_checksum : string;
+  par_expected : string;
+}
+
+(* Sorted (file name, content digest) list of a cache dir — the byte-parity
+   comparison between the serial and parallel stores. *)
+let dir_digests (dir : string) : (string * string) list =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | files ->
+      let files = Array.to_list files in
+      List.filter_map
+        (fun f ->
+          let p = Filename.concat dir f in
+          if Sys.is_directory p then None else Some (f, Digest.to_hex (Digest.file p)))
+        (List.sort String.compare files)
+
+let run_parallel_figure ~(jobs : int) ~(smoke : bool) () : par_row list =
+  let module Build = Core.Compiled.Build in
+  let module Genproj = Core.Compiled.Genproj in
+  let n = if smoke then 8 else 24 in
+  let depth = if smoke then 6 else 10 in
+  Printf.printf
+    "\n%s\nParallel separate compilation (-j %d, %d cores): cold builds over %d-module graphs\n%s\n"
+    line jobs (Domain.recommended_domain_count ()) n line;
+  Printf.printf "%-14s %12s %12s %12s %8s %10s %6s\n" "shape" "graph(ms)" "-j1(ms)"
+    (Printf.sprintf "-j%d(ms)" jobs) "speedup" "identical" "ok";
+  List.filter_map
+    (fun shape ->
+      let shape_name = Genproj.shape_to_string shape in
+      let name = "par-" ^ shape_name in
+      if not (matches_filter name) then None
+      else begin
+        incr cached_tmp_counter;
+        let dir =
+          Filename.concat (Filename.get_temp_dir_name ())
+            (Printf.sprintf "liblang-bench-par-%d-%d" (Unix.getpid ()) !cached_tmp_counter)
+        in
+        (try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ());
+        let root, expected = Genproj.generate ~dir ~shape ~n ~depth () in
+        let expected = string_of_int expected in
+        let cache_s = Filename.concat dir "cache-serial" in
+        let cache_p = Filename.concat dir "cache-parallel" in
+        Fun.protect
+          ~finally:(fun () ->
+            Core.Compiled.reset_session ();
+            rm_rf dir)
+        @@ fun () ->
+        let build ~jobs cache =
+          Core.Compiled.reset_session ();
+          let t0 = now () in
+          let r = Core.Compiled.with_cache_dir cache (fun () -> Build.build ~jobs [ root ]) in
+          (r, 1000.0 *. (now () -. t0))
+        in
+        let rs, serial_ms = build ~jobs:1 cache_s in
+        let rp, parallel_ms = build ~jobs cache_p in
+        let identical = dir_digests cache_s = dir_digests cache_p in
+        (* the checksum gate: warm-acquire the program through the serial
+           store and instantiate it; it must print the closed form *)
+        Core.Compiled.reset_session ();
+        let checksum =
+          Core.Compiled.with_cache_dir cache_s (fun () ->
+              let m = Core.Compiled.compile_file root in
+              fst (Prims.with_captured_output (fun () -> Modsys.instantiate m)))
+        in
+        let ok =
+          Build.ok rs && Build.ok rp && identical && String.equal checksum expected
+        in
+        if not ok then checksum_mismatches := (name, Base) :: !checksum_mismatches;
+        Printf.printf "%-14s %12.1f %12.1f %12.1f %7.2fx %10s %6s\n" shape_name
+          rp.Build.graph_ms serial_ms parallel_ms
+          (serial_ms /. parallel_ms)
+          (if identical then "yes" else "NO")
+          (if ok then "yes" else "NO");
+        flush stdout;
+        Some
+          {
+            par_shape = shape_name;
+            par_modules = n;
+            par_jobs = rp.Build.jobs;
+            par_graph_ms = rp.Build.graph_ms;
+            par_serial_ms = serial_ms;
+            par_parallel_ms = parallel_ms;
+            par_tasks = rp.Build.tasks;
+            par_lock_waits = rp.Build.lock_waits;
+            par_identical = identical;
+            par_checksum = checksum;
+            par_expected = expected;
+          }
+      end)
+    [ Genproj.Wide; Genproj.Diamond; Genproj.Chain ]
+
+let json_of_par_rows ~(jobs : int) (rows : par_row list) : Json.t =
+  Json.Obj
+    [
+      ("jobs", Json.Num (float_of_int jobs));
+      (* a -jN speedup needs >= N cores; recording the machine's count
+         makes a speedup < 1 on a 1-core CI box interpretable *)
+      ("cores", Json.Num (float_of_int (Domain.recommended_domain_count ())));
+      ( "projects",
+        Json.Arr
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [
+                   ("shape", Json.Str r.par_shape);
+                   ("modules", Json.Num (float_of_int r.par_modules));
+                   ("jobs", Json.Num (float_of_int r.par_jobs));
+                   ("graph_ms", Json.Num r.par_graph_ms);
+                   ("compile_serial_ms", Json.Num r.par_serial_ms);
+                   ("compile_parallel_ms", Json.Num r.par_parallel_ms);
+                   ("speedup", Json.Num (r.par_serial_ms /. r.par_parallel_ms));
+                   ("tasks", Json.Num (float_of_int r.par_tasks));
+                   ("lock_waits", Json.Num (float_of_int r.par_lock_waits));
+                   ("artifacts_identical", Json.Bool r.par_identical);
+                   ("checksum", Json.Str r.par_checksum);
+                   ("expected", Json.Str r.par_expected);
+                   ("ok", Json.Bool (String.equal r.par_checksum r.par_expected && r.par_identical));
+                 ])
+             rows) );
+    ]
+
 (* -- machine-readable output (BENCH_<figure>.json) ---------------------------- *)
 
 (** The JSON shape of a figure run; schema documented in
@@ -352,7 +546,8 @@ let json_of_expand_rows (rows : expand_row list) : Json.t =
     per-rule firing histogram for the variant's compilation, so a claimed
     speedup (e.g. EXPERIMENTS.md's sumfp 0.55x) is checkable against the
     rules that produced it. *)
-let json_of_figure ?(expansion = []) ~figure ~rounds ~smoke (rows : row list) : Json.t =
+let json_of_figure ?(expansion = []) ?parallel ~figure ~rounds ~smoke (rows : row list) :
+    Json.t =
   let json_of_result (v, (r : result)) =
     Json.Obj
       ([
@@ -361,6 +556,8 @@ let json_of_figure ?(expansion = []) ~figure ~rounds ~smoke (rows : row list) : 
          ("checksum", Json.Str r.checksum);
          ("runs", Json.Num (float_of_int r.runs));
          ("expand_ms", Json.Num r.expand_ms);
+         ("gc_minor_words", Json.Num r.gc_minor_words);
+         ("gc_major_words", Json.Num r.gc_major_words);
        ]
       @ (match r.cached with
         | None -> []
@@ -404,26 +601,31 @@ let json_of_figure ?(expansion = []) ~figure ~rounds ~smoke (rows : row list) : 
       ]
   in
   Json.Obj
-    [
-      ("figure", Json.Str figure);
-      ("rounds", Json.Num (float_of_int rounds));
-      ("smoke", Json.Bool smoke);
-      ( "checksum_mismatches",
-        Json.Arr
-          (List.rev_map
-             (fun (name, v) -> Json.Str (name ^ "/" ^ variant_name v))
-             !checksum_mismatches) );
-      ("benchmarks", Json.Arr (List.map json_of_row rows));
-      ("expansion_stress", json_of_expand_rows expansion);
-    ]
+    ([
+       (* bumped to 2 for: per-variant gc_minor_words/gc_major_words and
+          the optional top-level "parallel" section *)
+       ("schema", Json.Num 2.0);
+       ("figure", Json.Str figure);
+       ("rounds", Json.Num (float_of_int rounds));
+       ("smoke", Json.Bool smoke);
+       ( "checksum_mismatches",
+         Json.Arr
+           (List.rev_map
+              (fun (name, v) -> Json.Str (name ^ "/" ^ variant_name v))
+              !checksum_mismatches) );
+       ("benchmarks", Json.Arr (List.map json_of_row rows));
+       ("expansion_stress", json_of_expand_rows expansion);
+     ]
+    @ match parallel with None -> [] | Some p -> [ ("parallel", p) ])
 
 (** Write a figure's rows to [path] (e.g. [BENCH_fig6.json]). *)
-let write_figure_json ?expansion ~path ~figure ~rounds ~smoke (rows : row list) =
+let write_figure_json ?expansion ?parallel ~path ~figure ~rounds ~smoke (rows : row list) =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
       output_string oc
-        (Json.to_string ~pretty:true (json_of_figure ?expansion ~figure ~rounds ~smoke rows));
+        (Json.to_string ~pretty:true
+           (json_of_figure ?expansion ?parallel ~figure ~rounds ~smoke rows));
       output_char oc '\n');
   Printf.printf "wrote %s\n%!" path

@@ -3,7 +3,14 @@
     table.
 
     Usage:
-    [dune exec bench/main.exe -- [fig6|fig7|fig8|fig9|prose|ablate|boundary|bechamel|expand|all] [--quick|--smoke] [--cached|--expand]]
+    [dune exec bench/main.exe -- [fig6|fig7|fig8|fig9|prose|ablate|boundary|bechamel|expand|all] [--quick|--smoke] [--cached|--expand] [-j N] [--filter REGEX]]
+
+    [--filter REGEX] restricts every family (figure rows, the expansion
+    stress programs, the parallel-build projects) to benchmarks whose
+    name matches the unanchored regex — CI smoke uses it to run a
+    representative subset.  [-j N] sets the worker-domain count of the
+    parallel-build series (default: the machine's recommended domain
+    count, at least 2 so the pool machinery is always exercised).
 
     [fig6] (alone or within [all]) additionally writes [BENCH_fig6.json]
     — per-benchmark medians, variants, checksums, and optimizer rewrite
@@ -28,6 +35,27 @@ let cached = Array.exists (fun a -> a = "--cached") Sys.argv
 let rounds = if smoke then 1 else if quick then 3 else 9
 let () = Harness.cached_series := cached
 
+(* the value following [flag] on the command line, if any *)
+let arg_value flag =
+  let rec go i =
+    if i >= Array.length Sys.argv - 1 then None
+    else if Sys.argv.(i) = flag then Some Sys.argv.(i + 1)
+    else go (i + 1)
+  in
+  go 1
+
+(** Worker domains for the parallel-build series: [-j N], defaulting to
+    the machine's recommended count but at least 2 (so the domain pool,
+    locking and merge paths are exercised even on a 1-core box — the
+    JSON records the core count so a speedup < 1 there is
+    interpretable). *)
+let jobs =
+  match Option.bind (arg_value "-j") int_of_string_opt with
+  | Some n when n > 0 -> n
+  | _ -> max 2 (Domain.recommended_domain_count ())
+
+let () = Option.iter Harness.set_filter (arg_value "--filter")
+
 let fig6 () =
   (* the expansion series runs first: expansion-only timings are sensitive
      to how many bindings earlier compilations have piled into the global
@@ -42,7 +70,13 @@ let fig6 () =
       ~variants:[ Naive_backend; Base; Typed ]
       ()
   in
-  write_figure_json ~expansion ~path:"BENCH_fig6.json" ~figure:"fig6" ~rounds ~smoke rows
+  (* the parallel-build series runs last: it resets the resolver session
+     (clearing the user module registry), which must not race the rows
+     above re-instantiating their declared modules *)
+  let par = run_parallel_figure ~jobs ~smoke () in
+  write_figure_json ~expansion
+    ~parallel:(json_of_par_rows ~jobs par)
+    ~path:"BENCH_fig6.json" ~figure:"fig6" ~rounds ~smoke rows
 
 let fig7 () =
   run_figure ~rounds ~title:"Figure 7: Computer Language Benchmarks Game" ~figure:"fig7"
@@ -208,15 +242,15 @@ let finish () =
 
 let () =
   Core.init ();
+  let known =
+    [ "fig6"; "fig7"; "fig8"; "fig9"; "prose"; "ablate"; "boundary"; "bechamel"; "all" ]
+  in
   let arg =
     if expand_mode then "expand"
-    else if
-      Array.length Sys.argv > 1
-      && Sys.argv.(1) <> "--quick"
-      && Sys.argv.(1) <> "--smoke"
-      && Sys.argv.(1) <> "--cached"
-    then Sys.argv.(1)
-    else "all"
+    else
+      match Array.find_opt (fun a -> List.mem a known) Sys.argv with
+      | Some a -> a
+      | None -> "all"
   in
   (match arg with
   (* --expand: the hygiene-at-speed series — fig6 with its per-variant

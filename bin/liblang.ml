@@ -72,13 +72,21 @@ let usage_text =
   \                          the syntax before/after the rewrite\n\
   \      --cache             compile through the artifact store in .liblang-cache/\n\
   \      --cache-dir DIR     same, rooted at DIR\n\
-  \  compile [--cache-dir DIR] [--fuel N] [--profile[=json]] [--trace FILE]\n\
-  \          [-v|-vv] FILE...\n\
+  \      -j N                compile the require graph on N worker domains\n\
+  \                          (needs --cache/--cache-dir for run; artifacts\n\
+  \                          are byte-identical to a -j1 build)\n\
+  \  compile [--cache-dir DIR] [--fuel N] [-j N] [--profile[=json]]\n\
+  \          [--trace FILE] [-v|-vv] FILE...\n\
   \                          compile each file (and its requires) through the\n\
   \                          artifact store without running it; prints one\n\
   \                          summary line per file:\n\
   \                          compiled FILE: modules=N hits=H compiles=C stale=S misses=M\n\
   \                          (default cache dir: .liblang-cache)\n\
+  \  gen-modules [--dir DIR] [--shape wide|diamond|chain] N\n\
+  \                          write an N-module synthetic project (macro-heavy\n\
+  \                          modules over a require graph of the given shape)\n\
+  \                          for exercising the parallel build; prints the\n\
+  \                          root file and its expected output\n\
   \  expand FILE             print a module's fully-expanded core forms\n\
   \  eval [-l LANG] EXPR     evaluate one expression (default language: racket)\n\
   \  repl [-l LANG]          interactive read-eval-print loop\n\
@@ -107,6 +115,7 @@ type run_opts = {
   mutable trace_file : string option;
   mutable verbosity : int;
   mutable cache_dir : string option;
+  mutable jobs : int option;  (** [-j N]: worker domains for the build *)
   mutable paths : string list;  (** reversed *)
 }
 
@@ -118,8 +127,12 @@ let parse_run_opts args =
       trace_file = None;
       verbosity = 1;
       cache_dir = None;
+      jobs = None;
       paths = [];
     }
+  in
+  let set_jobs n =
+    match int_of_string_opt n with Some n when n > 0 -> o.jobs <- Some n | _ -> usage ()
   in
   let rec go = function
     | [] -> ()
@@ -130,6 +143,13 @@ let parse_run_opts args =
             go rest
         | _ -> usage ())
     | "--fuel" :: [] -> usage ()
+    | "-j" :: n :: rest ->
+        set_jobs n;
+        go rest
+    | "-j" :: [] -> usage ()
+    | flag :: rest when String.length flag > 2 && String.sub flag 0 2 = "-j" ->
+        set_jobs (String.sub flag 2 (String.length flag - 2));
+        go rest
     | "--profile" :: rest ->
         o.profile <- Profile_text;
         go rest
@@ -198,28 +218,12 @@ let cmd_run args =
   let observe = { Observe.metrics; trace } in
   List.iter
     (fun path ->
-      match Pipeline.run_file ?fuel:o.fuel ?cache_dir:o.cache_dir ~observe path with
+      match Pipeline.run_file ?fuel:o.fuel ?cache_dir:o.cache_dir ?jobs:o.jobs ~observe path with
       | Ok _ -> ()
       | Error ds -> fail ds)
     o.paths
 
 (* -- compile ---------------------------------------------------------------- *)
-
-(* Fold the per-file collector [c] into the session-wide profile collector
-   [into] (counters, timers and interpreter applications). *)
-let merge_metrics ~(into : Metrics.t) (c : Metrics.t) : unit =
-  List.iter (fun (k, n) -> Metrics.count_in into k n) (Metrics.counters_alist c);
-  List.iter
-    (fun (k, (t : Metrics.timer)) ->
-      match Hashtbl.find_opt into.Metrics.timers k with
-      | Some dst ->
-          dst.Metrics.total_s <- dst.Metrics.total_s +. t.Metrics.total_s;
-          dst.Metrics.calls <- dst.Metrics.calls + t.Metrics.calls
-      | None ->
-          Hashtbl.add into.Metrics.timers k
-            { Metrics.total_s = t.Metrics.total_s; calls = t.Metrics.calls })
-    (Metrics.timers_alist c);
-  into.Metrics.interp_apps <- into.Metrics.interp_apps + c.Metrics.interp_apps
 
 (** [liblang compile]: compile each file (and everything it requires)
     through the artifact store, without instantiating, and print one
@@ -240,7 +244,7 @@ let cmd_compile args =
          this file's compilation; folded into the --profile report after *)
       let c = Metrics.create () in
       let observe = { Observe.metrics = Some c; trace } in
-      (match Pipeline.compile_file ?fuel:o.fuel ~cache_dir ~observe path with
+      (match Pipeline.compile_file ?fuel:o.fuel ~cache_dir ?jobs:o.jobs ~observe path with
       | Ok () ->
           let g = Metrics.get c in
           Printf.printf "compiled %s: modules=%d hits=%d compiles=%d stale=%d misses=%d\n"
@@ -249,9 +253,47 @@ let cmd_compile args =
             (g "module.cache_hits") (g "module.compiles") (g "cache.stale")
             (g "cache.misses")
       | Error ds -> worst := max !worst (report ds));
-      match profile_c with Some into -> merge_metrics ~into c | None -> ())
+      match profile_c with Some into -> Metrics.merge ~into c | None -> ())
     o.paths;
   if !worst > 0 then exit !worst
+
+(* -- gen-modules ------------------------------------------------------------- *)
+
+(** [liblang gen-modules [--dir DIR] [--shape wide|diamond|chain] N]:
+    write an [N]-module synthetic project (macro-heavy modules over a
+    require graph of the given shape) and print the root file and the
+    number it displays when compiled and run correctly — the input for
+    the parallel-build benchmarks and for trying [-j] by hand. *)
+let cmd_gen_modules args =
+  let module Genproj = Liblang_core.Core.Compiled.Genproj in
+  let dir = ref "." and shape = ref Genproj.Wide and n = ref None in
+  let rec go = function
+    | [] -> ()
+    | "--dir" :: d :: rest ->
+        dir := d;
+        go rest
+    | "--dir" :: [] -> usage ()
+    | "--shape" :: s :: rest -> (
+        match Genproj.shape_of_string s with
+        | Some sh ->
+            shape := sh;
+            go rest
+        | None -> usage ())
+    | "--shape" :: [] -> usage ()
+    | arg :: rest -> (
+        match int_of_string_opt arg with
+        | Some k when k >= 1 && !n = None ->
+            n := Some k;
+            go rest
+        | _ -> usage ())
+  in
+  go args;
+  match !n with
+  | None -> usage ()
+  | Some n ->
+      let root, checksum = Genproj.generate ~dir:!dir ~shape:!shape ~n () in
+      Printf.printf "generated %d modules (%s) under %s\nroot: %s\nexpected output: %d\n" n
+        (Genproj.shape_to_string !shape) !dir root checksum
 
 (* -- other subcommands ------------------------------------------------------- *)
 
@@ -317,6 +359,7 @@ let () =
   match args with
   | _ :: "run" :: (_ :: _ as rest) -> cmd_run rest
   | _ :: "compile" :: (_ :: _ as rest) -> cmd_compile rest
+  | _ :: "gen-modules" :: (_ :: _ as rest) -> cmd_gen_modules rest
   | [ _; "expand"; path ] -> cmd_expand path
   | [ _; "eval"; "-l"; lang; expr ] -> cmd_eval lang expr
   | [ _; "eval"; expr ] -> cmd_eval "racket" expr

@@ -1,0 +1,382 @@
+(** The domain-parallel build driver: compile a set of root files — and
+    everything they require — onto a fixed pool of worker domains, writing
+    artifacts through the shared {!Store}.
+
+    Pipeline shape:
+
+    + {e graph}: a textual, pre-expansion require scan ({!scan_graph})
+      reads each file and extracts its [(require "path")] edges,
+      canonicalized exactly as the resolver would, following them to a
+      transitive closure.  The scan is {e advisory}: an edge the scan
+      misses (e.g. a macro-generated require) costs parallelism, never
+      correctness — the worker that hits it compiles the module inline
+      under the store's per-key advisory lock, exactly as the serial
+      resolver would.
+    + {e schedule}: modules are topologically scheduled by in-degree
+      countdown onto [jobs] domains; no task starts before all its
+      scanned requires are done, so workers find their dependencies'
+      artifacts warm and replay them ([module.cache_hits]) instead of
+      recompiling.
+    + {e contain}: each task runs under its own {!Reporter}; a failing
+      task records its diagnostics and {e poisons} its dependents (they
+      are skipped with a note rather than racing into the same failure).
+    + {e merge}: each worker accumulates into its own metrics collector
+      (plus per-domain resolver-cache counters, flushed before join) and
+      the driver folds them into the ambient collector on join — so
+      [--profile] over a parallel build reports pool-wide totals.
+
+    Determinism: artifacts serialize names and datums, never binding uids
+    or scope ids, so a [-j N] build writes byte-identical artifacts to a
+    [-j 1] build (test: [test_compiled.ml], "parallel determinism").
+
+    [jobs = 1] never spawns and never takes a lock: tasks run serially on
+    the calling domain in topological order, which is exactly the serial
+    resolver's behavior. *)
+
+module Modsys = Liblang_modules.Modsys
+module Binding = Liblang_stx.Binding
+module Reader = Liblang_reader.Reader
+module Datum = Liblang_reader.Datum
+module Diagnostic = Liblang_diagnostics.Diagnostic
+module Reporter = Liblang_diagnostics.Reporter
+module Metrics = Liblang_observe.Metrics
+module Trace = Liblang_observe.Trace
+module Parallel = Liblang_parallel.Parallel
+
+(* -- the require graph ------------------------------------------------------- *)
+
+type node = {
+  key : string;  (** canonical absolute path *)
+  deps : string list;  (** scanned require edges (canonical keys) *)
+}
+
+let slurp path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* The string-path require specs of one top-level datum, if it is a
+   (require ...) form: (require "a.scm" (only-in "b.scm" f) c) contributes
+   ["a.scm"; "b.scm"] — identifier requires are registry modules, not
+   files. *)
+let require_paths_of_datum (d : Datum.annot) : string list =
+  match d.Datum.d with
+  | Datum.List (hd :: specs) when Datum.is_sym "require" hd ->
+      List.filter_map
+        (fun (spec : Datum.annot) ->
+          match spec.Datum.d with
+          | Datum.Atom (Datum.Str p) -> Some p
+          | Datum.List (_ :: m :: _) -> (
+              match m.Datum.d with Datum.Atom (Datum.Str p) -> Some p | _ -> None)
+          | _ -> None)
+        specs
+  | _ -> []
+
+(* Scan one file's top-level require edges; unreadable or unparsable files
+   scan as edge-free (the compiling worker surfaces the real diagnostic). *)
+let scan_file (key : string) : string list =
+  match slurp key with
+  | exception Sys_error _ -> []
+  | source -> (
+      let body =
+        match Reader.split_lang_line source with Some (_, rest) -> rest | None -> source
+      in
+      match Reader.read_all ~file:key body with
+      | exception _ -> []
+      | datums ->
+          (* canonicalize each edge relative to this file's directory,
+             exactly as the resolver will during compilation *)
+          Resolver.with_dir (Filename.dirname key) @@ fun () ->
+          List.concat_map require_paths_of_datum datums
+          |> List.map Resolver.module_key
+          |> List.sort_uniq String.compare)
+
+(** The transitive require graph reachable from [roots] (canonical keys,
+    deterministic order: depth-first from the roots). *)
+let scan_graph (roots : string list) : node list =
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let acc = ref [] in
+  let rec visit key =
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      let deps = scan_file key in
+      List.iter visit deps;
+      acc := { key; deps } :: !acc
+    end
+  in
+  List.iter visit (List.map Resolver.module_key roots);
+  (* reversed post-order = dependencies before dependents *)
+  List.rev !acc
+
+(* -- results ------------------------------------------------------------------ *)
+
+type outcome =
+  | Built  (** compiled from source or loaded from a valid artifact *)
+  | Failed of Diagnostic.t list
+  | Skipped of string  (** a scanned require failed; carries its key *)
+
+type result = {
+  jobs : int;
+  graph : node list;
+  outcomes : (string * outcome) list;  (** in graph order *)
+  graph_ms : float;
+  compile_ms : float;
+  tasks : int;  (** tasks actually run (scheduled, not skipped) *)
+  lock_waits : int;  (** contended store/per-key lock acquisitions *)
+}
+
+let failures (r : result) : (string * Diagnostic.t list) list =
+  List.filter_map
+    (fun (k, o) -> match o with Failed ds -> Some (k, ds) | _ -> None)
+    r.outcomes
+
+let ok (r : result) : bool =
+  List.for_all (fun (_, o) -> match o with Built -> true | _ -> false) r.outcomes
+
+(* -- the scheduler ------------------------------------------------------------- *)
+
+type task = {
+  node : node;
+  mutable unmet : int;  (** scanned requires not yet done *)
+  mutable started : bool;  (** dispatched to a worker (or force-run) *)
+  mutable outcome : outcome option;  (** [None] while pending/running *)
+  mutable dependents : task list;
+}
+
+(* Run one task on the calling domain: acquire the module through the
+   resolver (so through the store), containing failures as diagnostics. *)
+let run_task ~(diagnostic_of_exn : exn -> Diagnostic.t option) (t : task) : outcome =
+  let reporter = Reporter.create () in
+  Atomic.incr Parallel.tasks;
+  match Reporter.with_reporter reporter (fun () -> Resolver.require_key t.node.key) with
+  | _m when not (Reporter.has_errors reporter) -> Built
+  | _m -> Failed (Reporter.diagnostics reporter)
+  | exception Diagnostic.Failed ds -> Failed (Reporter.diagnostics reporter @ ds)
+  | exception e ->
+      let d =
+        match diagnostic_of_exn e with
+        | Some d -> d
+        | None ->
+            Diagnostic.error ~phase:Diagnostic.Internal
+              ("uncaught exception: " ^ Printexc.to_string e)
+      in
+      Failed (Reporter.diagnostics reporter @ [ d ])
+
+(* Mark [t] finished, release dependents whose last dependency this was
+   (or poison them if [t] failed), and return the newly ready tasks.
+   Caller holds the scheduler lock (or runs single-domain). *)
+let finish (t : task) (o : outcome) : task list =
+  t.outcome <- Some o;
+  let poison = match o with Built -> false | _ -> true in
+  List.filter_map
+    (fun (d : task) ->
+      match d.outcome with
+      | Some _ -> None
+      | None ->
+          if poison then begin
+            d.outcome <- Some (Skipped t.node.key);
+            (* transitively poison: a skipped task releases nobody, so
+               poison its dependents here as well *)
+            Some d
+          end
+          else begin
+            d.unmet <- d.unmet - 1;
+            if d.unmet = 0 then Some d else None
+          end)
+    t.dependents
+
+let link_tasks (graph : node list) : task list =
+  let by_key : (string, task) Hashtbl.t = Hashtbl.create 64 in
+  let tasks =
+    List.map
+      (fun node ->
+        let t = { node; unmet = 0; started = false; outcome = None; dependents = [] } in
+        Hashtbl.replace by_key node.key t;
+        t)
+      graph
+  in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun dep ->
+          match Hashtbl.find_opt by_key dep with
+          | Some d when d != t ->
+              d.dependents <- t :: d.dependents;
+              t.unmet <- t.unmet + 1
+          | _ -> ())
+        t.node.deps)
+    tasks;
+  tasks
+
+(* Serial fallback: topological order on one domain, no locks, no spawns —
+   bit-for-bit the serial resolver's behavior.  A cycle in the scanned
+   graph leaves tasks with positive in-degree; they are force-run so the
+   resolver reports the cycle as a proper diagnostic. *)
+let run_serial ~diagnostic_of_exn (tasks : task list) : unit =
+  let ready = Queue.create () in
+  List.iter (fun t -> if t.unmet = 0 then Queue.add t ready) tasks;
+  let rec drain () =
+    while not (Queue.is_empty ready) do
+      let t = Queue.pop ready in
+      match t.outcome with
+      | Some (Skipped _ as o) ->
+          (* poisoned while pending: propagate *)
+          List.iter (fun d -> Queue.add d ready) (finish t o)
+      | Some _ -> ()
+      | None ->
+          if not t.started then begin
+            t.started <- true;
+            let o = run_task ~diagnostic_of_exn t in
+            List.iter (fun d -> Queue.add d ready) (finish t o)
+          end
+    done;
+    match List.find_opt (fun t -> (not t.started) && t.outcome = None) tasks with
+    | Some t ->
+        Queue.add t ready;
+        drain ()
+    | None -> ()
+  in
+  drain ()
+
+(* Parallel scheduler: a work queue under a mutex/condition, in-degree
+   countdown, [jobs] worker domains.  Worker metrics collectors are merged
+   into [merge_into] (the spawning domain's ambient collector) on join. *)
+let run_parallel ~diagnostic_of_exn ~(jobs : int) (tasks : task list) : unit =
+  let mu = Mutex.create () in
+  let cond = Condition.create () in
+  let ready : task Queue.t = Queue.create () in
+  let remaining = ref (List.length tasks) in
+  let running = ref 0 in
+  List.iter (fun t -> if t.unmet = 0 then Queue.add t ready) tasks;
+  let merge_into = Metrics.current () in
+  let worker_results : Metrics.t option array = Array.make jobs None in
+  let worker (slot : int) () =
+    (* OCaml 5 minor collections are stop-the-world across every running
+       domain, so [jobs] allocation-heavy expanders on default-size
+       nurseries spend most of their time in global sync pauses (measured
+       ~4x per-module CPU inflation at -j4).  A larger per-worker minor
+       heap amortizes the sync points.  [Gc.set] is per-domain and does
+       not propagate through [Domain.spawn], so each worker sets its
+       own. *)
+    let g = Gc.get () in
+    if g.Gc.minor_heap_size < 4 * 1024 * 1024 then
+      Gc.set { g with Gc.minor_heap_size = 4 * 1024 * 1024 };
+    (* each worker collects into its own collector (merged on join); no
+       collector at all when the build itself is unobserved *)
+    let collector = Option.map (fun _ -> Metrics.create ()) merge_into in
+    Array.set worker_results slot collector;
+    Metrics.with_opt collector @@ fun () ->
+    Fun.protect
+      ~finally:(fun () ->
+        (* flush this domain's resolver-cache counters (plain per-domain
+           ints, zero at domain birth) into this worker's collector *)
+        match collector with
+        | None -> ()
+        | Some _ ->
+            Metrics.countn "expand.resolve_hits" (Binding.resolve_hits ());
+            Metrics.countn "expand.resolve_misses" (Binding.resolve_misses ()))
+    @@ fun () ->
+    let rec loop () =
+      Mutex.lock mu;
+      (* under [mu]: the next dispatchable task, waiting while others run.
+         If the queue is dry with nothing running but tasks remain, the
+         scanned graph has a cycle — force one pending task so the
+         resolver reports the cycle as a diagnostic instead of the pool
+         deadlocking. *)
+      let rec next () =
+        if !remaining = 0 then None
+        else
+          match Queue.take_opt ready with
+          | Some t -> Some t
+          | None ->
+              if !running = 0 then
+                List.find_opt (fun t -> (not t.started) && t.outcome = None) tasks
+              else begin
+                Condition.wait cond mu;
+                next ()
+              end
+      in
+      match next () with
+      | None ->
+          Mutex.unlock mu;
+          Condition.broadcast cond
+      | Some t -> (
+          match t.outcome with
+          | Some (Skipped _ as o) ->
+              (* poisoned while queued: propagate without running *)
+              let released = finish t o in
+              decr remaining;
+              List.iter (fun d -> Queue.add d ready) released;
+              Condition.broadcast cond;
+              Mutex.unlock mu;
+              loop ()
+          | Some _ ->
+              Mutex.unlock mu;
+              loop ()
+          | None when t.started ->
+              Mutex.unlock mu;
+              loop ()
+          | None ->
+              t.started <- true;
+              incr running;
+              Mutex.unlock mu;
+              let o = run_task ~diagnostic_of_exn t in
+              Mutex.lock mu;
+              decr running;
+              let released = finish t o in
+              decr remaining;
+              List.iter (fun d -> Queue.add d ready) released;
+              Condition.broadcast cond;
+              Mutex.unlock mu;
+              loop ())
+    in
+    loop ()
+  in
+  Parallel.with_active (fun () ->
+      let domains = Array.init jobs (fun slot -> Domain.spawn (worker slot)) in
+      Array.iter Domain.join domains);
+  (* merge-on-join: fold every worker's collector into the ambient one *)
+  match merge_into with
+  | None -> ()
+  | Some into -> Array.iter (Option.iter (fun c -> Metrics.merge ~into c)) worker_results
+
+(** Build [roots] (and everything they require) with [jobs] domains.
+    Requires an active {!Store} for [jobs > 1] to be useful (workers
+    communicate exclusively through artifacts), but does not enforce one.
+    [diagnostic_of_exn] translates known pipeline exceptions to located
+    diagnostics (the CLI passes the pipeline's translator). *)
+let build ?(diagnostic_of_exn = fun _ -> None) ~(jobs : int) (roots : string list) : result =
+  let jobs = max 1 jobs in
+  let t0 = Metrics.now () in
+  let graph = Trace.span "build-graph" (fun () -> scan_graph roots) in
+  let t1 = Metrics.now () in
+  let tasks = link_tasks graph in
+  let jobs = min jobs (max 1 (List.length tasks)) in
+  let tasks0 = Atomic.get Parallel.tasks and waits0 = Atomic.get Parallel.lock_waits in
+  (Trace.span "build-compile" @@ fun () ->
+   Metrics.time "phase.build" @@ fun () ->
+   if jobs = 1 then run_serial ~diagnostic_of_exn tasks
+   else run_parallel ~diagnostic_of_exn ~jobs tasks);
+  let tasks_run = Atomic.get Parallel.tasks - tasks0 in
+  let lock_waits = Atomic.get Parallel.lock_waits - waits0 in
+  Metrics.countn "par.tasks" tasks_run;
+  Metrics.countn "par.lock_waits" lock_waits;
+  Metrics.countn "par.jobs" jobs;
+  let t2 = Metrics.now () in
+  {
+    jobs;
+    graph;
+    tasks = tasks_run;
+    lock_waits;
+    outcomes =
+      List.map
+        (fun t ->
+          ( t.node.key,
+            match t.outcome with
+            | Some o -> o
+            | None -> Skipped "(scheduler: never released)" ))
+        tasks;
+    graph_ms = 1000.0 *. (t1 -. t0);
+    compile_ms = 1000.0 *. (t2 -. t1);
+  }

@@ -22,6 +22,8 @@ module Artifact = Artifact
 module Store = Store
 module Loader = Loader
 module Resolver = Resolver
+module Build = Build
+module Genproj = Genproj
 
 (** Install the file resolver and artifact hooks into the module system
     (idempotent). *)

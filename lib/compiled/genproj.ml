@@ -1,0 +1,122 @@
+(** Synthetic project generator for the parallel-build benchmarks and
+    tests ([liblang gen-modules]): a family of require graphs over
+    macro-heavy modules, with a closed-form checksum.
+
+    Three shapes, all rooted at [main.scm]:
+
+    - {e wide}: [main] requires [m1 .. m(n-1)], which are independent —
+      the embarrassingly parallel case (speedup bounded by jobs);
+    - {e diamond}: [main] requires every mid module, each mid requires
+      one shared base — the common-dependency case (the base serializes
+      the start, then the mids fan out);
+    - {e chain}: [m_i] requires [m_(i+1)] — the fully serial case
+      (parallelism can win nothing; the scheduler must not lose either).
+
+    Each module carries the same macro-tower shape as the bench suite's
+    expansion stress family (a [2^depth] [syntax-rules] tower plus an
+    [nvars]-deep binder nest, [copies] times).  The defaults are
+    deliberately tower-heavy and nest-light: expansion work scales with
+    [2^depth] while the {e expanded-code size} — and so the cost of
+    loading the module back from its artifact — scales with [nvars].
+    Keeping the output small makes module compilation dominated by
+    expansion, the phase the parallel driver distributes, rather than by
+    artifact loads (which a worker performs serially for every require
+    some other worker compiled).
+
+    Every module [i] provides one value [v<i>] = its own tower value plus
+    the sum of its requires' values; [main] displays its value, so one
+    number checks the whole graph.  {!generate} returns the closed form. *)
+
+(* The per-module macro tower (same shape as the bench stress family):
+   tower value = copies * (2^depth + nvars). *)
+let tower_body ~depth ~nvars ~copies (buf : Buffer.t) : unit =
+  let add fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n')
+      fmt
+  in
+  add "(define-syntax-rule (inc x) (+ x 1))";
+  add "(define-syntax-rule (t0 x) (inc x))";
+  for i = 1 to depth do
+    add "(define-syntax-rule (t%d x) (t%d (t%d x)))" i (i - 1) (i - 1)
+  done;
+  add "(define-syntax nest";
+  add "  (syntax-rules ()";
+  add "    [(_ () body) body]";
+  add "    [(_ (v vs ...) body) (let ([v 1]) (nest (vs ...) body))]))";
+  let vars = String.concat " " (List.init nvars (Printf.sprintf "v%d")) in
+  for c = 0 to copies - 1 do
+    add "(define (go%d) (nest (%s) (+ (t%d 0) %s)))" c vars depth vars
+  done;
+  let calls = String.concat " " (List.init copies (Printf.sprintf "(go%d)")) in
+  add "(define tower (+ %s))" calls
+
+type shape = Wide | Diamond | Chain
+
+let shape_of_string = function
+  | "wide" -> Some Wide
+  | "diamond" -> Some Diamond
+  | "chain" -> Some Chain
+  | _ -> None
+
+let shape_to_string = function Wide -> "wide" | Diamond -> "diamond" | Chain -> "chain"
+
+(* module index -> list of required module indices *)
+let deps_of ~(shape : shape) ~(n : int) (i : int) : int list =
+  match shape with
+  | Wide -> if i = 0 then List.init (n - 1) (fun j -> j + 1) else []
+  | Diamond ->
+      if i = 0 then List.init (max 0 (n - 2)) (fun j -> j + 1)
+      else if i < n - 1 then [ n - 1 ]
+      else []
+  | Chain -> if i < n - 1 then [ i + 1 ] else []
+
+let file_of (i : int) : string = if i = 0 then "main.scm" else Printf.sprintf "m%d.scm" i
+
+let module_source ~shape ~n ~depth ~nvars ~copies (i : int) : string =
+  let buf = Buffer.create 4096 in
+  let add fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n')
+      fmt
+  in
+  add "#lang racket";
+  let deps = deps_of ~shape ~n i in
+  List.iter (fun j -> add "(require \"%s\")" (file_of j)) deps;
+  if i > 0 then add "(provide v%d)" i;
+  tower_body ~depth ~nvars ~copies buf;
+  let dep_vals = String.concat " " (List.map (Printf.sprintf "v%d") deps) in
+  add "(define v%d (+ tower %s))" i dep_vals;
+  if i = 0 then add "(display v0)";
+  Buffer.contents buf
+
+let write_file path content =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc content)
+
+(** Generate an [n]-module project of [shape] into [dir] (created if
+    needed).  Returns [(root_path, checksum)] where [checksum] is the
+    number [main.scm] displays when the graph is compiled and
+    instantiated correctly. *)
+let generate ~(dir : string) ~(shape : shape) ~(n : int) ?(depth = 10) ?(nvars = 16)
+    ?(copies = 2) () : string * int =
+  if n < 1 then invalid_arg "Genproj.generate: n must be >= 1";
+  (try if not (Sys.file_exists dir) then Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ());
+  for i = 0 to n - 1 do
+    write_file
+      (Filename.concat dir (file_of i))
+      (module_source ~shape ~n ~depth ~nvars ~copies i)
+  done;
+  (* the closed form: tower = copies * (2^depth + nvars); v_i = tower +
+     sum of requires' v_j (requires point at strictly larger indices, so
+     one reverse pass suffices) *)
+  let tower = copies * ((1 lsl depth) + nvars) in
+  let vals = Array.make n 0 in
+  for i = n - 1 downto 0 do
+    vals.(i) <- tower + List.fold_left (fun acc j -> acc + vals.(j)) 0 (deps_of ~shape ~n i)
+  done;
+  (Filename.concat dir (file_of 0), vals.(0))

@@ -9,11 +9,14 @@
     - [#%require] re-binds the required module's exports (the required
       module itself was already resolved by {!Resolver} while validating
       the artifact's transitive digests);
-    - [define-values] binds each id and compiles its right-hand side (each
-      right-hand side takes one pass through the expander first — the forms
-      are already core, so no macro work happens, but the pass re-binds
-      local binders hygienically, which the textual serialization cannot
-      preserve);
+    - [define-values] binds each id now, but {e defers} compiling its
+      right-hand side to first instantiation ({!Modsys.CLazy}): the rhs
+      takes one pass through the expander (already core, so no macro work
+      — but the pass re-binds local binders hygienically, which the
+      textual serialization cannot preserve) and that pass is the bulk of
+      load cost, while only the instantiating domain ever needs its
+      result.  Compile-only consumers — importers, parallel-build workers
+      replaying a dependency — skip it entirely;
     - [define-syntaxes] re-evaluates the (already fully expanded)
       transformer expression and installs the macro — this is how a typed
       module's export indirections (§6.2) come back to life;
@@ -67,14 +70,14 @@ let load (a : Artifact.t) : Modsys.t =
       let requires = ref [ lang ] in
       (* loads nest inside an enclosing compilation (a require of a cached
          file module), so save and restore its recording state *)
-      let saved_requires = !Modsys.current_requires in
-      Modsys.current_requires := requires;
-      let saved_name = !Modsys.current_module_name in
-      Modsys.current_module_name := name;
+      let saved_requires = Modsys.current_requires () in
+      Modsys.set_current_requires requires;
+      let saved_name = Modsys.current_module_name () in
+      Modsys.set_current_module_name name;
       Fun.protect
         ~finally:(fun () ->
-          Modsys.current_module_name := saved_name;
-          Modsys.current_requires := saved_requires)
+          Modsys.set_current_module_name saved_name;
+          Modsys.set_current_requires saved_requires)
       @@ fun () ->
       let sc = Scope.fresh () in
       let scopes = Scope.Set.singleton sc in
@@ -135,8 +138,29 @@ let load (a : Artifact.t) : Modsys.t =
           builtin = false;
         }
       in
-      (* pass B: compile each core form, re-evaluating transformers and
-         regenerating compile-time thunks from the serialized declarations *)
+      (* pass B: process each core form.  Transformers and compile-time
+         declarations are re-evaluated eagerly — importers compile against
+         them — but [define-values] right-hand sides and top-level
+         expressions only matter at instantiation, so their (expensive)
+         re-binding pass + AST compilation is deferred behind a
+         [Modsys.CLazy], re-entering this load's compile-time store and
+         module name when forced.  A compile-only consumer — an importer,
+         or a parallel-build worker replaying a dependency's artifact —
+         therefore never pays for the body at all. *)
+      let store = Ct_store.current () in
+      let defer (compile : unit -> Modsys.compiled_form) : Modsys.compiled_form =
+        Modsys.CLazy
+          (lazy
+            (Ct_store.with_store store @@ fun () ->
+             let saved = Modsys.current_module_name () in
+             Modsys.set_current_module_name name;
+             Fun.protect
+               ~finally:(fun () -> Modsys.set_current_module_name saved)
+               compile))
+      in
+      let defer_expr (form : Stx.t) : Modsys.compiled_form =
+        defer (fun () -> Modsys.CExpr (Compile.compile_expr (Expander.expand_expr form)))
+      in
       let load_form (form : Stx.t) =
         match Stx.view form with
         | Stx.List (hd :: rest) when Stx.is_id hd -> (
@@ -148,12 +172,16 @@ let load (a : Artifact.t) : Modsys.t =
                     let globals =
                       List.map (fun id -> Namespace.global_of (resolve_exn id)) ids
                     in
-                    let ast = Compile.compile_expr (Expander.expand_expr rhs) in
-                    (match (globals, ast) with
-                    | [ g ], Ast.Lambda l when l.Ast.l_name = "" ->
-                        l.Ast.l_name <- g.Ast.g_name
-                    | _ -> ());
-                    m.Modsys.body <- Modsys.CDef (globals, ast) :: m.Modsys.body
+                    let form =
+                      defer (fun () ->
+                          let ast = Compile.compile_expr (Expander.expand_expr rhs) in
+                          (match (globals, ast) with
+                          | [ g ], Ast.Lambda l when l.Ast.l_name = "" ->
+                              l.Ast.l_name <- g.Ast.g_name
+                          | _ -> ());
+                          Modsys.CDef (globals, ast))
+                    in
+                    m.Modsys.body <- form :: m.Modsys.body
                 | _ -> err "artifact: bad define-values in %s" name)
             | Some "define-syntaxes" -> (
                 match rest with
@@ -184,14 +212,8 @@ let load (a : Artifact.t) : Modsys.t =
                     m.Modsys.exports <- m.Modsys.exports @ Modsys.parse_provide_spec spec)
                   rest
             | Some "#%require" -> ()
-            | _ ->
-                m.Modsys.body <-
-                  Modsys.CExpr (Compile.compile_expr (Expander.expand_expr form))
-                  :: m.Modsys.body)
-        | _ ->
-            m.Modsys.body <-
-              Modsys.CExpr (Compile.compile_expr (Expander.expand_expr form))
-              :: m.Modsys.body
+            | _ -> m.Modsys.body <- defer_expr form :: m.Modsys.body)
+        | _ -> m.Modsys.body <- defer_expr form :: m.Modsys.body
       in
       List.iter load_form forms;
       m.Modsys.body <- List.rev m.Modsys.body;

@@ -30,12 +30,17 @@ module Trace = Liblang_observe.Trace
 (* -- path canonicalization --------------------------------------------------- *)
 
 (* Directory of the file currently being loaded (innermost first); the
-   base for resolving relative require paths. *)
-let dir_stack : string list ref = ref []
+   base for resolving relative require paths.  Domain-local: each
+   parallel-build worker resolves relative to its own load nest (workers
+   are handed absolute keys, so an empty initial stack is correct). *)
+let dir_stack_key : string list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
 
-let base_dir () = match !dir_stack with d :: _ -> d | [] -> Sys.getcwd ()
+let[@inline] dir_stack () = Domain.DLS.get dir_stack_key
+
+let base_dir () = match !(dir_stack ()) with d :: _ -> d | [] -> Sys.getcwd ()
 
 let with_dir d f =
+  let dir_stack = dir_stack () in
   dir_stack := d :: !dir_stack;
   Fun.protect ~finally:(fun () -> dir_stack := List.tl !dir_stack) f
 
@@ -64,19 +69,32 @@ let module_key (path : string) : string = normalize path
 (* key -> (source digest, module): file modules already acquired this
    session.  A re-require only reuses the entry while the source is
    unchanged on disk and the module is still registered (tests reset the
-   registry); otherwise the file is re-acquired and re-registered. *)
-let loaded : (string, string * Modsys.t) Hashtbl.t = Hashtbl.create 16
+   registry); otherwise the file is re-acquired and re-registered.
+
+   Domain-local with a {e fresh} (empty) table in spawned workers — not a
+   copy: a copied entry would hand the worker the parent's live module
+   record, whose mutable visit/instantiate marks must stay per-domain
+   (the worker's registry holds clones).  Workers re-acquire what they
+   need from the artifact store, which is warm by construction. *)
+let loaded_key : (string, string * Modsys.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+
+let[@inline] loaded () = Domain.DLS.get loaded_key
 
 (* key -> source digest for files the resolver is compiling right now;
    the Modsys compiled_hook persists artifacts only for these
-   (inline/test modules are not files and are never cached) *)
-let cacheable : (string, string) Hashtbl.t = Hashtbl.create 16
+   (inline/test modules are not files and are never cached).
+   Domain-local: tracks the calling domain's in-progress compiles. *)
+let cacheable_key : (string, string) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+
+let[@inline] cacheable () = Domain.DLS.get cacheable_key
 
 (** Forget all session state (loaded files and registered user modules) —
     the test/bench hook for simulating a fresh process, so a warm run
     actually exercises the artifact store. *)
 let reset_session () =
-  Hashtbl.reset loaded;
+  Hashtbl.reset (loaded ());
   Modsys.reset_user_modules_for_tests ()
 
 (* -- compiling and loading ----------------------------------------------------- *)
@@ -89,6 +107,7 @@ let slurp path =
 
 let compile_from_source ~key ~source : Modsys.t =
   Sources.register ~file:key source;
+  let cacheable = cacheable () in
   Hashtbl.replace cacheable key (Digest_util.of_string source);
   Fun.protect
     ~finally:(fun () -> Hashtbl.remove cacheable key)
@@ -163,15 +182,21 @@ and require_key ?(loc = Srcloc.none) (key : string) : Modsys.t =
         Modsys.err_at loc "require: cannot read module file %s: %s" key m
   in
   let source_digest = Digest_util.of_string source in
+  let loaded = loaded () in
   match Hashtbl.find_opt loaded key with
   | Some (d, m) when String.equal d source_digest && Modsys.is_declared key -> m
   | _ ->
       Modsys.with_compiling key @@ fun () ->
       with_dir (Filename.dirname key) @@ fun () ->
       let m =
-        match !Store.active with
+        match Store.active () with
         | None -> compile_from_source ~key ~source
-        | Some store -> (
+        | Some store ->
+            (* Per-key advisory lock: parallel workers racing on an
+               uncompiled module serialize here, so the loser re-reads the
+               winner's fresh artifact (one write + one cache hit for the
+               whole pool).  No-op outside parallel builds. *)
+            Store.with_key_lock store key @@ fun () -> (
             match try_artifact store ~key ~source_digest with
             | Some m -> m
             | None -> compile_from_source ~key ~source)
@@ -237,14 +262,14 @@ let compute_links (m : Liblang_modules.Modsys.t) (core_forms : Stx.t list) :
     current artifact (so the transitive digest chain is complete);
     otherwise it is skipped with a [-v] trace note. *)
 let on_compiled (m : Modsys.t) ~(lang : string) ~(core_forms : Stx.t list) : unit =
-  match (!Store.active, Hashtbl.find_opt cacheable m.Modsys.mod_name) with
+  match (Store.active (), Hashtbl.find_opt (cacheable ()) m.Modsys.mod_name) with
   | None, _ | _, None -> ()
   | Some store, Some source_digest ->
       let key = m.Modsys.mod_name in
       let require_refs =
           List.map
             (fun r ->
-              match Hashtbl.find_opt Modsys.registry r with
+              match Modsys.find_opt r with
               | Some rm when rm.Modsys.builtin -> Some (Artifact.Builtin r)
               | _ -> (
                   match Store.current_digest store r with

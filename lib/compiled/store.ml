@@ -18,6 +18,7 @@
 
 module Metrics = Liblang_observe.Metrics
 module Trace = Liblang_observe.Trace
+module Parallel = Liblang_parallel.Parallel
 
 let default_dir = ".liblang-cache"
 
@@ -27,6 +28,14 @@ type t = {
       (** module key -> digest of its current (validated or just-written)
           artifact, memoized for this session; dependents consult this to
           record / check transitive digests *)
+  mu : Mutex.t;
+      (** guards [digests] and [key_locks] while a domain pool is active
+          (gated — single-domain runs skip it entirely) *)
+  key_locks : (string, Mutex.t) Hashtbl.t;
+      (** per-module-key advisory locks, created on demand: parallel-build
+          workers racing to acquire the same uncompiled module serialize on
+          the key, so the loser sees the winner's fresh artifact (one
+          write + one cache hit) instead of compiling it a second time *)
 }
 
 (** Open (creating if needed) a store rooted at [dir]. *)
@@ -34,7 +43,35 @@ let create ?(dir = default_dir) () : t =
   (try
      if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
    with Unix.Unix_error _ -> ());
-  { dir; digests = Hashtbl.create 16 }
+  { dir; digests = Hashtbl.create 16; mu = Mutex.create (); key_locks = Hashtbl.create 16 }
+
+(* [digests] is read and written by every domain that consults the store;
+   all accesses below go through this gate. *)
+let[@inline] locked (s : t) f = Parallel.with_gate s.mu f
+
+(** Run [f] holding [key]'s advisory lock (a no-op outside parallel
+    builds).  Lock acquisition follows require edges, which are acyclic
+    (the cycle check raises first), so nested holds cannot deadlock.
+    Contention is surfaced as the [cache.lock_waits] metric. *)
+let with_key_lock (s : t) (key : string) (f : unit -> 'a) : 'a =
+  if not (Parallel.active ()) then f ()
+  else begin
+    let m =
+      Parallel.with_lock s.mu (fun () ->
+          match Hashtbl.find_opt s.key_locks key with
+          | Some m -> m
+          | None ->
+              let m = Mutex.create () in
+              Hashtbl.add s.key_locks key m;
+              m)
+    in
+    if not (Mutex.try_lock m) then begin
+      Metrics.count "cache.lock_waits";
+      Atomic.incr Parallel.lock_waits;
+      Mutex.lock m
+    end;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+  end
 
 let artifact_path (s : t) (key : string) : string =
   Filename.concat s.dir (Digest_util.key_file key ^ ".lart")
@@ -45,27 +82,35 @@ let artifact_path (s : t) (key : string) : string =
     having been satisfied from the resolver's session memo).  [None] if
     the module has no artifact at all. *)
 let current_digest (s : t) (key : string) : string option =
-  match Hashtbl.find_opt s.digests key with
+  match locked s (fun () -> Hashtbl.find_opt s.digests key) with
   | Some d -> Some d
   | None -> (
       match Digest_util.of_file (artifact_path s key) with
       | Some d ->
-          Hashtbl.replace s.digests key d;
+          locked s (fun () -> Hashtbl.replace s.digests key d);
           Some d
       | None -> None)
 
-let forget_digest (s : t) (key : string) = Hashtbl.remove s.digests key
+let forget_digest (s : t) (key : string) =
+  locked s (fun () -> Hashtbl.remove s.digests key)
 
 (* -- the ambient store ------------------------------------------------------ *)
 
 (** The store consulted by the file resolver; [None] disables caching
-    (every file module is compiled from source). *)
-let active : t option ref = ref None
+    (every file module is compiled from source).  The slot is domain-local
+    but split with {e identity}: a worker spawned while a store is active
+    shares that very store instance — that sharing (plus the gated mutex
+    above) is what makes the artifact store the inter-domain communication
+    channel of a parallel build. *)
+let active_key : t option Domain.DLS.key =
+  Domain.DLS.new_key ~split_from_parent:(fun v -> v) (fun () -> None)
+
+let[@inline] active () : t option = Domain.DLS.get active_key
 
 let with_store (s : t option) (f : unit -> 'a) : 'a =
-  let saved = !active in
-  active := s;
-  Fun.protect ~finally:(fun () -> active := saved) f
+  let saved = active () in
+  Domain.DLS.set active_key s;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set active_key saved) f
 
 (* -- reading ----------------------------------------------------------------- *)
 
@@ -91,7 +136,7 @@ let read (s : t) ~(key : string) : (Artifact.t * string, Artifact.invalid) resul
         | Error reason -> Error reason
         | Ok a ->
             let digest = Digest_util.of_string text in
-            Hashtbl.replace s.digests key digest;
+            locked s (fun () -> Hashtbl.replace s.digests key digest);
             Ok (a, digest))
 
 (* -- writing ----------------------------------------------------------------- *)
@@ -105,14 +150,19 @@ let write (s : t) (a : Artifact.t) : unit =
   Trace.span "artifact-write" ~detail:a.Artifact.mod_name @@ fun () ->
   let text = Artifact.to_string a in
   let path = artifact_path s a.Artifact.mod_name in
-  let tmp = path ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+  (* the temp name carries pid {e and} domain id: two domains of one
+     process racing on a key must not share a temp file *)
+  let tmp =
+    path ^ ".tmp." ^ string_of_int (Unix.getpid ()) ^ "."
+    ^ string_of_int (Domain.self () :> int)
+  in
   match
     let oc = open_out_bin tmp in
     Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc text);
     Sys.rename tmp path
   with
   | () ->
-      Hashtbl.replace s.digests a.Artifact.mod_name (Digest_util.of_string text);
+      locked s (fun () -> Hashtbl.replace s.digests a.Artifact.mod_name (Digest_util.of_string text));
       Metrics.count "cache.writes"
   | exception Sys_error m ->
       (try Sys.remove tmp with Sys_error _ -> ());

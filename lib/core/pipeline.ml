@@ -41,29 +41,53 @@ let default_compile_fuel = 10_000_000
 
 let in_note (s : Stx.t) = [ Diagnostic.note ("in: " ^ Diagnostic.truncated (Stx.to_string s)) ]
 
-(* The hygiene engine (lib/stx) keeps plain monotonic int refs for its hot
-   counters — resolver cache hits/misses and lazy scope pushes — so the
-   expander's inner loop never hashes a metric name.  This wrapper flushes
-   the deltas accumulated during [f] into the ambient collector as the
-   ["expand.resolve_hits"]/["expand.resolve_misses"]/["stx.scope_pushes"]
-   metrics (plus interning gauges); it is a no-op without a collector. *)
+(* The hygiene engine (lib/stx) keeps plain monotonic int counters for its
+   hot paths — per-domain resolver cache hits/misses and lazy scope pushes
+   — so the expander's inner loop never hashes a metric name.  This wrapper
+   flushes the deltas accumulated during [f] into the ambient collector as
+   the ["expand.resolve_hits"]/["expand.resolve_misses"]/
+   ["stx.scope_pushes"] metrics (plus interning gauges); it is a no-op
+   without a collector.
+
+   The bracket is {e reentrant per domain}: pipeline entry points nest
+   (e.g. [run_file] over a module whose requires route back through
+   [compile_file]-style machinery, or the parallel driver running worker
+   tasks inside an outer profiled run), and if both the outer and the inner
+   bracket flushed, the inner delta window would land twice in the merged
+   [--profile].  Only the outermost bracket of each domain flushes.
+
+   The per-domain deltas (resolver hits/misses) flush on every domain; the
+   {e process-wide} gauges (scope pushes, interned symbols / scope sets)
+   flush only from the main domain — concurrent worker windows overlap the
+   main window, so per-worker deltas of a shared counter would double-
+   count. *)
+let stx_flush_depth_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
 let with_stx_counters (f : unit -> 'a) : 'a =
   if not (Metrics.installed ()) then f ()
   else begin
-    let h0 = !Binding.resolve_hits
-    and m0 = !Binding.resolve_misses
-    and p0 = !Stx.scope_pushes
-    and sy0 = Stx.Symbol.interned_count ()
-    and sc0 = Liblang_stx.Scope.Set.interned_count () in
-    Fun.protect
-      ~finally:(fun () ->
-        Metrics.countn "expand.resolve_hits" (!Binding.resolve_hits - h0);
-        Metrics.countn "expand.resolve_misses" (!Binding.resolve_misses - m0);
-        Metrics.countn "stx.scope_pushes" (!Stx.scope_pushes - p0);
-        Metrics.countn "stx.symbols_interned" (Stx.Symbol.interned_count () - sy0);
-        Metrics.countn "stx.scope_sets_interned"
-          (Liblang_stx.Scope.Set.interned_count () - sc0))
-      f
+    let depth = Domain.DLS.get stx_flush_depth_key in
+    if !depth > 0 then f () (* nested bracket: let the outermost flush *)
+    else begin
+      incr depth;
+      let h0 = Binding.resolve_hits ()
+      and m0 = Binding.resolve_misses ()
+      and p0 = !Stx.scope_pushes
+      and sy0 = Stx.Symbol.interned_count ()
+      and sc0 = Liblang_stx.Scope.Set.interned_count () in
+      Fun.protect
+        ~finally:(fun () ->
+          decr depth;
+          Metrics.countn "expand.resolve_hits" (Binding.resolve_hits () - h0);
+          Metrics.countn "expand.resolve_misses" (Binding.resolve_misses () - m0);
+          if Domain.is_main_domain () then begin
+            Metrics.countn "stx.scope_pushes" (!Stx.scope_pushes - p0);
+            Metrics.countn "stx.symbols_interned" (Stx.Symbol.interned_count () - sy0);
+            Metrics.countn "stx.scope_sets_interned"
+              (Liblang_stx.Scope.Set.interned_count () - sc0)
+          end)
+        f
+    end
   end
 
 (** Translate a known pipeline exception to a located diagnostic;
@@ -181,21 +205,64 @@ let with_optional_cache (cache_dir : string option) (f : unit -> 'a) : 'a =
   | None -> f ()
   | Some dir -> Core.Compiled.with_cache_dir dir f
 
-(** Compile (without instantiating) the module in [path] and everything it
-    requires, through the file resolver — and, when [?cache_dir] is given,
-    through the artifact store rooted there (reading valid artifacts instead
-    of re-compiling, and persisting fresh ones).  See docs/compilation.md. *)
-let compile_file ?fuel ?cache_dir ?(observe = Observe.nothing) (path : string) :
-    (unit, Diagnostic.t list) result =
+(* Raise the failures (and poisoned skips) of a parallel build as one
+   [Diagnostic.Failed] batch; no-op when every task built. *)
+let raise_build_failures (r : Core.Compiled.Build.result) : unit =
+  let ds =
+    List.concat_map
+      (fun (key, o) ->
+        match o with
+        | Core.Compiled.Build.Built -> []
+        | Core.Compiled.Build.Failed ds -> ds
+        | Core.Compiled.Build.Skipped dep ->
+            [
+              Diagnostic.make ~severity:Diagnostic.Note ~phase:Diagnostic.Module
+                (Printf.sprintf "%s not built: its require %s failed" key dep);
+            ])
+      r.Core.Compiled.Build.outcomes
+  in
+  if ds <> [] then raise (Diagnostic.Failed ds)
+
+(** Build [paths] — and everything they require — with [jobs] worker
+    domains over the artifact store (see {!Liblang_compiled.Build}).
+    [jobs = 1] (the default) compiles serially on the calling domain.
+    Returns the build result (scheduling stats included) or the combined
+    diagnostics of every failed task. *)
+let build_files ?fuel ?cache_dir ?(jobs = 1) ?(observe = Observe.nothing)
+    (paths : string list) : (Core.Compiled.Build.result, Diagnostic.t list) result =
   Core.init ();
   Observe.with_ctx observe (fun () ->
       with_stx_counters @@ fun () ->
-      Trace.span "compile" ~detail:path (fun () ->
+      Trace.span "build" (fun () ->
           contain ?fuel (fun () ->
               with_optional_cache cache_dir (fun () ->
-                  ignore (Core.Compiled.compile_file path)))))
+                  let r = Core.Compiled.Build.build ~diagnostic_of_exn ~jobs paths in
+                  raise_build_failures r;
+                  r))))
 
-let run_file ?fuel ?cache_dir ?(observe = Observe.nothing) (path : string) :
+(** Compile (without instantiating) the module in [path] and everything it
+    requires, through the file resolver — and, when [?cache_dir] is given,
+    through the artifact store rooted there (reading valid artifacts instead
+    of re-compiling, and persisting fresh ones).  [?jobs > 1] distributes
+    the module graph over that many worker domains (see
+    {!Liblang_compiled.Build}).  See docs/compilation.md. *)
+let compile_file ?fuel ?cache_dir ?(jobs = 1) ?(observe = Observe.nothing) (path : string) :
+    (unit, Diagnostic.t list) result =
+  if jobs > 1 then
+    match build_files ?fuel ?cache_dir ~jobs ~observe [ path ] with
+    | Ok _ -> Ok ()
+    | Error ds -> Error ds
+  else begin
+    Core.init ();
+    Observe.with_ctx observe (fun () ->
+        with_stx_counters @@ fun () ->
+        Trace.span "compile" ~detail:path (fun () ->
+            contain ?fuel (fun () ->
+                with_optional_cache cache_dir (fun () ->
+                    ignore (Core.Compiled.compile_file path)))))
+  end
+
+let run_file ?fuel ?cache_dir ?(jobs = 1) ?(observe = Observe.nothing) (path : string) :
     (Value.value, Diagnostic.t list) result =
   match cache_dir with
   | None -> (
@@ -212,13 +279,20 @@ let run_file ?fuel ?cache_dir ?(observe = Observe.nothing) (path : string) :
   | Some _ ->
       (* cached runs route through the file resolver: the module is
          registered under its canonical absolute path and may be loaded
-         from its artifact instead of compiled *)
+         from its artifact instead of compiled.  With [jobs > 1] the
+         module graph is first built in parallel (artifacts written by the
+         pool), then the main domain acquires the program from the warm
+         store and instantiates it serially — instantiation order is the
+         language's observable semantics and is never parallelized. *)
       Core.init ();
       Observe.with_ctx observe (fun () ->
       with_stx_counters @@ fun () ->
           Trace.span "run" ~detail:path (fun () ->
               contain ?fuel (fun () ->
                   with_optional_cache cache_dir (fun () ->
+                      if jobs > 1 then
+                        raise_build_failures
+                          (Core.Compiled.Build.build ~diagnostic_of_exn ~jobs [ path ]);
                       let m = Core.Compiled.compile_file path in
                       Interp.fuel :=
                         (match fuel with Some n -> n | None -> Interp.unlimited);

@@ -52,24 +52,29 @@ let diagnostics r =
              r.max_errors);
       ]
 
-(* -- the ambient reporter ------------------------------------------------- *)
+(* -- the ambient reporter -------------------------------------------------
 
-let current : t option ref = ref None
+   Domain-local: each domain has its own ambient reporter slot, so a worker
+   in the parallel build pool accumulates its task's diagnostics privately
+   and the driver aggregates them on join.  A freshly spawned domain starts
+   with no reporter installed. *)
 
-let installed () = Option.is_some !current
+let current_key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let installed () = Option.is_some (Domain.DLS.get current_key)
 
 (** Install [r] as the ambient reporter for the extent of [f] (properly
     nested: the previous reporter is restored on exit). *)
 let with_reporter r f =
-  let saved = !current in
-  current := Some r;
-  Fun.protect ~finally:(fun () -> current := saved) f
+  let saved = Domain.DLS.get current_key in
+  Domain.DLS.set current_key (Some r);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current_key saved) f
 
 (** Report to the ambient reporter if one is installed; returns whether a
     reporter accepted the diagnostic (callers raise their legacy exception
     when it returns [false]). *)
 let emit d =
-  match !current with
+  match Domain.DLS.get current_key with
   | Some r ->
       report r d;
       true

@@ -1,13 +1,24 @@
 (** A registry mapping file/module names to their source text, so the
     renderer can show source-line excerpts with caret underlines.  The
     pipeline registers every source it reads; direct library users may
-    register theirs. *)
+    register theirs.
+
+    The table is shared across domains under a (tiny, always-on) mutex:
+    sources registered by parallel-build workers must be visible to the
+    main domain, which renders the merged diagnostics after join.
+    Registration and excerpt lookup are rare (per file / per rendered
+    diagnostic), so an unconditional lock costs nothing measurable. *)
 
 let table : (string, string) Hashtbl.t = Hashtbl.create 16
+let mu = Mutex.create ()
 
-let register ~file text = Hashtbl.replace table file text
-let find file = Hashtbl.find_opt table file
-let clear () = Hashtbl.reset table
+let locked f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let register ~file text = locked (fun () -> Hashtbl.replace table file text)
+let find file = locked (fun () -> Hashtbl.find_opt table file)
+let clear () = locked (fun () -> Hashtbl.reset table)
 
 (** The [n]-th (1-based) line of the registered source for [file], without
     its trailing newline. *)

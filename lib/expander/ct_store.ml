@@ -17,29 +17,43 @@ type t = {
       (** named tables keyed by binding uid — e.g. a type environment *)
 }
 
-let counter = ref 0
+(* Store ids are globally unique (atomic counter): module records carry
+   [visited_stores] lists of store ids, and module records cloned into a
+   worker domain must never collide with ids minted by another domain. *)
+let counter = Atomic.make 0
 
 let create () : t =
-  incr counter;
-  { id = !counter; vals = Hashtbl.create 32; tables = Hashtbl.create 4 }
+  { id = 1 + Atomic.fetch_and_add counter 1; vals = Hashtbl.create 32; tables = Hashtbl.create 4 }
 
-let current : t ref = ref (create ())
+(* The ambient store is per-domain: each parallel-build worker compiles with
+   its own store stack, which is exactly the "fresh store per compilation"
+   guarantee extended to domains. *)
+let current_key : t Domain.DLS.key = Domain.DLS.new_key (fun () -> create ())
 
-let with_fresh_store f =
-  let saved = !current in
-  current := create ();
-  Fun.protect ~finally:(fun () -> current := saved) f
+let[@inline] current () : t = Domain.DLS.get current_key
 
-let store_id () = !current.id
-let get key = Hashtbl.find_opt !current.vals key
-let set key v = Hashtbl.replace !current.vals key v
+(** Run [f] with [store] as the ambient store (restoring the previous one
+    after).  The artifact loader uses this to re-enter a module's
+    load-time store when a deferred body compilation is forced at
+    instantiation time. *)
+let with_store (store : t) f =
+  let saved = current () in
+  Domain.DLS.set current_key store;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current_key saved) f
+
+let with_fresh_store f = with_store (create ()) f
+
+let store_id () = (current ()).id
+let get key = Hashtbl.find_opt (current ()).vals key
+let set key v = Hashtbl.replace (current ()).vals key v
 
 (** A named, binding-uid-keyed table in the current store, created on first
     access.  Typed Racket's type environment is [uid_table "typed:types"]. *)
 let uid_table name : (int, Value.value) Hashtbl.t =
-  match Hashtbl.find_opt !current.tables name with
+  let cur = current () in
+  match Hashtbl.find_opt cur.tables name with
   | Some t -> t
   | None ->
       let t = Hashtbl.create 64 in
-      Hashtbl.add !current.tables name t;
+      Hashtbl.add cur.tables name t;
       t

@@ -23,10 +23,17 @@ type denotation =
 
 module ITbl = Hashtbl.Make (Int)
 
-let table : denotation ITbl.t = ITbl.create 1024
+(* Domain-local, seeded at [Domain.spawn] with a copy of the parent's table:
+   workers see every denotation established before the spawn (builtins, core
+   forms) and record their own privately; the main domain re-acquires worker
+   output by replaying artifacts. *)
+let table_key : denotation ITbl.t Domain.DLS.key =
+  Domain.DLS.new_key ~split_from_parent:ITbl.copy (fun () -> ITbl.create 1024)
 
-let set (b : Binding.t) (d : denotation) = ITbl.replace table b.Binding.uid d
-let get (b : Binding.t) : denotation option = ITbl.find_opt table b.Binding.uid
+let[@inline] table () = Domain.DLS.get table_key
+
+let set (b : Binding.t) (d : denotation) = ITbl.replace (table ()) b.Binding.uid d
+let get (b : Binding.t) : denotation option = ITbl.find_opt (table ()) b.Binding.uid
 
 let transformer_name = function
   | Native (n, _) -> n

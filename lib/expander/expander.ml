@@ -106,21 +106,34 @@ let expect_id msg s = if Stx.is_id s then s else err msg s
    {!reset_limits}; the pipeline can also tighten them per run. *)
 
 let default_fuel = 100_000
-let fuel_budget = ref default_fuel
-let fuel = ref default_fuel
-
 let default_max_depth = 5_000
-let max_depth = ref default_max_depth
-let depth = ref 0
+
+(* The limits are per-domain: each parallel-build worker expands under its
+   own fuel budget and depth counter, so one worker's consumption can
+   neither starve nor corrupt another's.  Workers inherit the defaults (the
+   driver resets limits at each module boundary anyway). *)
+type limits = {
+  mutable budget : int;
+  mutable fuel : int;
+  mutable max_depth : int;
+  mutable depth : int;
+}
+
+let limits_key : limits Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { budget = default_fuel; fuel = default_fuel; max_depth = default_max_depth; depth = 0 })
+
+let[@inline] limits () = Domain.DLS.get limits_key
 
 (** Restore the fuel budget and depth counter (optionally adjusting the
     configured limits).  Called at every module-compilation boundary so one
     compilation's consumption never bleeds into the next. *)
 let reset_limits ?fuel:budget ?max_depth:md () =
-  (match budget with Some n -> fuel_budget := n | None -> ());
-  (match md with Some n -> max_depth := n | None -> ());
-  fuel := !fuel_budget;
-  depth := 0
+  let l = limits () in
+  (match budget with Some n -> l.budget <- n | None -> ());
+  (match md with Some n -> l.max_depth <- n | None -> ());
+  l.fuel <- l.budget;
+  l.depth <- 0
 
 (* -- transformer application ------------------------------------------------- *)
 
@@ -142,12 +155,13 @@ let contain_err name (s : Stx.t) what =
     s
 
 let transform (t : Denote.transformer) (s : Stx.t) : Stx.t =
-  decr fuel;
-  if !fuel <= 0 then
+  let l = limits () in
+  l.fuel <- l.fuel - 1;
+  if l.fuel <= 0 then
     contain_err (macro_name_of t s) s
       (Printf.sprintf
          "macro expansion exhausted its fuel budget of %d steps (expansion probably diverges)"
-         !fuel_budget);
+         l.budget);
   let intro = Scope.fresh () in
   let input = Stx.flip_scope intro s in
   let output =
@@ -217,20 +231,21 @@ type stops = Binding.t list
 let in_stops (stops : stops) (b : Binding.t) = List.exists (Binding.equal b) stops
 
 let rec expand_expr ?(stops : stops = []) (s : Stx.t) : Stx.t =
-  let d = !depth in
-  if d >= !max_depth then
+  let l = limits () in
+  let d = l.depth in
+  if d >= l.max_depth then
     err
       (Printf.sprintf
          "expansion recursion too deep (limit %d): nesting exceeds the expander's depth guard"
-         !max_depth)
+         l.max_depth)
       s;
-  depth := d + 1;
+  l.depth <- d + 1;
   match expand_expr_at ~stops s with
   | v ->
-      depth := d;
+      l.depth <- d;
       v
   | exception e ->
-      depth := d;
+      l.depth <- d;
       raise e
 
 and expand_expr_at ~(stops : stops) (s : Stx.t) : Stx.t =

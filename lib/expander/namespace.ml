@@ -8,10 +8,19 @@ module Binding = Liblang_stx.Binding
 module Ast = Liblang_runtime.Ast
 module Value = Liblang_runtime.Value
 
-let table : (int, Ast.global) Hashtbl.t = Hashtbl.create 1024
+(* Domain-local, seeded at [Domain.spawn] with a shallow copy of the
+   parent's table.  The copy shares the [Ast.global] records themselves —
+   builtin primitives installed before the spawn resolve to the very same
+   cells in every worker; cells a worker creates for its own module-level
+   definitions stay private to that worker. *)
+let table_key : (int, Ast.global) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key ~split_from_parent:Hashtbl.copy (fun () -> Hashtbl.create 1024)
+
+let[@inline] table () = Domain.DLS.get table_key
 
 (** The global cell for a binding, created on demand. *)
 let global_of (b : Binding.t) : Ast.global =
+  let table = table () in
   match Hashtbl.find_opt table b.Binding.uid with
   | Some g -> g
   | None ->
@@ -23,9 +32,9 @@ let global_of (b : Binding.t) : Ast.global =
 let define_immutable (b : Binding.t) (v : Value.value) =
   let g = Ast.global ~mutable_:false b.Binding.name in
   g.Ast.g_val <- v;
-  Hashtbl.replace table b.Binding.uid g
+  Hashtbl.replace (table ()) b.Binding.uid g
 
 let lookup_value (b : Binding.t) : Value.value option =
-  match Hashtbl.find_opt table b.Binding.uid with
+  match Hashtbl.find_opt (table ()) b.Binding.uid with
   | Some g when g.Ast.g_val != Value.Undefined -> Some g.Ast.g_val
   | _ -> None

@@ -35,14 +35,21 @@ let err_stx (stx : Stx.t) fmt = err_at (Stx.loc stx) fmt
 
 (* Names of modules whose compilation is currently in progress (innermost
    first).  A [require] of a module on this stack is a require cycle; the
-   error carries the full cycle path. *)
-let compiling_stack : string list ref = ref []
+   error carries the full cycle path.  Domain-local: each parallel-build
+   worker tracks its own nest of in-progress compilations (a freshly
+   spawned domain starts with an empty stack). *)
+let compiling_stack_key : string list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let[@inline] compiling_stack () = Domain.DLS.get compiling_stack_key
 
 let with_compiling name f =
+  let compiling_stack = compiling_stack () in
   compiling_stack := name :: !compiling_stack;
   Fun.protect ~finally:(fun () -> compiling_stack := List.tl !compiling_stack) f
 
 let check_cycle ?(loc = Srcloc.none) name =
+  let compiling_stack = compiling_stack () in
   if List.mem name !compiling_stack then begin
     let rec upto acc = function
       | [] -> List.rev acc
@@ -60,6 +67,17 @@ type export = { ext_name : string; binding : Binding.t }
 type compiled_form =
   | CDef of Ast.global list * Ast.t
   | CExpr of Ast.t
+  | CLazy of compiled_form Lazy.t
+      (** a deferred body compilation, forced on first instantiation.  The
+          artifact loader defers compiling [define-values] right-hand
+          sides and top-level expressions: importers only need a loaded
+          module's exports, macros and compile-time declarations to
+          compile against it, so a load on the compile-only path (e.g. a
+          parallel-build worker replaying a dependency) skips the
+          expensive re-binding pass over the core forms entirely.  A
+          [CLazy] is only ever forced by the domain that owns the module
+          record (instantiation happens on the acquiring domain), so
+          [Lazy.force] is single-domain here. *)
 
 type t = {
   mod_name : string;
@@ -72,21 +90,50 @@ type t = {
   builtin : bool;
 }
 
-let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+(* The module registry is domain-local, seeded at [Domain.spawn] with a
+   copy of the parent's table in which every module {e record} is cloned
+   (preserving alias sharing via physical identity): [visit] and
+   [instantiate_at] mutate [visited_stores] / [instantiated] on registry
+   records, and those per-compilation marks must stay private to the
+   worker.  Clones still share immutable content — bindings, compiled
+   bodies, the globals referenced from [body] — so builtin modules work
+   unchanged in workers.  Store ids are globally unique (atomic counter in
+   [Ct_store]), so a cloned record's inherited [visited_stores] list can
+   never falsely match a store created in the child domain. *)
+let clone_registry (parent : (string, t) Hashtbl.t) : (string, t) Hashtbl.t =
+  let copy = Hashtbl.create (max 64 (Hashtbl.length parent)) in
+  let seen : (t * t) list ref = ref [] in
+  let clone m =
+    match List.find_opt (fun (o, _) -> o == m) !seen with
+    | Some (_, c) -> c
+    | None ->
+        let c = { m with mod_name = m.mod_name } in
+        seen := (m, c) :: !seen;
+        c
+  in
+  Hashtbl.iter (fun name m -> Hashtbl.replace copy name (clone m)) parent;
+  copy
+
+let registry_key : (string, t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key ~split_from_parent:clone_registry (fun () -> Hashtbl.create 64)
+
+let[@inline] registry () = Domain.DLS.get registry_key
+
+let find_opt name = Hashtbl.find_opt (registry ()) name
 
 let find ?(loc = Srcloc.none) name =
-  match Hashtbl.find_opt registry name with
+  match find_opt name with
   | Some m -> m
   | None ->
       check_cycle ~loc name;
       err_at loc "require: unknown module %s" name
 
-let is_declared name = Hashtbl.mem registry name
+let is_declared name = Hashtbl.mem (registry ()) name
 
-let register m = Hashtbl.replace registry m.mod_name m
+let register m = Hashtbl.replace (registry ()) m.mod_name m
 
 (** Register an existing module under an additional name. *)
-let alias m name = Hashtbl.replace registry name m
+let alias m name = Hashtbl.replace (registry ()) name m
 
 (* -- module-level internals (for separate compilation) -------------------------- *)
 
@@ -96,14 +143,26 @@ let alias m name = Hashtbl.replace registry name m
    references to internal bindings — e.g. the typed boundary's
    [defensive-*] definitions, which a typed module's export indirection
    (§6.2) splices into untyped clients without ever exporting them. *)
-let internals : (string, (string, Binding.t) Hashtbl.t) Hashtbl.t = Hashtbl.create 32
+(* Domain-local like the registry; the split deep-copies (outer and inner
+   tables) so a worker's recompilations never mutate tables shared with
+   the parent. *)
+let internals_key : (string, (string, Binding.t) Hashtbl.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key
+    ~split_from_parent:(fun parent ->
+      let copy = Hashtbl.create (max 32 (Hashtbl.length parent)) in
+      Hashtbl.iter (fun k tbl -> Hashtbl.replace copy k (Hashtbl.copy tbl)) parent;
+      copy)
+    (fun () -> Hashtbl.create 32)
+
+let[@inline] internals () = Domain.DLS.get internals_key
 
 (* Start a fresh internals table for [mod_name] (re-declaration must not
    accumulate stale names). *)
 let reset_internals mod_name =
-  Hashtbl.replace internals mod_name (Hashtbl.create 8)
+  Hashtbl.replace (internals ()) mod_name (Hashtbl.create 8)
 
 let record_internal ~mod_name name (b : Binding.t) =
+  let internals = internals () in
   match Hashtbl.find_opt internals mod_name with
   | Some tbl -> Hashtbl.replace tbl name b
   | None ->
@@ -114,7 +173,7 @@ let record_internal ~mod_name name (b : Binding.t) =
 (** The binding of module [mod_name]'s module-level definition [name], if
     any (independent of whether it is exported). *)
 let find_internal ~mod_name name : Binding.t option =
-  Option.bind (Hashtbl.find_opt internals mod_name) (fun tbl ->
+  Option.bind (Hashtbl.find_opt (internals ()) mod_name) (fun tbl ->
       Hashtbl.find_opt tbl name)
 
 (** The module (other than [excluding]) whose module-level definition
@@ -131,7 +190,7 @@ let find_internal_owner ?excluding name (b : Binding.t) : string option =
             match Hashtbl.find_opt tbl name with
             | Some b' when Binding.equal b b' -> Some mod_name
             | _ -> None))
-    internals None
+    (internals ()) None
 
 (* -- visiting: replaying compile-time declarations (§5) ----------------------- *)
 
@@ -149,7 +208,8 @@ let rec visit (m : t) =
    swaps in {!Liblang_runtime.Naive.eval_top} for its comparison series. *)
 let evaluator : (Ast.t -> Value.value) ref = ref Interp.eval_top
 
-let run_form = function
+let rec run_form = function
+  | CLazy l -> run_form (Lazy.force l)
   | CExpr ast -> ignore (!evaluator ast)
   | CDef (globals, ast) -> (
       let v = !evaluator ast in
@@ -203,12 +263,24 @@ let bind_exports ~(ctx : Stx.t) (m : t) =
       Binding.add id e.binding)
     m.exports
 
-(* requires recorded during the current compilation *)
-let current_requires : string list ref ref = ref (ref [])
+(* Per-domain dynamic compilation state: the requires recorded during the
+   current compilation, and the name of the module currently being compiled
+   (blame party for boundary contracts).  Each parallel-build worker
+   carries its own, starting from the defaults. *)
+type dyn = {
+  mutable cur_requires : string list ref;  (** requires recorded during the current compilation *)
+  mutable cur_module_name : string;
+}
 
-(* Name of the module currently being compiled (blame party for boundary
-   contracts). *)
-let current_module_name : string ref = ref "top-level"
+let dyn_key : dyn Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { cur_requires = ref []; cur_module_name = "top-level" })
+
+let[@inline] dyn () = Domain.DLS.get dyn_key
+
+let current_requires () = (dyn ()).cur_requires
+let set_current_requires r = (dyn ()).cur_requires <- r
+let current_module_name () = (dyn ()).cur_module_name
+let set_current_module_name n = (dyn ()).cur_module_name <- n
 
 (** File-based module resolution hook, installed by the separate
     compilation layer ([Liblang_compiled.Resolver]): resolves a
@@ -237,7 +309,7 @@ let handle_require (spec : Stx.t) =
   let record_and_visit mod_spec =
     let m = module_of_spec_head mod_spec in
     visit m;
-    let reqs = !current_requires in
+    let reqs = current_requires () in
     if not (List.mem m.mod_name !reqs) then reqs := m.mod_name :: !reqs;
     m
   in
@@ -324,9 +396,9 @@ let expand_source ~name (source : string) : Stx.t list =
   match Reader.split_lang_line source with
   | None -> err "module %s: source must start with #lang <language>" name
   | Some (lang, rest) ->
-      let saved = !current_module_name in
-      current_module_name := name;
-      Fun.protect ~finally:(fun () -> current_module_name := saved) @@ fun () ->
+      let saved = current_module_name () in
+      set_current_module_name name;
+      Fun.protect ~finally:(fun () -> set_current_module_name saved) @@ fun () ->
       expand_in_language ~name ~lang (Reader.read_all ~file:name rest) (fun forms -> forms)
 
 (** Compile a module from its body forms (datums) in language [lang]. *)
@@ -352,14 +424,14 @@ let compile_module ~name ~lang (body : Datum.annot list) : t =
       (* save the enclosing compilation's recording state: a file require
          compiles its module {e during} the requiring module's expansion,
          so compilations nest *)
-      let saved_requires = !current_requires in
-      current_requires := requires;
-      let saved_name = !current_module_name in
-      current_module_name := name;
+      let saved_requires = current_requires () in
+      set_current_requires requires;
+      let saved_name = current_module_name () in
+      set_current_module_name name;
       Fun.protect
         ~finally:(fun () ->
-          current_module_name := saved_name;
-          current_requires := saved_requires)
+          set_current_module_name saved_name;
+          set_current_requires saved_requires)
       @@ fun () ->
       let sc = Scope.fresh () in
       let ctx = Stx.id ~scopes:(Scope.Set.singleton sc) "module-ctx" in
@@ -527,6 +599,8 @@ let add_builtin_exports (m : t) ~(ctx_id : string -> Stx.t)
 (** Testing hook: forget declared modules (builtin modules must be
     re-registered by their libraries). *)
 let reset_user_modules_for_tests () =
+  let registry = registry () in
+  let internals = internals () in
   Hashtbl.iter
     (fun name m ->
       if not m.builtin then begin

@@ -35,17 +35,36 @@ let create () = { counters = Hashtbl.create 32; timers = Hashtbl.create 16; inte
 
 let now () = Unix.gettimeofday ()
 
-(* -- the ambient collector ------------------------------------------------- *)
+(* -- the ambient collector --------------------------------------------------
 
-let current : t option ref = ref None
+   Domain-local: the ambient collector slot lives in [Domain.DLS], so each
+   parallel-build worker collects into its own [t] and the driver merges
+   them on join ({!merge}).  To keep the zero-cost-when-off promise on the
+   evaluator's hot path, a process-wide atomic count of installed
+   collectors gates every hook: when it is zero (the benchmark case — no
+   collector anywhere), the hook is one uncontended [Atomic.get] and a
+   branch, with no DLS access at all. *)
 
-let installed () = Option.is_some !current
+let current_key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+(* Collectors installed across all domains; 0 = every hook is off. *)
+let installed_count = Atomic.make 0
+
+let[@inline] current () : t option =
+  if Atomic.get installed_count = 0 then None else Domain.DLS.get current_key
+
+let installed () = Option.is_some (current ())
 
 (** Install [c] for the extent of [f] (properly nested). *)
 let with_collector (c : t) (f : unit -> 'a) : 'a =
-  let saved = !current in
-  current := Some c;
-  Fun.protect ~finally:(fun () -> current := saved) f
+  let saved = Domain.DLS.get current_key in
+  Domain.DLS.set current_key (Some c);
+  Atomic.incr installed_count;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.decr installed_count;
+      Domain.DLS.set current_key saved)
+    f
 
 let with_opt (c : t option) (f : unit -> 'a) : 'a =
   match c with None -> f () | Some c -> with_collector c f
@@ -58,13 +77,13 @@ let count_in c key n =
   | None -> Hashtbl.add c.counters key (ref n)
 
 (** Add [n] (default 1) to counter [key] of the ambient collector. *)
-let countn key n = match !current with None -> () | Some c -> count_in c key n
+let countn key n = match current () with None -> () | Some c -> count_in c key n
 
 let count key = countn key 1
 
 (** Accumulate [dt] seconds into timer [key]. *)
 let add_time key dt =
-  match !current with
+  match current () with
   | None -> ()
   | Some c -> (
       match Hashtbl.find_opt c.timers key with
@@ -76,16 +95,21 @@ let add_time key dt =
 (** Time [f] into timer [key]; when no collector is installed this is just
     [f ()] — no clock reads. *)
 let time key f =
-  match !current with
+  match current () with
   | None -> f ()
   | Some _ ->
       let t0 = now () in
       Fun.protect ~finally:(fun () -> add_time key (now () -. t0)) f
 
 (** The hot-path hook: one evaluator procedure application.  Kept free of
-    allocation and hashing so the evaluator can call it unconditionally. *)
+    allocation and hashing so the evaluator can call it unconditionally —
+    with no collector installed anywhere it is one atomic load and a
+    branch. *)
 let[@inline] bump_apps () =
-  match !current with None -> () | Some c -> c.interp_apps <- c.interp_apps + 1
+  if Atomic.get installed_count > 0 then
+    match Domain.DLS.get current_key with
+    | None -> ()
+    | Some c -> c.interp_apps <- c.interp_apps + 1
 
 (* -- reading a collector ---------------------------------------------------- *)
 
@@ -117,6 +141,22 @@ let reset (c : t) =
   Hashtbl.reset c.counters;
   Hashtbl.reset c.timers;
   c.interp_apps <- 0
+
+(** Fold collector [c] into [into] (counters, timers, interpreter
+    applications).  Used by the CLI to aggregate per-file collectors into a
+    session-wide profile, and by the parallel build driver to merge each
+    worker domain's collector into the main collector on join. *)
+let merge ~(into : t) (c : t) : unit =
+  List.iter (fun (k, n) -> count_in into k n) (counters_alist c);
+  List.iter
+    (fun (k, (t : timer)) ->
+      match Hashtbl.find_opt into.timers k with
+      | Some dst ->
+          dst.total_s <- dst.total_s +. t.total_s;
+          dst.calls <- dst.calls + t.calls
+      | None -> Hashtbl.add into.timers k { total_s = t.total_s; calls = t.calls })
+    (timers_alist c);
+  into.interp_apps <- into.interp_apps + c.interp_apps
 
 (* -- reports ---------------------------------------------------------------- *)
 

@@ -25,23 +25,30 @@ type sink = {
 let make_sink ?(format = Text) ?(verbosity = 1) (out : out_channel) : sink =
   { out; format; verbosity; t0 = Metrics.now (); depth = 0 }
 
-(* -- the ambient sink ------------------------------------------------------- *)
+(* -- the ambient sink -------------------------------------------------------
 
-let current : sink option ref = ref None
+   Domain-local: a sink installed on the main domain is not seen by
+   parallel-build workers (a freshly spawned domain starts with no sink), so
+   workers never interleave writes into the main domain's trace channel.
+   Worker-side activity still shows up in the merged metrics. *)
 
-let installed () = Option.is_some !current
+let current_key : sink option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let[@inline] current () : sink option = Domain.DLS.get current_key
+
+let installed () = Option.is_some (current ())
 
 (** True when a sink is installed at verbosity >= [level] — call sites use
     this to skip building expensive payloads (rendered syntax). *)
 let enabled_at level =
-  match !current with Some s -> s.verbosity >= level | None -> false
+  match current () with Some s -> s.verbosity >= level | None -> false
 
 let with_sink (s : sink) (f : unit -> 'a) : 'a =
-  let saved = !current in
-  current := Some s;
+  let saved = current () in
+  Domain.DLS.set current_key (Some s);
   Fun.protect
     ~finally:(fun () ->
-      current := saved;
+      Domain.DLS.set current_key saved;
       flush s.out)
     f
 
@@ -64,7 +71,7 @@ let emit_text (s : sink) line =
 (** A point event.  [fields] are extra key/value payload (strings); only
     built by the caller after checking {!enabled_at}. *)
 let event ?(level = 1) (ev : string) (fields : (string * string) list) =
-  match !current with
+  match current () with
   | Some s when s.verbosity >= level -> (
       match s.format with
       | Ndjson ->
@@ -83,7 +90,7 @@ let event ?(level = 1) (ev : string) (fields : (string * string) list) =
     activity); emits enter/exit events with the span's wall-clock duration.
     [detail] disambiguates (module name, file).  No-op without a sink. *)
 let span ?(level = 1) ?(detail = "") (name : string) (f : unit -> 'a) : 'a =
-  match !current with
+  match current () with
   | Some s when s.verbosity >= level ->
       let t0 = Metrics.now () in
       (match s.format with

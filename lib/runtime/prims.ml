@@ -672,17 +672,21 @@ let misc_prims =
 (* -- output ------------------------------------------------------------------------ *)
 
 (* Tests and the benchmark harness capture program output here rather than
-   spying on stdout. *)
-let output_buffer : Buffer.t option ref = ref None
+   spying on stdout.  Domain-local so a parallel-build worker never writes
+   into a capture buffer installed on the main domain. *)
+let output_buffer_key : Buffer.t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-let emit s = match !output_buffer with None -> print_string s | Some b -> Buffer.add_string b s
+let emit s =
+  match Domain.DLS.get output_buffer_key with
+  | None -> print_string s
+  | Some b -> Buffer.add_string b s
 
 let with_captured_output f =
   let b = Buffer.create 256 in
-  let saved = !output_buffer in
-  output_buffer := Some b;
+  let saved = Domain.DLS.get output_buffer_key in
+  Domain.DLS.set output_buffer_key (Some b);
   Fun.protect
-    ~finally:(fun () -> output_buffer := saved)
+    ~finally:(fun () -> Domain.DLS.set output_buffer_key saved)
     (fun () ->
       let v = f () in
       (Buffer.contents b, v))

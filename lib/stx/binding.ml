@@ -19,7 +19,19 @@
       added;
     - the subset scan takes a single pass, and when exactly one candidate
       matches (the overwhelmingly common case) the ambiguity total-order
-      check is skipped entirely. *)
+      check is skipped entirely.
+
+    Domain story: the table, the resolver cache and the hit/miss counters
+    are {e domain-local} ([Domain.DLS]), seeded at [Domain.spawn] with a
+    shallow copy of the parent's table.  This is deliberate — [resolve] is
+    far too hot to put behind a shared mutex, and the separate-compilation
+    model (paper §5) already makes worker domains pure artifact producers
+    whose binding-table growth never needs to be seen by other domains:
+    artifacts serialize names and datums, never uids or scope ids, and the
+    main domain re-acquires modules by replaying artifacts into its own
+    tables.  Binding {e uids} stay globally fresh (an atomic counter) so a
+    record that does travel — e.g. a builtin binding present in every
+    domain's seeded copy — means the same thing everywhere. *)
 
 module Symbol = Liblang_symbol.Symbol
 
@@ -27,11 +39,9 @@ exception Ambiguous of Stx.t
 
 type t = { uid : int; name : string }
 
-let uid_counter = ref 0
+let uid_counter = Atomic.make 0
 
-let fresh name =
-  incr uid_counter;
-  { uid = !uid_counter; name }
+let fresh name = { uid = 1 + Atomic.fetch_and_add uid_counter 1; name }
 
 let equal a b = a.uid = b.uid
 let compare a b = Int.compare a.uid b.uid
@@ -44,35 +54,53 @@ module STbl = Hashtbl.Make (struct
   let hash = Symbol.hash
 end)
 
-(* symbol id -> list of (scope set, binding) *)
-let table : (Scope.Set.t * t) list STbl.t = STbl.create 1024
+(* -- the domain-local state -------------------------------------------------
 
-(* -- the resolver cache -----------------------------------------------------
+   [table]: symbol id -> list of (scope set, binding).
 
-   symbol id -> (scope-set id -> resolution).  Both keys are ints; the
-   scope-set id is stable because sets are hash-consed.  [add] drops the
+   [cache]: symbol id -> (scope-set id -> resolution).  Both keys are ints;
+   the scope-set id is stable because sets are hash-consed.  [add] drops the
    symbol's entire sub-table, which is exactly the set of results the new
    binding can change.  Ambiguity (a raise) is not cached — it is the rare
    error path.
 
-   The hit/miss counters are plain int refs so the hot path never hashes a
-   metric name; the pipeline reports deltas as ["expand.resolve_hits"] /
+   The hit/miss counters are plain mutable ints so the hot path never hashes
+   a metric name; the pipeline reports deltas as ["expand.resolve_hits"] /
    ["expand.resolve_misses"]. *)
 
-let cache : (int, t option) Hashtbl.t STbl.t = STbl.create 1024
-let resolve_hits = ref 0
-let resolve_misses = ref 0
+type state = {
+  table : (Scope.Set.t * t) list STbl.t;
+  mutable cache : (int, t option) Hashtbl.t STbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+(* Entry lists are immutable (add replaces the whole list), so a shallow
+   table copy is a faithful snapshot — the same property the bench
+   harness's snapshot/restore relies on. *)
+let state_key : state Domain.DLS.key =
+  Domain.DLS.new_key
+    ~split_from_parent:(fun (parent : state) ->
+      { table = STbl.copy parent.table; cache = STbl.create 1024; hits = 0; misses = 0 })
+    (fun () ->
+      { table = STbl.create 1024; cache = STbl.create 1024; hits = 0; misses = 0 })
+
+let[@inline] state () = Domain.DLS.get state_key
+
+let resolve_hits () = (state ()).hits
+let resolve_misses () = (state ()).misses
 
 (** [add id b] records that [id]'s name, with [id]'s scope set, refers to
     [b].  Adding twice with the same name and scope set replaces (supports
     redefinition at a REPL-like top level). *)
 let add (id : Stx.t) (b : t) =
+  let st = state () in
   let sym = Stx.symbol_exn id in
   let scopes = Stx.scopes id in
-  let existing = Option.value (STbl.find_opt table sym) ~default:[] in
+  let existing = Option.value (STbl.find_opt st.table sym) ~default:[] in
   let existing = List.filter (fun (ss, _) -> not (Scope.Set.equal ss scopes)) existing in
-  STbl.replace table sym ((scopes, b) :: existing);
-  STbl.remove cache sym
+  STbl.replace st.table sym ((scopes, b) :: existing);
+  STbl.remove st.cache sym
 
 (** Bind [id] to a fresh binding and return it. *)
 let bind (id : Stx.t) : t =
@@ -112,9 +140,10 @@ let resolve_scan (entries : (Scope.Set.t * t) list) (scopes : Scope.Set.t) (id :
     scope set.  Raises {!Ambiguous} when the candidates aren't totally
     ordered by inclusion (the classic hygiene error). *)
 let resolve (id : Stx.t) : t option =
+  let st = state () in
   let sym = Stx.symbol_exn id in
   let scopes = Stx.scopes id in
-  match STbl.find_opt table sym with
+  match STbl.find_opt st.table sym with
   | None | Some [] -> None
   | Some ((_ :: _ :: _) as entries) -> (
       (* Two or more candidate binders: the scan (and its ambiguity check)
@@ -123,20 +152,20 @@ let resolve (id : Stx.t) : t option =
          ids never recur — but for multi-binder symbols the scan repeats
          over the same entries and the cache pays for itself. *)
       let per_sym =
-        match STbl.find_opt cache sym with
+        match STbl.find_opt st.cache sym with
         | Some tbl -> tbl
         | None ->
             let tbl = Hashtbl.create 8 in
-            STbl.add cache sym tbl;
+            STbl.add st.cache sym tbl;
             tbl
       in
       let key = Scope.Set.id scopes in
       match Hashtbl.find_opt per_sym key with
       | Some r ->
-          incr resolve_hits;
+          st.hits <- st.hits + 1;
           r
       | None ->
-          incr resolve_misses;
+          st.misses <- st.misses + 1;
           let r = resolve_scan entries scopes id in
           Hashtbl.add per_sym key r;
           r)
@@ -157,8 +186,9 @@ let free_identifier_eq (a : Stx.t) (b : Stx.t) =
 (** Testing hook: forget all bindings.  Only used by the test suite to get
     reproducible resolution scenarios. *)
 let reset_for_tests () =
-  STbl.reset table;
-  STbl.reset cache
+  let st = state () in
+  STbl.reset st.table;
+  STbl.reset st.cache
 
 (* -- measurement isolation --------------------------------------------------
 
@@ -168,13 +198,15 @@ let reset_for_tests () =
    shared name (loop, i, n, ...) scans those lists — so timing expansion
    would slow down everything measured after it.  Snapshot/restore brackets
    the throwaway work.  Entry lists are immutable (add replaces the list),
-   so a shallow table copy is a faithful snapshot. *)
+   so a shallow table copy is a faithful snapshot.  Both operate on the
+   calling domain's state. *)
 
 type snapshot = (Scope.Set.t * t) list STbl.t
 
-let snapshot () : snapshot = STbl.copy table
+let snapshot () : snapshot = STbl.copy (state ()).table
 
 let restore (s : snapshot) =
-  STbl.reset table;
-  STbl.iter (fun k v -> STbl.replace table k v) s;
-  STbl.reset cache
+  let st = state () in
+  STbl.reset st.table;
+  STbl.iter (fun k v -> STbl.replace st.table k v) s;
+  STbl.reset st.cache

@@ -9,7 +9,12 @@
 
     The table is keyed by interned symbol id and {!resolve} is memoized per
     (symbol id, scope-set representative id), with invalidation on {!add}
-    — see docs/architecture.md, "hygiene internals". *)
+    — see docs/architecture.md, "hygiene internals".
+
+    The table, cache and counters are domain-local, seeded at
+    [Domain.spawn] with a copy of the parent's table; binding uids remain
+    globally fresh across domains (see docs/architecture.md, "Parallelism
+    & domain-safety"). *)
 
 exception Ambiguous of Stx.t
 (** raised by {!resolve} when candidate bindings are not totally ordered by
@@ -41,12 +46,14 @@ val resolve : Stx.t -> t option
     binding?  Unbound identifiers compare by name. *)
 val free_identifier_eq : Stx.t -> Stx.t -> bool
 
-(** Resolver-cache hit/miss counts (monotonic int refs — the hot path never
-    hashes a metric name).  The pipeline reports deltas as the
-    ["expand.resolve_hits"] / ["expand.resolve_misses"] metrics. *)
-val resolve_hits : int ref
+(** Resolver-cache hit/miss counts for the calling domain (monotonic plain
+    ints — the hot path never hashes a metric name).  The pipeline reports
+    deltas as the ["expand.resolve_hits"] / ["expand.resolve_misses"]
+    metrics; the parallel build driver flushes each worker's deltas into
+    that worker's collector before merge-on-join. *)
+val resolve_hits : unit -> int
 
-val resolve_misses : int ref
+val resolve_misses : unit -> int
 
 (** Testing hook: forget all bindings (and the resolver cache). *)
 val reset_for_tests : unit -> unit

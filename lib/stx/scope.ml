@@ -16,15 +16,24 @@
 
     The cons table only grows; the number of distinct scope sets in an
     expansion is bounded by the binding structure of the program, which is
-    the usual compiler trade-off. *)
+    the usual compiler trade-off.
+
+    Domain safety: scope tokens and set ids come from atomics, while the
+    cons table and the single-op memo are {e domain-local} ([Domain.DLS])
+    and therefore lock-free.  A worker domain starts with a copy of its
+    parent's cons table, so canonicity is per-domain: pointer-equality
+    [equal] holds within a domain (which is where all hot comparisons
+    happen), sets inherited from the parent keep their representatives,
+    and the content-based [subset]/[union] fallbacks cover the cold
+    cross-domain cases.  Set ids stay process-unique (one atomic), so the
+    (symbol id, set id) resolver-cache key never collides across
+    domains. *)
 
 type t = int
 
-let counter = ref 0
+let counter = Atomic.make 0
 
-let fresh () =
-  incr counter;
-  !counter
+let fresh () = 1 + Atomic.fetch_and_add counter 1
 
 let compare : t -> t -> int = Int.compare
 let equal : t -> t -> bool = Int.equal
@@ -65,20 +74,42 @@ module Set = struct
 
   module Tbl = Hashtbl.Make (Key)
 
-  let table : t Tbl.t = Tbl.create 65536
-  let next_id = ref 0
+  (* The cons table is {e domain-local} ([Domain.DLS]), seeded at spawn
+     with a copy of the parent's tables.  Interning is therefore lock-free
+     — this is the hottest operation in expansion, and a shared gated
+     table measurably serializes a domain pool.  Per-domain canonicity is
+     sound because scope sets never cross domains at runtime: a worker
+     inherits every representative the parent had already interned (so
+     sets reachable from split-copied state — core bindings, builtin
+     modules — stay pointer-canonical), and sets it interns afresh are
+     only ever compared against cross-domain sets by [subset]/[union],
+     which fall back to content merges when the pointer fast path misses.
+     Set ids still come off one process-wide atomic, so ids remain
+     globally unique and (symbol id, set id) memo keys never collide
+     across domains.  The [n_shards] split bounds per-table rehash cost. *)
+  let n_shards = 16
 
-  (** Number of distinct scope sets interned so far (diagnostics). *)
-  let interned_count () = !next_id
+  let shards_key : t Tbl.t array Domain.DLS.key =
+    Domain.DLS.new_key
+      ~split_from_parent:(fun shards -> Array.map Tbl.copy shards)
+      (fun () -> Array.init n_shards (fun _ -> Tbl.create 4096))
+
+  let next_id = Atomic.make 0
+
+  (** Number of distinct scope sets interned so far, process-wide
+      (diagnostics; content-equal sets interned by two domains count
+      twice, as they are distinct representatives). *)
+  let interned_count () = Atomic.get next_id
 
   (* [elems] must be strictly increasing and must never be mutated after
      this call. *)
   let hashcons (elems : int array) : t =
+    let h = hash_elems elems in
+    let table = (Domain.DLS.get shards_key).(h land (n_shards - 1)) in
     match Tbl.find_opt table elems with
     | Some s -> s
     | None ->
-        let s = { id = !next_id; elems; hash = hash_elems elems } in
-        incr next_id;
+        let s = { id = Atomic.fetch_and_add next_id 1; elems; hash = h } in
         Tbl.add table elems s;
         s
 
@@ -102,13 +133,19 @@ module Set = struct
 
   module OpTbl = Hashtbl.Make (OpKey)
 
-  let op_table : t OpTbl.t = OpTbl.create 4096
+  (* Domain-local: a pure cache over the shared cons table (values are
+     canonical representatives), so per-domain memoization is sound and
+     needs no locking.  Workers start with an empty memo and warm it as
+     they expand. *)
+  let op_table_key : t OpTbl.t Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> OpTbl.create 4096)
 
   (* Below this cardinality the array copy + rehash is cheaper than the
      memo probe + insert, so small sets go straight to the cons table. *)
   let memo_threshold = 8
 
   let memo_op (sid : int) (x : elt) (tag : int) (compute : unit -> t) : t =
+    let op_table = Domain.DLS.get op_table_key in
     let key = (sid, x, tag) in
     match OpTbl.find_opt op_table key with
     | Some r -> r

@@ -14,35 +14,57 @@
 
     The table only grows (symbols are never forgotten); that is the usual
     compiler trade-off — the set of distinct identifier names in a workload
-    is small and bounded by the source text. *)
+    is small and bounded by the source text.
+
+    Domain safety: interning is shared across domains (one id per name,
+    process-wide), guarded by a mutex gated on {!Liblang_parallel.Parallel}
+    — a plain call single-domain, a lock only while a domain pool runs.
+    {!name} is lock-free in all modes: [count] is an atomic published with
+    release semantics {e after} the slot (and, on growth, the fresh array)
+    is in place, so any id a domain can legitimately hold reads its string
+    without synchronization. *)
+
+module Parallel = Liblang_parallel.Parallel
 
 type t = int
 
-(* string -> id *)
+(* string -> id; reads and writes both go under [mu] while a pool is
+   active (OCaml's Hashtbl is not safe against concurrent resize). *)
 let table : (string, int) Hashtbl.t = Hashtbl.create 4096
+let mu = Mutex.create ()
 
-(* id -> canonical string, growable *)
-let names : string array ref = ref (Array.make 1024 "")
-let count = ref 0
+(* id -> canonical string, growable.  Publication order (enforced by the
+   atomics' SC semantics): grown array installed, slot filled, then count
+   bumped — so a reader that observes [i < count] observes slot [i]. *)
+let names : string array Atomic.t = Atomic.make (Array.make 1024 "")
+let count = Atomic.make 0
 
 let name (i : t) : string =
-  if i < 0 || i >= !count then invalid_arg "Symbol.name: not an interned symbol id";
-  !names.(i)
+  if i < 0 || i >= Atomic.get count then
+    invalid_arg "Symbol.name: not an interned symbol id";
+  (Atomic.get names).(i)
 
-let intern (s : string) : t =
+let intern_locked (s : string) : t =
   match Hashtbl.find_opt table s with
   | Some i -> i
   | None ->
-      let i = !count in
-      if i = Array.length !names then begin
-        let bigger = Array.make (2 * i) "" in
-        Array.blit !names 0 bigger 0 i;
-        names := bigger
-      end;
-      !names.(i) <- s;
+      let i = Atomic.get count in
+      let arr = Atomic.get names in
+      let arr =
+        if i = Array.length arr then begin
+          let bigger = Array.make (2 * i) "" in
+          Array.blit arr 0 bigger 0 i;
+          Atomic.set names bigger;
+          bigger
+        end
+        else arr
+      in
+      arr.(i) <- s;
       Hashtbl.add table s i;
-      incr count;
+      Atomic.set count (i + 1);
       i
+
+let intern (s : string) : t = Parallel.with_gate mu (fun () -> intern_locked s)
 
 (** Intern [s] and return its canonical string, so equal names share one
     allocation (the reader calls this on every symbol token). *)
@@ -54,4 +76,4 @@ let hash (i : t) : int = i
 let to_string = name
 
 (** Number of distinct symbols interned so far (diagnostics/metrics). *)
-let interned_count () = !count
+let interned_count () = Atomic.get count

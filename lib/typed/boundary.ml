@@ -182,7 +182,7 @@ let require_typed_clause ~(mod_id : Stx.t) (id : Stx.t) (ty_stx : Stx.t) : Stx.t
     try Types.of_stx ty_stx with Types.Parse_error (m, _) -> berr ty_stx "require/typed: %s" m
   in
   let unsafe_id = fresh_id ("unsafe-" ^ Stx.sym_exn id) in
-  let this_mod = !Modsys.current_module_name in
+  let this_mod = Modsys.current_module_name () in
   [
     (* stage 1: import under a fresh name *)
     sl
@@ -252,7 +252,7 @@ let rewrite_one_provide (n : Stx.t) : Stx.t list =
     | Some t -> t
     | None -> berr n "provide: no type recorded for %s" name
   in
-  let this_mod = !Modsys.current_module_name in
+  let this_mod = Modsys.current_module_name () in
   let defensive = fresh_id ("defensive-" ^ name) in
   let export = fresh_id ("export-" ^ name) in
   [

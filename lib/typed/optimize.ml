@@ -20,10 +20,16 @@ open Types
     - [O2]: full (default). *)
 let enabled = ref true
 
-(* rewrite statistics, for tests and reporting *)
-let stats : (string, int) Hashtbl.t = Hashtbl.create 16
+(* rewrite statistics, for tests and reporting — domain-local so parallel
+   compilations don't race on the table (each worker's rule firings also
+   land in that worker's own metrics collector and merge on join) *)
+let stats_key : (string, int) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+
+let[@inline] stats () = Domain.DLS.get stats_key
 
 let count what =
+  let stats = stats () in
   Hashtbl.replace stats what (1 + Option.value (Hashtbl.find_opt stats what) ~default:0);
   (* mirror each rule firing into the ambient metrics collector so
      [--profile] reports the rewrite histogram per run *)
@@ -31,12 +37,12 @@ let count what =
     Liblang_observe.Metrics.count ("optimize." ^ what)
 
 let stats_alist () =
-  Hashtbl.fold (fun k n acc -> (k, n) :: acc) stats []
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) (stats ()) []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
-let reset_stats () = Hashtbl.reset stats
-let stat what = Option.value (Hashtbl.find_opt stats what) ~default:0
-let total_rewrites () = Hashtbl.fold (fun _ n acc -> acc + n) stats 0
+let reset_stats () = Hashtbl.reset (stats ())
+let stat what = Option.value (Hashtbl.find_opt (stats ()) what) ~default:0
+let total_rewrites () = Hashtbl.fold (fun _ n acc -> acc + n) (stats ()) 0
 
 let u name = Baselang.bid name
 let sl = Stx.list

@@ -294,6 +294,113 @@ let replay_boundary_contracts () =
   let bad_warm = run_file_err ~cache bad in
   check_s "blame identical cached/uncached" bad_ref bad_warm
 
+(* -- domain-parallel builds ----------------------------------------------------- *)
+
+module Build = Compiled.Build
+module Genproj = Compiled.Genproj
+module Parallel = Liblang_parallel.Parallel
+
+(** Sorted [(file, md5)] pairs for every artifact under [dir] — the
+    byte-identity witness for determinism across job counts. *)
+let dir_digests dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".lart")
+    |> List.sort compare
+    |> List.map (fun f -> (f, Digest.to_hex (Digest.file (Filename.concat dir f))))
+
+(* small genproj instances: tower = copies * (2^depth + nvars) = 20 *)
+let gen ~dir ~shape ~n = Genproj.generate ~dir ~shape ~n ~depth:4 ~nvars:4 ~copies:1 ()
+
+let build_into ~jobs ~cache root : Build.result =
+  Compiled.reset_session ();
+  Compiled.with_cache_dir cache (fun () -> Build.build ~jobs [ root ])
+
+(** [-j1] and [-jN] builds of the same generated project must write
+    byte-identical artifact sets (serialization never leaks scope or
+    binding uids), and the [-jN] cache must replay fully warm. *)
+let parallel_determinism shape =
+  let name = Genproj.shape_to_string shape in
+  Alcotest.test_case (Printf.sprintf "determinism: -j1 = -j3 (%s)" name) `Quick
+    (fun () ->
+      let dir = fresh_dir () in
+      let root, expected = gen ~dir ~shape ~n:6 in
+      let c1 = Filename.concat dir "cache-j1" in
+      let c3 = Filename.concat dir "cache-j3" in
+      let r1 = build_into ~jobs:1 ~cache:c1 root in
+      let r3 = build_into ~jobs:3 ~cache:c3 root in
+      check_b (name ^ ": -j1 build ok") true (Build.ok r1);
+      check_b (name ^ ": -j3 build ok") true (Build.ok r3);
+      check_i (name ^ ": same modules scheduled") r1.Build.tasks r3.Build.tasks;
+      check_i (name ^ ": all six artifacts written") 6
+        (List.length (dir_digests c3));
+      check_b (name ^ ": artifacts byte-identical across job counts") true
+        (dir_digests c1 = dir_digests c3);
+      (* the parallel cache replays fully warm with the right value *)
+      let out, c = run_measured ~cache:c3 root in
+      check_s (name ^ ": warm checksum") (string_of_int expected) (String.trim out);
+      check_i (name ^ ": warm compiles nothing") 0 (compiles c);
+      check_i (name ^ ": warm hits all six") 6 (hits c))
+
+(** K domains racing on one store: all compile the same 6-module diamond,
+    and each additionally compiles a private module (disjoint keys), all
+    against a single shared cache dir.  The per-key advisory locks must
+    yield exactly one artifact write per key — the losers block, then
+    load the winner's artifact — and the store must end up fully usable
+    (a warm rerun replays with zero compiles, so no torn [.lart]
+    survives). *)
+let concurrent_store_stress () =
+  let dir = fresh_dir () in
+  let cache = Filename.concat dir "cache" in
+  let root, expected = gen ~dir ~shape:Genproj.Diamond ~n:6 in
+  let k = 4 in
+  (* disjoint per-domain modules, each requiring the shared diamond base *)
+  let solo i =
+    let path = Filename.concat dir (Printf.sprintf "solo%d.scm" i) in
+    write_file path
+      (Printf.sprintf
+         "#lang racket\n(require \"m5.scm\")\n(provide s%d)\n(define s%d (+ v5 %d))\n"
+         i i i);
+    path
+  in
+  let solos = List.init k solo in
+  let collectors = Array.init k (fun _ -> Metrics.create ()) in
+  Compiled.reset_session ();
+  let store = Compiled.Store.create ~dir:cache () in
+  (* share ONE store instance (the DLS slot splits by identity, exactly as
+     the build driver's workers do) and hold the parallelism gate open so
+     the per-key locks are live across the spawn..join window *)
+  Compiled.Store.with_store (Some store) (fun () ->
+      Parallel.with_active (fun () ->
+          let worker slot () =
+            Observe.with_ctx
+              { Observe.metrics = Some collectors.(slot); trace = None }
+              (fun () ->
+                ignore (Compiled.compile_file root);
+                ignore (Compiled.compile_file (List.nth solos slot)))
+          in
+          let domains = Array.init k (fun slot -> Domain.spawn (worker slot)) in
+          Array.iter Domain.join domains));
+  let total key =
+    Array.fold_left (fun acc c -> acc + Metrics.get c key) 0 collectors
+  in
+  (* exactly one write per key: 6 shared + k disjoint *)
+  check_i "exactly one artifact write per key" (6 + k) (total "cache.writes");
+  check_i "one .lart file per key on disk" (6 + k) (List.length (dir_digests cache));
+  (* every domain acquired its full closure one way or the other *)
+  check_i "each domain acquired all its modules"
+    (k * (6 + 1))
+    (total "module.compiles" + total "module.cache_hits");
+  check_b "losers loaded rather than recompiled" true (total "module.compiles" < k * 7);
+  (* no torn artifacts: a fresh session replays everything byte-for-byte
+     warm — any corrupt .lart would degrade to a recompile and show up
+     in the compiles counter *)
+  let out, c = run_measured ~cache root in
+  check_s "warm checksum after the race" (string_of_int expected) (String.trim out);
+  check_i "warm rerun: zero compiles" 0 (compiles c);
+  check_i "warm rerun: all hits" 6 (hits c)
+
 (* -- suite --------------------------------------------------------------------- *)
 
 let t name f = Alcotest.test_case name `Quick f
@@ -313,4 +420,8 @@ let suite =
     t "stale transitive require" stale_transitive_require;
     t "§5 replay: types from artifact" replay_types_from_artifact;
     t "§6.2 replay: boundary contracts" replay_boundary_contracts;
+    parallel_determinism Genproj.Wide;
+    parallel_determinism Genproj.Diamond;
+    parallel_determinism Genproj.Chain;
+    t "concurrent store: K domains, one cache" concurrent_store_stress;
   ]

@@ -9,7 +9,7 @@ open Test_util
 let rewrites_of body =
   Optimize.reset_stats ();
   declare ~name:(fresh "opt-probe") ("#lang typed/racket\n" ^ body);
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) Optimize.stats []
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) (Optimize.stats ()) []
 
 let expect_stat name body key count =
   Alcotest.test_case name `Quick (fun () ->

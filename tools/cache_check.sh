@@ -8,6 +8,11 @@
 #     crashed instead of containing the failure;
 #   pass 2 (warm): every file that compiled must now be satisfied
 #     entirely from the store (compiles=0, misses=0 on the summary line);
+#   pass 3 (-j2): the same files again, fresh store, a two-domain pool:
+#     the parallel build must succeed, replay warm, and write artifacts
+#     byte-identical to the serial store's (docs/compilation.md,
+#     "Parallel builds" -- determinism is a hard invariant, not a
+#     best-effort);
 #   runs: every example must print byte-identical output with and
 #     without the cache, with matching exit codes.
 #
@@ -71,6 +76,43 @@ if [ -f "$WORK/ok" ]; then
   done <"$WORK/ok"
 fi
 
+# -- pass 3: parallel (-j2) ---------------------------------------------------
+CACHE2="$WORK/cache-j2"
+if [ -f "$WORK/ok" ]; then
+  # cold with a two-domain pool, into a fresh store
+  while IFS= read -r f; do
+    out=$($RUN "$LIBLANG" compile -j 2 --cache-dir "$CACHE2" "$f" 2>/dev/null)
+    code=$?
+    if [ "$code" -ne 0 ]; then
+      bad "$f: -j2 cold compile exited $code"
+    fi
+  done <"$WORK/ok"
+  # warm with the pool: still hit-only
+  while IFS= read -r f; do
+    out=$($RUN "$LIBLANG" compile -j 2 --cache-dir "$CACHE2" "$f" 2>/dev/null)
+    code=$?
+    if [ "$code" -ne 0 ]; then
+      bad "$f: -j2 warm compile exited $code"
+      continue
+    fi
+    case $out in
+      *"compiles=0 "*) : ;;
+      *) bad "$f: -j2 warm pass recompiled instead of loading artifacts: $out" ;;
+    esac
+  done <"$WORK/ok"
+  # determinism: every artifact the -j2 store wrote must be byte-identical
+  # to the serial store's copy (same keys: same files, absolute paths)
+  for a in "$CACHE2"/*.lart; do
+    [ -e "$a" ] || continue
+    b="$CACHE/$(basename "$a")"
+    if [ ! -f "$b" ]; then
+      bad "determinism: $(basename "$a") exists in the -j2 store but not the serial one"
+    elif ! cmp -s "$a" "$b"; then
+      bad "determinism: $(basename "$a") differs between the serial and -j2 stores"
+    fi
+  done
+fi
+
 # -- cached vs uncached run output -------------------------------------------
 for f in examples/scm/*.scm; do
   plain=$($RUN "$LIBLANG" run "$f" 2>/dev/null)
@@ -88,6 +130,6 @@ done
 if [ "$fail" -eq 0 ]; then
   n=0
   [ -f "$WORK/ok" ] && n=$(wc -l <"$WORK/ok")
-  echo "cache_check OK: $n modules warm-loaded; cached and uncached runs agree"
+  echo "cache_check OK: $n modules warm-loaded (serial and -j2, byte-identical stores); cached and uncached runs agree"
 fi
 exit "$fail"

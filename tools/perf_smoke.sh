@@ -1,6 +1,6 @@
 #!/bin/sh
 # Hygiene-engine perf smoke gate (CI): the fast path must stay *wired*,
-# not just fast.  Three checks (docs/architecture.md "Hygiene internals",
+# not just fast.  Four checks (docs/architecture.md "Hygiene internals",
 # docs/observability.md metric catalogue):
 #
 #   1. the expansion stress family (bench --expand --smoke) expands and
@@ -11,7 +11,11 @@
 #   3. a shadowing-heavy program reports expand.resolve_hits > 0 under
 #      --profile=json -- the memoized binding resolver only caches
 #      multi-binder symbols, so this asserts the cache is exercised
-#      rather than silently bypassed by the single-binder fast path.
+#      rather than silently bypassed by the single-binder fast path;
+#   4. the stress family re-runs alone (--filter stx-: no fig6 rows, no
+#      parallel projects, hence no domain pool) -- the single-domain
+#      regression gate for the parallelism work: the gated locks must
+#      not change any checksum when no pool is active.
 #
 # Timings are noise in CI and are not asserted; correctness of the perf
 # machinery is what this gate pins down.
@@ -97,6 +101,35 @@ elif [ "$hits" -le 0 ]; then
   fail=1
 else
   echo "perf_smoke: resolver cache exercised (expand.resolve_hits = $hits)"
+fi
+
+# -- 4. single-domain regression gate: stx checksums with no pool ------------
+# Re-run the stress family alone in a scratch directory.  `--filter stx-`
+# skips the fig6 rows and the parallel projects entirely, so no domain
+# pool ever activates: this pins the stress checksums on the pure
+# single-domain path, where the parallelism gate must be a no-op (its
+# locks sit off the intern-hit fast path -- docs/architecture.md,
+# "Parallelism & domain-safety").  Gate on checksums, never wall time.
+echo "== perf_smoke: single-domain stx stress (--expand --smoke --filter stx-) =="
+BENCH_ABS=$(cd "$(dirname "$BENCH")" && pwd)/$(basename "$BENCH")
+if ! (cd "$WORK" && $RUN "$BENCH_ABS" --expand --smoke --filter "stx-" >/dev/null); then
+  echo "perf_smoke: FAIL: single-domain stx stress exited nonzero (checksum gate?)" >&2
+  fail=1
+elif [ ! -f "$WORK/BENCH_fig6.json" ]; then
+  echo "perf_smoke: FAIL: single-domain stx stress wrote no BENCH_fig6.json" >&2
+  fail=1
+else
+  srows=$(grep -c '"expand_ms"' "$WORK/BENCH_fig6.json" || true)
+  if [ "$srows" -lt 3 ]; then
+    echo "perf_smoke: FAIL: expected >=3 single-domain stress rows, got $srows" >&2
+    fail=1
+  fi
+  if grep -q '"ok": false' "$WORK/BENCH_fig6.json"; then
+    echo "perf_smoke: FAIL: single-domain stx checksum row not ok" >&2
+    fail=1
+  else
+    echo "perf_smoke: single-domain stx checksums hold ($srows rows)"
+  fi
 fi
 
 if [ "$fail" -ne 0 ]; then
