@@ -629,3 +629,142 @@ let write_figure_json ?expansion ?parallel ~path ~figure ~rounds ~smoke (rows : 
            (json_of_figure ?expansion ?parallel ~figure ~rounds ~smoke rows));
       output_char oc '\n');
   Printf.printf "wrote %s\n%!" path
+
+(* -- the chaos smoke (--chaos) ------------------------------------------------
+
+   The closed-loop robustness gate, in-process: for each graph shape, a
+   fault-free [-j 1] build establishes the reference artifact set, then a
+   series of seeded fault plans (error / torn / delay modes — [crash]
+   would exit this process; tools/chaos_check.sh covers crashes in
+   subprocesses) is run through a [-j jobs] build into one shared,
+   progressively damaged cache.  Every faulted build must {e return} —
+   ok or with contained diagnostics, never an escaped exception, never a
+   hang — and after a final fault-free recovery build the cache's
+   [.lart] set must be byte-identical to the reference, the warm program
+   must print the generator's closed form, and no [*.tmp.*] orphans may
+   remain ([.bad] quarantine post-mortems are allowed by design —
+   docs/robustness.md). *)
+
+(* the [.lart]-only view of a cache dir: quarantined [.bad] files and
+   (pre-sweep) temp files are not part of artifact-set parity *)
+let lart_digests (dir : string) : (string * string) list =
+  List.filter
+    (fun (f, _) ->
+      let n = String.length f in
+      n > 5 && String.equal (String.sub f (n - 5) 5) ".lart")
+    (dir_digests dir)
+
+let chaos_plan ~seed ~round : string =
+  match round mod 3 with
+  | 0 ->
+      Printf.sprintf
+        "seed=%d;deadline=30;store.read=error~0.25;store.write=torn@64~0.3;build.task=error~0.25"
+        seed
+  | 1 ->
+      Printf.sprintf
+        "seed=%d;deadline=30;store.rename=error~0.3;store.lock=delay@5~0.2;loader.replay=error~0.3"
+        seed
+  | _ ->
+      Printf.sprintf
+        "seed=%d;deadline=30;build.spawn=error~0.25;store.write=torn@40~0.25;build.task=delay@10~0.2"
+        seed
+
+let run_chaos_smoke ~(jobs : int) () : unit =
+  let module Build = Core.Compiled.Build in
+  let module Genproj = Core.Compiled.Genproj in
+  let module Fault = Core.Fault in
+  let module Metrics = Core.Metrics in
+  Printf.printf
+    "\n%s\nChaos smoke (-j %d): seeded fault schedules over gen-modules graphs\n%s\n" line jobs
+    line;
+  Printf.printf "%-14s %8s %8s %8s %10s %10s %6s\n" "shape" "plans" "failed" "faults"
+    "recovered" "identical" "ok";
+  List.iter
+    (fun shape ->
+      let shape_name = Genproj.shape_to_string shape in
+      let name = "chaos-" ^ shape_name in
+      if matches_filter name then begin
+        incr cached_tmp_counter;
+        let dir =
+          Filename.concat (Filename.get_temp_dir_name ())
+            (Printf.sprintf "liblang-bench-chaos-%d-%d" (Unix.getpid ()) !cached_tmp_counter)
+        in
+        (try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ());
+        Fun.protect
+          ~finally:(fun () ->
+            Core.Compiled.reset_session ();
+            Fault.install None;
+            rm_rf dir)
+        @@ fun () ->
+        let root, expected = Genproj.generate ~dir ~shape ~n:6 ~depth:4 () in
+        let expected = string_of_int expected in
+        let cache_ref = Filename.concat dir "cache-reference" in
+        let cache_chaos = Filename.concat dir "cache-chaos" in
+        let build ~jobs cache =
+          Core.Compiled.reset_session ();
+          Core.Compiled.with_cache_dir cache (fun () -> Build.build ~jobs [ root ])
+        in
+        (* fault-free serial reference *)
+        let r_ref = build ~jobs:1 cache_ref in
+        if not (Build.ok r_ref) then
+          checksum_mismatches := (name ^ "-reference", Base) :: !checksum_mismatches;
+        let reference = lart_digests cache_ref in
+        (* seeded fault schedules into one shared, progressively damaged cache *)
+        let escaped = ref 0 and failed_builds = ref 0 in
+        let faults = Metrics.create () in
+        let n_plans = 6 in
+        for round = 0 to n_plans - 1 do
+          let spec = chaos_plan ~seed:(101 * (round + 1)) ~round in
+          match Fault.parse spec with
+          | Error m -> failwith ("chaos smoke: bad built-in plan: " ^ m)
+          | Ok plan -> (
+              match
+                Fault.with_plan plan (fun () ->
+                    Metrics.with_collector faults (fun () -> build ~jobs cache_chaos))
+              with
+              | r -> if not (Build.ok r) then incr failed_builds
+              | exception _ ->
+                  (* contained diagnostics are fine; an escaped exception
+                     is exactly what this gate exists to catch *)
+                  incr escaped)
+        done;
+        if !escaped > 0 then checksum_mismatches := (name ^ "-escaped", Base) :: !checksum_mismatches;
+        (* recovery: a fault-free build over the damaged cache must heal it *)
+        let r_rec = build ~jobs cache_chaos in
+        let recovered = Build.ok r_rec in
+        let identical = lart_digests cache_chaos = reference in
+        let is_tmp f =
+          let sub = ".tmp." in
+          let n = String.length f and m = String.length sub in
+          let rec go i = i + m <= n && (String.equal (String.sub f i m) sub || go (i + 1)) in
+          go 0
+        in
+        let no_orphans =
+          Array.for_all
+            (fun f -> not (is_tmp f))
+            (match Sys.readdir cache_chaos with x -> x | exception Sys_error _ -> [||])
+        in
+        (* warm checksum through the healed store *)
+        Core.Compiled.reset_session ();
+        let checksum =
+          match
+            Core.Compiled.with_cache_dir cache_chaos (fun () ->
+                let m = Core.Compiled.compile_file root in
+                fst (Prims.with_captured_output (fun () -> Modsys.instantiate m)))
+          with
+          | s -> s
+          | exception _ -> "<error>"
+        in
+        let ok =
+          Build.ok r_ref && !escaped = 0 && recovered && identical && no_orphans
+          && String.equal checksum expected
+        in
+        if not ok then checksum_mismatches := (name, Base) :: !checksum_mismatches;
+        Printf.printf "%-14s %8d %8d %8d %10s %10s %6s\n" shape_name n_plans !failed_builds
+          (Metrics.get faults "fault.injected")
+          (if recovered then "yes" else "NO")
+          (if identical then "yes" else "NO")
+          (if ok then "yes" else "NO");
+        flush stdout
+      end)
+    [ Genproj.Wide; Genproj.Diamond; Genproj.Chain ]

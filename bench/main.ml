@@ -29,6 +29,7 @@ module Core = Liblang_core.Core
 open Harness
 
 let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv
+let chaos = Array.exists (fun a -> a = "--chaos" || a = "chaos") Sys.argv
 let expand_mode = Array.exists (fun a -> a = "--expand" || a = "expand") Sys.argv
 let quick = smoke || Array.exists (fun a -> a = "--quick") Sys.argv
 let cached = Array.exists (fun a -> a = "--cached") Sys.argv
@@ -246,13 +247,18 @@ let () =
     [ "fig6"; "fig7"; "fig8"; "fig9"; "prose"; "ablate"; "boundary"; "bechamel"; "all" ]
   in
   let arg =
-    if expand_mode then "expand"
+    if chaos then "chaos"
+    else if expand_mode then "expand"
     else
       match Array.find_opt (fun a -> List.mem a known) Sys.argv with
       | Some a -> a
       | None -> "all"
   in
   (match arg with
+  (* --chaos: the robustness gate — seeded fault schedules over the
+     gen-modules graphs; recovery, artifact parity and checksum are
+     asserted via the same mismatch mechanism as every other gate *)
+  | "chaos" -> run_chaos_smoke ~jobs ()
   (* --expand: the hygiene-at-speed series — fig6 with its per-variant
      [expand_ms] fields plus the expansion stress family, written to
      BENCH_fig6.json (the CI perf-smoke step runs this with --smoke) *)

@@ -75,6 +75,10 @@ let usage_text =
   \      -j N                compile the require graph on N worker domains\n\
   \                          (needs --cache/--cache-dir for run; artifacts\n\
   \                          are byte-identical to a -j1 build)\n\
+  \      --faults PLAN       inject deterministic faults at store/build/loader\n\
+  \                          sites for chaos testing, e.g.\n\
+  \                          'seed=7;store.write=torn@64~0.3;build.task=error~0.2'\n\
+  \                          (docs/robustness.md has the site catalogue)\n\
   \  compile [--cache-dir DIR] [--fuel N] [-j N] [--profile[=json]]\n\
   \          [--trace FILE] [-v|-vv] FILE...\n\
   \                          compile each file (and its requires) through the\n\
@@ -116,6 +120,7 @@ type run_opts = {
   mutable verbosity : int;
   mutable cache_dir : string option;
   mutable jobs : int option;  (** [-j N]: worker domains for the build *)
+  mutable faults : string option;  (** [--faults PLAN]: chaos testing *)
   mutable paths : string list;  (** reversed *)
 }
 
@@ -128,6 +133,7 @@ let parse_run_opts args =
       verbosity = 1;
       cache_dir = None;
       jobs = None;
+      faults = None;
       paths = [];
     }
   in
@@ -167,6 +173,10 @@ let parse_run_opts args =
         o.cache_dir <- Some dir;
         go rest
     | "--cache-dir" :: [] -> usage ()
+    | "--faults" :: plan :: rest ->
+        o.faults <- Some plan;
+        go rest
+    | "--faults" :: [] -> usage ()
     | "-v" :: rest ->
         o.verbosity <- max o.verbosity 1;
         go rest
@@ -180,6 +190,16 @@ let parse_run_opts args =
   in
   go args;
   if o.paths = [] then usage ();
+  (* install the fault plan before anything touches the store or spawns a
+     pool; a malformed plan is a usage error, not a diagnostic *)
+  (match o.faults with
+  | None -> ()
+  | Some spec -> (
+      match Liblang_core.Core.Fault.parse spec with
+      | Ok plan -> Liblang_core.Core.Fault.install (Some plan)
+      | Error m ->
+          Printf.eprintf "liblang: bad --faults plan: %s\n" m;
+          exit 64));
   { o with paths = List.rev o.paths }
 
 let has_suffix suf s =

@@ -26,11 +26,19 @@ module Reader = Liblang_reader.Reader
 module Stx = Liblang_stx.Stx
 
 (** Bump whenever the serialized shape (or the meaning of the core forms)
-    changes; artifacts written by any other version are ignored. *)
-let format_version = 1
+    changes; artifacts written by any other version are ignored.
+    v2: integrity trailer appended (see {!verify_integrity}). *)
+let format_version = 2
 
 (** The magic header line; doubles as a human hint not to edit the file. *)
 let magic = ";; liblang compiled artifact (machine-generated; do not edit)"
+
+(** Last line of every artifact: [;; integrity: <md5hex>] of everything
+    before it.  A reader comment, so parsing ignores it — but the store
+    verifies it before parsing, which catches damage the reader cannot:
+    a truncated tail, or a bit flip that still reads as a well-formed
+    s-expression and would otherwise replay silently wrong. *)
+let integrity_marker = ";; integrity: "
 
 type require_ref =
   | Builtin of string  (** a host-provided module, e.g. [racket] *)
@@ -117,7 +125,8 @@ let to_string (a : t) : string =
       Buffer.add_char buf '\n')
     a.core_forms;
   Buffer.add_string buf ")\n";
-  Buffer.contents buf
+  let body_text = Buffer.contents buf in
+  body_text ^ integrity_marker ^ Digest_util.of_string body_text ^ "\n"
 
 (** Build the artifact for a compiled module from its expanded core forms
     (syntax is flattened to datums; scopes are per-session and are
@@ -134,6 +143,32 @@ let of_compiled ~mod_name ~lang ~source_digest ~requires ~exports ~links
     links;
     core_forms = List.map Stx.to_annot core_forms;
   }
+
+(* -- integrity -------------------------------------------------------------- *)
+
+let last_index_of ~(sub : string) (s : string) : int option =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i < 0 then None
+    else if String.equal (String.sub s i m) sub then Some i
+    else go (i - 1)
+  in
+  if m > n then None else go (n - m)
+
+(** Verify the {!integrity_marker} trailer: [Ok ()] iff the final
+    trailer's digest matches the text preceding it.  A missing trailer is
+    [Corrupt] too — callers that must not mistake {e old-format} artifacts
+    for damage should fall back to {!of_string}'s version check (the store
+    does; see [Store.read]). *)
+let verify_integrity (text : string) : (unit, invalid) result =
+  match last_index_of ~sub:("\n" ^ integrity_marker) text with
+  | None -> Error (Corrupt "missing integrity trailer")
+  | Some i ->
+      let start = i + 1 + String.length integrity_marker in
+      let claimed = String.trim (String.sub text start (String.length text - start)) in
+      let prefix = String.sub text 0 (i + 1) in
+      if String.equal claimed (Digest_util.of_string prefix) then Ok ()
+      else Error (Corrupt "integrity digest mismatch (artifact damaged on disk)")
 
 (* -- parsing --------------------------------------------------------------- *)
 

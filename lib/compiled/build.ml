@@ -42,6 +42,7 @@ module Reporter = Liblang_diagnostics.Reporter
 module Metrics = Liblang_observe.Metrics
 module Trace = Liblang_observe.Trace
 module Parallel = Liblang_parallel.Parallel
+module Fault = Liblang_fault.Fault
 
 (* -- the require graph ------------------------------------------------------- *)
 
@@ -74,16 +75,22 @@ let require_paths_of_datum (d : Datum.annot) : string list =
   | _ -> []
 
 (* Scan one file's top-level require edges; unreadable or unparsable files
-   scan as edge-free (the compiling worker surfaces the real diagnostic). *)
+   scan as edge-free (the compiling worker surfaces the real diagnostic) —
+   but observably so: a skipped scan costs parallelism, and the
+   [build-scan-skipped] trace event is how a -v run sees where. *)
+let scan_skipped key err =
+  Trace.event "build-scan-skipped" [ ("file", key); ("error", err) ];
+  []
+
 let scan_file (key : string) : string list =
   match slurp key with
-  | exception Sys_error _ -> []
+  | exception Sys_error m -> scan_skipped key m
   | source -> (
       let body =
         match Reader.split_lang_line source with Some (_, rest) -> rest | None -> source
       in
       match Reader.read_all ~file:key body with
-      | exception _ -> []
+      | exception e -> scan_skipped key (Printexc.to_string e)
       | datums ->
           (* canonicalize each edge relative to this file's directory,
              exactly as the resolver will during compilation *)
@@ -124,6 +131,9 @@ type result = {
   compile_ms : float;
   tasks : int;  (** tasks actually run (scheduled, not skipped) *)
   lock_waits : int;  (** contended store/per-key lock acquisitions *)
+  retries : int;  (** task attempts re-run after transient failures *)
+  timeouts : int;  (** tasks killed by their wall-clock deadline *)
+  worker_deaths : int;  (** worker domains that died outside a task *)
 }
 
 let failures (r : result) : (string * Diagnostic.t list) list =
@@ -144,15 +154,38 @@ type task = {
   mutable dependents : task list;
 }
 
-(* Run one task on the calling domain: acquire the module through the
-   resolver (so through the store), containing failures as diagnostics. *)
-let run_task ~(diagnostic_of_exn : exn -> Diagnostic.t option) (t : task) : outcome =
+(* Transient failure classes: worth a bounded retry, because a second
+   attempt can genuinely succeed (an injected fault's arrival index moves
+   on; an I/O error may be a racing sibling).  Anything else — diagnostics,
+   timeouts, real compile errors — is deterministic and retrying would
+   just repeat it. *)
+let transient_exn = function
+  | Fault.Injected _ | Sys_error _ | Unix.Unix_error _ -> true
+  | _ -> false
+
+(* One attempt at a task on the calling domain: acquire the module through
+   the resolver (so through the store) under a wall-clock [deadline],
+   containing failures as diagnostics.  Returns the outcome plus whether a
+   failure was transient (retryable). *)
+let run_task_once ~(diagnostic_of_exn : exn -> Diagnostic.t option) ~(deadline : float)
+    (t : task) : outcome * bool =
   let reporter = Reporter.create () in
-  Atomic.incr Parallel.tasks;
-  match Reporter.with_reporter reporter (fun () -> Resolver.require_key t.node.key) with
-  | _m when not (Reporter.has_errors reporter) -> Built
-  | _m -> Failed (Reporter.diagnostics reporter)
-  | exception Diagnostic.Failed ds -> Failed (Reporter.diagnostics reporter @ ds)
+  match
+    Reporter.with_reporter reporter (fun () ->
+        Fault.with_deadline ~seconds:deadline (fun () ->
+            Fault.check "build.task";
+            Resolver.require_key t.node.key))
+  with
+  | _m when not (Reporter.has_errors reporter) -> (Built, false)
+  | _m -> (Failed (Reporter.diagnostics reporter), false)
+  | exception Diagnostic.Failed ds -> (Failed (Reporter.diagnostics reporter @ ds), false)
+  | exception Fault.Timeout budget ->
+      Atomic.incr Parallel.timeouts;
+      let d =
+        Diagnostic.error ~phase:Diagnostic.Module
+          (Printf.sprintf "task timed out: %s exceeded its %gs deadline" t.node.key budget)
+      in
+      (Failed (Reporter.diagnostics reporter @ [ d ]), false)
   | exception e ->
       let d =
         match diagnostic_of_exn e with
@@ -161,7 +194,25 @@ let run_task ~(diagnostic_of_exn : exn -> Diagnostic.t option) (t : task) : outc
             Diagnostic.error ~phase:Diagnostic.Internal
               ("uncaught exception: " ^ Printexc.to_string e)
       in
-      Failed (Reporter.diagnostics reporter @ [ d ])
+      (Failed (Reporter.diagnostics reporter @ [ d ]), transient_exn e)
+
+(* 1 try + 2 retries; backoff 2ms, 8ms (capped at 50ms) — enough to let a
+   racing writer finish, short enough that a deterministically failing
+   task still fails fast. *)
+let max_task_attempts = 3
+
+let run_task ~diagnostic_of_exn ~deadline (t : task) : outcome =
+  Atomic.incr Parallel.tasks;
+  let rec attempt n =
+    let o, transient = run_task_once ~diagnostic_of_exn ~deadline t in
+    if transient && n + 1 < max_task_attempts then begin
+      Atomic.incr Parallel.retries;
+      Unix.sleepf (Float.min 0.05 (0.002 *. (4.0 ** float_of_int n)));
+      attempt (n + 1)
+    end
+    else o
+  in
+  attempt 0
 
 (* Mark [t] finished, release dependents whose last dependency this was
    (or poison them if [t] failed), and return the newly ready tasks.
@@ -213,7 +264,7 @@ let link_tasks (graph : node list) : task list =
    bit-for-bit the serial resolver's behavior.  A cycle in the scanned
    graph leaves tasks with positive in-degree; they are force-run so the
    resolver reports the cycle as a proper diagnostic. *)
-let run_serial ~diagnostic_of_exn (tasks : task list) : unit =
+let run_serial ~diagnostic_of_exn ~deadline (tasks : task list) : unit =
   let ready = Queue.create () in
   List.iter (fun t -> if t.unmet = 0 then Queue.add t ready) tasks;
   let rec drain () =
@@ -227,7 +278,7 @@ let run_serial ~diagnostic_of_exn (tasks : task list) : unit =
       | None ->
           if not t.started then begin
             t.started <- true;
-            let o = run_task ~diagnostic_of_exn t in
+            let o = run_task ~diagnostic_of_exn ~deadline t in
             List.iter (fun d -> Queue.add d ready) (finish t o)
           end
     done;
@@ -241,8 +292,22 @@ let run_serial ~diagnostic_of_exn (tasks : task list) : unit =
 
 (* Parallel scheduler: a work queue under a mutex/condition, in-degree
    countdown, [jobs] worker domains.  Worker metrics collectors are merged
-   into [merge_into] (the spawning domain's ambient collector) on join. *)
-let run_parallel ~diagnostic_of_exn ~(jobs : int) (tasks : task list) : unit =
+   into [merge_into] (the spawning domain's ambient collector) on join.
+
+   Supervision: a worker domain dying must never hang the join.  The three
+   death windows and why each is safe:
+   - at spawn (the [build.spawn] fault site, or a real startup failure):
+     the dead worker holds no task, so [remaining] still drains through
+     the surviving workers; waiters only block while [running > 0], and
+     whichever worker is running will broadcast when it finishes;
+   - mid-task: the defensive wrapper below accounts for the task (its
+     dependents are poisoned, [running]/[remaining] are restored, waiters
+     are broadcast) before letting the domain die;
+   - all workers dead: every [Domain.join] returns (with an exception),
+     and the supervisor marks whatever never ran as [Failed] so the
+     caller reports real errors instead of silence.
+   Returns the number of worker deaths observed at join. *)
+let run_parallel ~diagnostic_of_exn ~deadline ~(jobs : int) (tasks : task list) : int =
   let mu = Mutex.create () in
   let cond = Condition.create () in
   let ready : task Queue.t = Queue.create () in
@@ -252,6 +317,10 @@ let run_parallel ~diagnostic_of_exn ~(jobs : int) (tasks : task list) : unit =
   let merge_into = Metrics.current () in
   let worker_results : Metrics.t option array = Array.make jobs None in
   let worker (slot : int) () =
+    (* the [build.spawn] fault site: an injected error here kills the
+       domain before it ever takes a task — the supervision case the
+       chaos gate exercises hardest *)
+    Fault.check "build.spawn";
     (* OCaml 5 minor collections are stop-the-world across every running
        domain, so [jobs] allocation-heavy expanders on default-size
        nurseries spend most of their time in global sync pauses (measured
@@ -321,7 +390,29 @@ let run_parallel ~diagnostic_of_exn ~(jobs : int) (tasks : task list) : unit =
               t.started <- true;
               incr running;
               Mutex.unlock mu;
-              let o = run_task ~diagnostic_of_exn t in
+              let o =
+                match run_task ~diagnostic_of_exn ~deadline t with
+                | o -> o
+                | exception e ->
+                    (* a worker dying mid-task ([run_task] contains task
+                       failures, so this is the scheduler's own margin:
+                       stack overflow, OOM, an async exception): account
+                       for the task and wake the pool, then let the
+                       domain die — join observes the death *)
+                    Mutex.lock mu;
+                    decr running;
+                    let d =
+                      Diagnostic.error ~phase:Diagnostic.Internal
+                        (Printf.sprintf "worker domain died building %s: %s" t.node.key
+                           (Printexc.to_string e))
+                    in
+                    let released = finish t (Failed [ d ]) in
+                    decr remaining;
+                    List.iter (fun x -> Queue.add x ready) released;
+                    Condition.broadcast cond;
+                    Mutex.unlock mu;
+                    raise e
+              in
               Mutex.lock mu;
               decr running;
               let released = finish t o in
@@ -333,42 +424,95 @@ let run_parallel ~diagnostic_of_exn ~(jobs : int) (tasks : task list) : unit =
     in
     loop ()
   in
+  let deaths = ref 0 in
+  let death_msg = ref "" in
   Parallel.with_active (fun () ->
       let domains = Array.init jobs (fun slot -> Domain.spawn (worker slot)) in
-      Array.iter Domain.join domains);
+      Array.iter
+        (fun d ->
+          match Domain.join d with
+          | () -> ()
+          | exception e ->
+              incr deaths;
+              death_msg := Printexc.to_string e)
+        domains);
+  (* every domain is joined: no locks needed from here on.  If workers
+     died, whatever they stranded must fail loudly, not read as skipped. *)
+  if !deaths > 0 then
+    List.iter
+      (fun t ->
+        if t.outcome = None then
+          t.outcome <-
+            Some
+              (Failed
+                 [
+                   (* Module phase, not Internal: a worker death under
+                      fault injection is a contained build failure (exit
+                      1), not a platform bug (exit 2) *)
+                   Diagnostic.error ~phase:Diagnostic.Module
+                     (Printf.sprintf "not built: a worker domain died (%s)" !death_msg);
+                 ]))
+      tasks;
   (* merge-on-join: fold every worker's collector into the ambient one *)
-  match merge_into with
+  (match merge_into with
   | None -> ()
-  | Some into -> Array.iter (Option.iter (fun c -> Metrics.merge ~into c)) worker_results
+  | Some into -> Array.iter (Option.iter (fun c -> Metrics.merge ~into c)) worker_results);
+  !deaths
 
 (** Build [roots] (and everything they require) with [jobs] domains.
     Requires an active {!Store} for [jobs > 1] to be useful (workers
     communicate exclusively through artifacts), but does not enforce one.
     [diagnostic_of_exn] translates known pipeline exceptions to located
-    diagnostics (the CLI passes the pipeline's translator). *)
-let build ?(diagnostic_of_exn = fun _ -> None) ~(jobs : int) (roots : string list) : result =
+    diagnostics (the CLI passes the pipeline's translator).
+
+    [task_timeout] bounds each task's wall clock (cooperatively — checked
+    at store I/O and fault sites; the interpreter's fuel bounds pure
+    compute): an overrun surfaces as a [Failed] timeout diagnostic, never
+    a wedged pool.  An installed fault plan's [deadline=] field overrides
+    it. *)
+let build ?(diagnostic_of_exn = fun _ -> None) ?(task_timeout = 300.0) ~(jobs : int)
+    (roots : string list) : result =
   let jobs = max 1 jobs in
+  let deadline =
+    match Fault.deadline_override () with Some s -> s | None -> task_timeout
+  in
   let t0 = Metrics.now () in
   let graph = Trace.span "build-graph" (fun () -> scan_graph roots) in
   let t1 = Metrics.now () in
   let tasks = link_tasks graph in
   let jobs = min jobs (max 1 (List.length tasks)) in
   let tasks0 = Atomic.get Parallel.tasks and waits0 = Atomic.get Parallel.lock_waits in
-  (Trace.span "build-compile" @@ fun () ->
-   Metrics.time "phase.build" @@ fun () ->
-   if jobs = 1 then run_serial ~diagnostic_of_exn tasks
-   else run_parallel ~diagnostic_of_exn ~jobs tasks);
+  let retries0 = Atomic.get Parallel.retries and timeouts0 = Atomic.get Parallel.timeouts in
+  let worker_deaths =
+    Trace.span "build-compile" @@ fun () ->
+    Metrics.time "phase.build" @@ fun () ->
+    if jobs = 1 then begin
+      run_serial ~diagnostic_of_exn ~deadline tasks;
+      0
+    end
+    else run_parallel ~diagnostic_of_exn ~deadline ~jobs tasks
+  in
   let tasks_run = Atomic.get Parallel.tasks - tasks0 in
   let lock_waits = Atomic.get Parallel.lock_waits - waits0 in
+  let retries = Atomic.get Parallel.retries - retries0 in
+  let timeouts = Atomic.get Parallel.timeouts - timeouts0 in
   Metrics.countn "par.tasks" tasks_run;
   Metrics.countn "par.lock_waits" lock_waits;
   Metrics.countn "par.jobs" jobs;
+  (* only when nonzero: a healthy no-fault profile stays free of
+     robustness counters *)
+  if retries > 0 then Metrics.countn "par.retries" retries;
+  if timeouts > 0 then Metrics.countn "par.timeouts" timeouts;
+  if worker_deaths > 0 then Metrics.countn "par.worker_deaths" worker_deaths;
   let t2 = Metrics.now () in
   {
     jobs;
     graph;
     tasks = tasks_run;
     lock_waits;
+    retries;
+    timeouts;
+    worker_deaths;
     outcomes =
       List.map
         (fun t ->

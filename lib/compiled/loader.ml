@@ -58,6 +58,9 @@ let resolve_exn id =
     module [a] requires must already be declared (the resolver loads
     requires first, as part of validating transitive digests). *)
 let load (a : Artifact.t) : Modsys.t =
+  (* the [loader.replay] fault site: an injected error here is caught by
+     the resolver's load wrapper and degrades to a recompile *)
+  Liblang_fault.Fault.check "loader.replay";
   let name = a.Artifact.mod_name and lang = a.Artifact.lang in
   Modsys.check_cycle lang;
   if not (Modsys.is_declared lang) then err "#lang %s: unknown language" lang;

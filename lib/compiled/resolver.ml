@@ -173,6 +173,9 @@ let rec try_artifact (store : Store.t) ~key ~source_digest : Modsys.t option =
     reuse it if already acquired and unchanged, else load it from a valid
     artifact, else compile it from source. *)
 and require_key ?(loc = Srcloc.none) (key : string) : Modsys.t =
+  (* cooperative deadline checkpoint: every module acquisition passes
+     through here, bounding how far a task can run past its budget *)
+  Liblang_fault.Fault.check_deadline ();
   Modsys.check_cycle ~loc key;
   let source =
     match slurp key with

@@ -19,6 +19,7 @@
 module Metrics = Liblang_observe.Metrics
 module Trace = Liblang_observe.Trace
 module Parallel = Liblang_parallel.Parallel
+module Fault = Liblang_fault.Fault
 
 let default_dir = ".liblang-cache"
 
@@ -36,14 +37,53 @@ type t = {
           workers racing to acquire the same uncompiled module serialize on
           the key, so the loser sees the winner's fresh artifact (one
           write + one cache hit) instead of compiling it a second time *)
+  corrupt_reads : (string, int) Hashtbl.t;
+      (** module key -> consecutive corrupt reads this session (guarded by
+          [mu]); at {!quarantine_threshold} the artifact is renamed to
+          [.bad] instead of being re-read forever (docs/robustness.md) *)
 }
 
-(** Open (creating if needed) a store rooted at [dir]. *)
+let contains_sub ~(sub : string) (s : string) : bool =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* Remove temp files stranded by previously killed processes (a crash
+   between the temp write and the rename leaves [<name>.lart.tmp.<pid>.<dom>]
+   behind forever).  Everything present when the store is {e opened}
+   predates this process's own writes, so sweeping unconditionally is
+   safe for ourselves; a racing sibling process can lose at most one
+   in-flight temp file, which costs it one artifact write — a failure
+   mode the write path already tolerates (and the next cold read heals). *)
+let sweep_tmp (dir : string) : unit =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | entries ->
+      Array.iter
+        (fun name ->
+          if contains_sub ~sub:".lart.tmp." name then begin
+            match Sys.remove (Filename.concat dir name) with
+            | () ->
+                Metrics.count "cache.tmp_swept";
+                Trace.event "cache-tmp-swept" [ ("file", name) ]
+            | exception Sys_error _ -> ()
+          end)
+        entries
+
+(** Open (creating if needed) a store rooted at [dir]; sweeps temp files
+    stranded by crashed predecessors. *)
 let create ?(dir = default_dir) () : t =
   (try
      if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
    with Unix.Unix_error _ -> ());
-  { dir; digests = Hashtbl.create 16; mu = Mutex.create (); key_locks = Hashtbl.create 16 }
+  sweep_tmp dir;
+  {
+    dir;
+    digests = Hashtbl.create 16;
+    mu = Mutex.create ();
+    key_locks = Hashtbl.create 16;
+    corrupt_reads = Hashtbl.create 4;
+  }
 
 (* [digests] is read and written by every domain that consults the store;
    all accesses below go through this gate. *)
@@ -54,6 +94,7 @@ let[@inline] locked (s : t) f = Parallel.with_gate s.mu f
     (the cycle check raises first), so nested holds cannot deadlock.
     Contention is surfaced as the [cache.lock_waits] metric. *)
 let with_key_lock (s : t) (key : string) (f : unit -> 'a) : 'a =
+  Fault.check "store.lock";
   if not (Parallel.active ()) then f ()
   else begin
     let m =
@@ -120,24 +161,77 @@ let slurp path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-(** Read and parse [key]'s artifact.  On success also memoizes its
-    identity digest.  Does {e not} check freshness against the source or
-    requires — that is the resolver's job (it owns recursive require
-    resolution). *)
+(* After this many corrupt reads of one key, stop re-reading the bytes
+   forever: rename them aside as a [.bad] post-mortem.  Two, not one —
+   a single corrupt read may race an in-flight write from a sibling
+   process; persistent corruption is what quarantine is for. *)
+let quarantine_threshold = 2
+
+(* Record a corrupt read of [key]; at the threshold, quarantine the file
+   (rename to [.bad]) so subsequent reads see [Missing] and the recompile
+   path heals the store, while the damaged bytes survive for post-mortem.
+   Returns [reason] so call sites stay one-liners. *)
+let note_corrupt (s : t) ~(key : string) ~(path : string)
+    (reason : Artifact.invalid) : Artifact.invalid =
+  let n =
+    locked s (fun () ->
+        let n =
+          (match Hashtbl.find_opt s.corrupt_reads key with Some n -> n | None -> 0) + 1
+        in
+        Hashtbl.replace s.corrupt_reads key n;
+        n)
+  in
+  if n >= quarantine_threshold then begin
+    match Sys.rename path (path ^ ".bad") with
+    | () ->
+        locked s (fun () ->
+            Hashtbl.remove s.digests key;
+            Hashtbl.remove s.corrupt_reads key);
+        Metrics.count "cache.quarantined";
+        Trace.event "cache-quarantined"
+          [ ("module", key); ("file", Filename.basename path ^ ".bad") ]
+    | exception Sys_error _ -> ()
+  end;
+  reason
+
+(** Read and parse [key]'s artifact, verifying its integrity trailer
+    first (a torn or bit-flipped artifact is caught before — or instead
+    of — parsing).  On success also memoizes its identity digest.  Does
+    {e not} check freshness against the source or requires — that is the
+    resolver's job (it owns recursive require resolution).  Repeatedly
+    corrupt artifacts are quarantined (see {!note_corrupt}). *)
 let read (s : t) ~(key : string) : (Artifact.t * string, Artifact.invalid) result =
+  Fault.check_deadline ();
   let path = artifact_path s key in
   if not (Sys.file_exists path) then Error Artifact.Missing
   else
     Trace.span "artifact-read" ~detail:key @@ fun () ->
-    match slurp path with
-    | exception Sys_error m -> Error (Artifact.Unreadable m)
-    | text -> (
-        match Artifact.of_string text with
-        | Error reason -> Error reason
-        | Ok a ->
-            let digest = Digest_util.of_string text in
-            locked s (fun () -> Hashtbl.replace s.digests key digest);
-            Ok (a, digest))
+    match Fault.check "store.read" with
+    | exception Fault.Injected _ -> Error (Artifact.Unreadable "injected I/O fault")
+    | () -> (
+        match slurp path with
+        | exception Sys_error m -> Error (Artifact.Unreadable m)
+        | text -> (
+            let parse () =
+              match Artifact.of_string text with
+              | Error (Artifact.Corrupt _ as r) -> Error (note_corrupt s ~key ~path r)
+              | Error reason -> Error reason
+              | Ok a ->
+                  let digest = Digest_util.of_string text in
+                  locked s (fun () ->
+                      Hashtbl.replace s.digests key digest;
+                      Hashtbl.remove s.corrupt_reads key);
+                  Ok (a, digest)
+            in
+            match Artifact.verify_integrity text with
+            | Ok () -> parse ()
+            | Error integrity_reason -> (
+                (* distinguish old-format artifacts (which predate the
+                   trailer) from damage: version skew must never surface
+                   as corrupt, and must not feed quarantine *)
+                match Artifact.of_string text with
+                | Error (Artifact.Version_skew _ as r) -> Error r
+                | _ -> Error (note_corrupt s ~key ~path integrity_reason))))
 
 (* -- writing ----------------------------------------------------------------- *)
 
@@ -145,10 +239,16 @@ let read (s : t) ~(key : string) : (Artifact.t * string, Artifact.invalid) resul
     temp file in the cache dir, then rename).  Memoizes the new identity
     digest so dependents compiled later in this session record it.  A
     failed write is reported as a [-v] trace note and otherwise ignored —
-    a read-only cache dir must never break compilation. *)
+    a read-only cache dir must never break compilation.
+
+    Fault sites: [store.write] (mode [torn@k] persists only the first [k]
+    bytes — the torn artifact lands at the {e final} path, as after a
+    crash between write and fsync) and [store.rename] (an injected error
+    strands the temp file exactly as a kill would; the next
+    {!create}'s sweep collects it). *)
 let write (s : t) (a : Artifact.t) : unit =
   Trace.span "artifact-write" ~detail:a.Artifact.mod_name @@ fun () ->
-  let text = Artifact.to_string a in
+  Fault.check_deadline ();
   let path = artifact_path s a.Artifact.mod_name in
   (* the temp name carries pid {e and} domain id: two domains of one
      process racing on a key must not share a temp file *)
@@ -157,16 +257,38 @@ let write (s : t) (a : Artifact.t) : unit =
     ^ string_of_int (Domain.self () :> int)
   in
   match
+    let full = Artifact.to_string a in
+    let cut = Fault.torn_write "store.write" in
+    let text =
+      match cut with
+      | Some k when k < String.length full -> String.sub full 0 k
+      | _ -> full
+    in
     let oc = open_out_bin tmp in
     Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc text);
-    Sys.rename tmp path
+    Fault.check "store.rename";
+    Sys.rename tmp path;
+    (cut, full)
   with
-  | () ->
-      locked s (fun () -> Hashtbl.replace s.digests a.Artifact.mod_name (Digest_util.of_string text));
+  | None, full ->
+      locked s (fun () ->
+          Hashtbl.replace s.digests a.Artifact.mod_name (Digest_util.of_string full);
+          Hashtbl.remove s.corrupt_reads a.Artifact.mod_name);
       Metrics.count "cache.writes"
+  | Some _, _ ->
+      (* a torn artifact landed at the final path: nobody may trust a
+         memoized digest for it, and it must not count as a clean write *)
+      forget_digest s a.Artifact.mod_name;
+      Trace.event "cache-write-torn" [ ("module", a.Artifact.mod_name) ]
   | exception Sys_error m ->
       (try Sys.remove tmp with Sys_error _ -> ());
       Trace.event "cache-write-failed" [ ("module", a.Artifact.mod_name); ("error", m) ]
+  | exception Fault.Injected (site, _) ->
+      (* an injected failure at/before the rename: leave the temp file
+         stranded, exactly as a crash would — the next store open sweeps
+         it, and this session proceeds uncached for this module *)
+      Trace.event "cache-write-failed"
+        [ ("module", a.Artifact.mod_name); ("error", "injected fault at " ^ site) ]
 
 (* -- counters ----------------------------------------------------------------- *)
 

@@ -46,6 +46,7 @@ module Observe = Liblang_observe.Observe
 module Metrics = Liblang_observe.Metrics
 module Trace = Liblang_observe.Trace
 module Json = Liblang_observe.Json
+module Fault = Liblang_fault.Fault
 
 let () =
   Baselang.init ();

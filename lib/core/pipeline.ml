@@ -120,6 +120,14 @@ let diagnostic_of_exn : exn -> Diagnostic.t option = function
            "evaluation exhausted its fuel budget (the program probably diverges)")
   | Stack_overflow ->
       Some (Diagnostic.error ~phase:Runtime "stack overflow (runaway non-tail recursion)")
+  | Liblang_fault.Fault.Injected (site, mode) ->
+      Some
+        (Diagnostic.error ~phase:Module
+           (Printf.sprintf "injected fault at %s (%s)" site mode))
+  | Liblang_fault.Fault.Timeout budget ->
+      Some
+        (Diagnostic.error ~phase:Module
+           (Printf.sprintf "task exceeded its %gs wall-clock deadline" budget))
   | _ -> None
 
 (** Run [f] under a fresh reporter with fuel limits armed; every failure

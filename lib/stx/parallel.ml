@@ -46,6 +46,15 @@ let tasks = Atomic.make 0
     much the shared front-end tables serialize the pool. *)
 let lock_waits = Atomic.make 0
 
+(** Task attempts re-run after a transient failure (injected fault,
+    [Sys_error], [Unix_error]) — the build driver's retry loop; reported
+    as [par.retries]. *)
+let retries = Atomic.make 0
+
+(** Tasks killed by their wall-clock deadline — reported as
+    [par.timeouts]. *)
+let timeouts = Atomic.make 0
+
 (** Acquire [m] for the extent of [f], counting contention in
     {!lock_waits}. *)
 let with_lock (m : Mutex.t) (f : unit -> 'a) : 'a =

@@ -205,7 +205,7 @@ let replace_first hay needle repl =
 
 let t_version_skew = robustness "format version skew" (fun ~src:_ ~art ->
     let text = read_file art in
-    let skewed = replace_first text "(version 1)" "(version 999)" in
+    let skewed = replace_first text "(version 2)" "(version 999)" in
     check_b "artifact records its version" true (text <> skewed);
     write_file art skewed)
 
@@ -401,6 +401,241 @@ let concurrent_store_stress () =
   check_i "warm rerun: zero compiles" 0 (compiles c);
   check_i "warm rerun: all hits" 6 (hits c)
 
+(* -- chaos: deterministic fault injection (docs/robustness.md) ------------------ *)
+
+module Fault = Core.Fault
+
+(** Parse [spec], install it for the duration of [f], uninstall after —
+    even when [f] raises, so a failing check can't leak faults into the
+    next test case. *)
+let with_plan spec f =
+  match Fault.parse spec with
+  | Result.Error m -> Alcotest.failf "test plan %S did not parse: %s" spec m
+  | Ok p -> Fault.with_plan p f
+
+exception Hung
+
+(** Wall-clock backstop for the supervision tests: their whole point is
+    that a damaged pool terminates, so a hang must fail the test rather
+    than freeze the suite. *)
+let with_test_alarm seconds f =
+  let previous = Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> raise Hung)) in
+  ignore (Unix.alarm seconds);
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Unix.alarm 0);
+      Sys.set_signal Sys.sigalrm previous)
+    f
+
+let plan_parse () =
+  let ok spec =
+    match Fault.parse spec with
+    | Ok p -> p
+    | Result.Error m -> Alcotest.failf "%S should parse: %s" spec m
+  in
+  let bad label spec = check_b label true (Result.is_error (Fault.parse spec)) in
+  let p = ok "seed=7;deadline=2.5;store.read=error~0.25,store.write=torn@64" in
+  check_i "plan seed" 7 p.Fault.seed;
+  check_b "plan deadline" true (p.Fault.deadline = Some 2.5);
+  check_i "plan rules" 2 (List.length p.Fault.rules);
+  check_b "empty plan is valid (no rules)" true
+    (match Fault.parse "seed=3" with Ok q -> q.Fault.rules = [] | _ -> false);
+  bad "unknown site rejected" "store.zap=error";
+  bad "unknown mode rejected" "store.read=explode";
+  bad "probability out of range" "store.read=error~1.5";
+  bad "non-numeric torn offset" "store.write=torn@x";
+  bad "non-positive deadline" "deadline=0";
+  bad "bare word" "whatever"
+
+(** Whether the n-th arrival at a site fires is a pure function of
+    (seed, site, n): two installs of the same spec produce the same
+    firing pattern — the property that makes a chaos seed replayable. *)
+let deterministic_decisions () =
+  let pattern () =
+    with_plan "seed=11;build.task=error~0.5" (fun () ->
+        List.init 32 (fun _ ->
+            match Fault.check "build.task" with
+            | () -> false
+            | exception Fault.Injected _ -> true))
+  in
+  let a = pattern () in
+  check_b "same seed, same firing pattern" true (a = pattern ());
+  check_b "p=0.5 fires sometimes" true (List.mem true a);
+  check_b "p=0.5 passes sometimes" true (List.mem false a)
+
+(** With no plan installed every hook is inert: no exception, no delay,
+    no metric — the zero-cost-when-off contract. *)
+let hooks_inert_when_off () =
+  check_b "no ambient plan" false (Fault.active ());
+  let c = Metrics.create () in
+  Observe.with_ctx
+    { Observe.metrics = Some c; trace = None }
+    (fun () ->
+      List.iter Fault.check Fault.sites;
+      List.iter (fun s -> check_b (s ^ ": no torn cut") true (Fault.torn_write s = None)) Fault.sites;
+      Fault.check_deadline ());
+  check_i "nothing injected" 0 (Metrics.get c "fault.injected")
+
+(** Opening a store sweeps tmp files stranded by a crashed writer, and
+    only those — neighbouring artifacts are untouched. *)
+let tmp_sweep_on_open () =
+  let dir = fresh_dir () in
+  let cache = Filename.concat dir "cache" in
+  Unix.mkdir cache 0o755;
+  let stranded = Filename.concat cache "deadbeef.lart.tmp.4242.0" in
+  write_file stranded "half an artifact";
+  let keeper = Filename.concat cache "deadbeef.lart" in
+  write_file keeper "not a tmp file";
+  let c = Metrics.create () in
+  Observe.with_ctx
+    { Observe.metrics = Some c; trace = None }
+    (fun () -> ignore (Compiled.Store.create ~dir:cache ()));
+  check_b "stranded tmp swept on open" false (Sys.file_exists stranded);
+  check_b "non-tmp neighbour untouched" true (Sys.file_exists keeper);
+  check_i "sweep counted" 1 (Metrics.get c "cache.tmp_swept")
+
+(** Repeatedly-corrupt artifacts are quarantined: the second corrupt
+    read renames the file to [.bad], later reads see [Missing], and a
+    fresh run recompiles and heals. *)
+let quarantine_after_repeated_corruption () =
+  let dir = fresh_dir () in
+  let cache = Filename.concat dir "cache" in
+  let src = Filename.concat dir "m.scm" in
+  write_file src "#lang racket\n(define (sq x) (* x x))\n(display (sq 9))\n";
+  let cold, _ = run_measured ~cache src in
+  let key = Compiled.Resolver.module_key src in
+  let art = artifact_file ~cache key in
+  write_file art "(liblang-artifact garbage that parses as nothing";
+  Compiled.reset_session ();
+  let store = Compiled.Store.create ~dir:cache () in
+  let c = Metrics.create () in
+  Observe.with_ctx
+    { Observe.metrics = Some c; trace = None }
+    (fun () ->
+      let corrupt = function
+        | Stdlib.Error (Compiled.Artifact.Corrupt _) -> true
+        | _ -> false
+      in
+      check_b "first corrupt read reported" true (corrupt (Compiled.Store.read store ~key));
+      check_b "second corrupt read reported" true (corrupt (Compiled.Store.read store ~key));
+      check_b "third read finds nothing (quarantined)" true
+        (Compiled.Store.read store ~key = Stdlib.Error Compiled.Artifact.Missing));
+  check_i "quarantine counted once" 1 (Metrics.get c "cache.quarantined");
+  check_b "post-mortem kept as .bad" true (Sys.file_exists (art ^ ".bad"));
+  check_b "corrupt artifact gone" false (Sys.file_exists art);
+  (* and the degraded path still heals: recompile, identical output *)
+  let warm, c2 = run_measured ~cache src in
+  check_s "output identical after quarantine" cold warm;
+  check_i "recompiled past the quarantine" 1 (compiles c2)
+
+(* A parseable artifact whose body was flipped after the write: only the
+   integrity trailer can tell.  Without it the flipped '9 would replay as
+   '8 and print 64 — the byte-identical-output check inside [robustness]
+   is what makes this a real test. *)
+let t_bitflip =
+  robustness "bit-flipped body caught by integrity trailer" (fun ~src:_ ~art ->
+      let text = read_file art in
+      let flipped = replace_first text "'9" "'8" in
+      check_b "body contains the literal" true (text <> flipped);
+      write_file art flipped)
+
+(** A torn artifact write (cut mid-file by an injected fault) never
+    poisons the cache: the cold run's output is unaffected, the torn
+    bytes fail verification on the next read, and a warm run recompiles
+    and heals byte-identically. *)
+let torn_write_replayed () =
+  let dir = fresh_dir () in
+  let cache = Filename.concat dir "cache" in
+  let src = Filename.concat dir "m.scm" in
+  write_file src "#lang racket\n(define (sq x) (* x x))\n(display (sq 9))\n";
+  let cold, c0 = with_plan "store.write=torn@40" (fun () -> run_measured ~cache src) in
+  check_s "cold output unaffected by the torn write" "81" cold;
+  check_b "the fault actually fired" true (Metrics.get c0 "fault.injected" >= 1);
+  let warm, c1 = run_measured ~cache src in
+  check_s "warm output byte-identical" cold warm;
+  check_i "torn artifact not replayed" 1 (compiles c1);
+  check_i "nothing loaded from the torn cache" 0 (hits c1);
+  let _, c2 = run_measured ~cache src in
+  check_i "healed: steady state replays" 1 (hits c2)
+
+(** Injected read errors degrade to recompiles (never an error), and the
+    store recovers as soon as the faults stop. *)
+let injected_read_error_degrades () =
+  let dir = fresh_dir () in
+  let cache = Filename.concat dir "cache" in
+  let src = Filename.concat dir "m.scm" in
+  write_file src "#lang racket\n(define (sq x) (* x x))\n(display (sq 9))\n";
+  let cold, _ = run_measured ~cache src in
+  let warm, c = with_plan "store.read=error" (fun () -> run_measured ~cache src) in
+  check_s "output identical under injected read errors" cold warm;
+  check_i "read fault degrades to a recompile" 1 (compiles c);
+  check_i "no cache hits under the fault" 0 (hits c);
+  let _, c2 = run_measured ~cache src in
+  check_i "store recovered once the faults stop" 1 (hits c2)
+
+(** Every worker domain dying at spawn must not hang [Domain.join] or
+    leave modules without outcomes; a fault-free rebuild then succeeds. *)
+let worker_death_does_not_hang () =
+  let dir = fresh_dir () in
+  let root, expected = gen ~dir ~shape:Genproj.Diamond ~n:6 in
+  let cache = Filename.concat dir "cache" in
+  let r =
+    with_test_alarm 30 (fun () ->
+        with_plan "build.spawn=error" (fun () -> build_into ~jobs:3 ~cache root))
+  in
+  check_b "join returned with failures, not a hang" true (not (Build.ok r));
+  check_b "worker deaths observed" true (r.Build.worker_deaths >= 1);
+  check_i "every module still has an outcome"
+    (List.length r.Build.graph)
+    (List.length r.Build.outcomes);
+  check_b "deaths surface as ordinary diagnostics" true
+    (List.exists
+       (fun (_, ds) ->
+         List.exists
+           (fun d -> contains (Core.Diagnostic.to_string d) "worker domain died")
+           ds)
+       (Build.failures r));
+  let r2 = build_into ~jobs:3 ~cache root in
+  check_b "fault-free rebuild succeeds" true (Build.ok r2);
+  let out, _ = run_measured ~cache root in
+  check_s "recovered build runs correctly" (string_of_int expected) (String.trim out)
+
+(** A task stuck in an injected delay is killed by its cooperative
+    wall-clock deadline and surfaces as a timeout diagnostic, never a
+    hang. *)
+let task_deadline_times_out () =
+  let dir = fresh_dir () in
+  let root, _ = gen ~dir ~shape:Genproj.Chain ~n:3 in
+  let cache = Filename.concat dir "cache" in
+  let r =
+    with_test_alarm 30 (fun () ->
+        with_plan "deadline=0.05;build.task=delay@400" (fun () ->
+            build_into ~jobs:2 ~cache root))
+  in
+  check_b "deadline kills the delayed task" true (not (Build.ok r));
+  check_b "timeout counted" true (r.Build.timeouts >= 1);
+  check_b "timeout is an ordinary diagnostic" true
+    (List.exists
+       (fun (_, ds) ->
+         List.exists (fun d -> contains (Core.Diagnostic.to_string d) "deadline") ds)
+       (Build.failures r));
+  let r2 = build_into ~jobs:2 ~cache root in
+  check_b "recovers without the plan" true (Build.ok r2)
+
+(** Transient faults are retried with a deterministic budget: 1 try + 2
+    retries for the one task that runs; its dependents are poisoned, not
+    attempted. *)
+let transient_retries_counted () =
+  let dir = fresh_dir () in
+  let root, _ = gen ~dir ~shape:Genproj.Chain ~n:3 in
+  let cache = Filename.concat dir "cache" in
+  let r = with_plan "build.task=error" (fun () -> build_into ~jobs:1 ~cache root) in
+  check_b "persistent task faults fail the build" true (not (Build.ok r));
+  check_i "exactly two retries" 2 r.Build.retries;
+  check_i "only the first task ran" 1 r.Build.tasks;
+  let r2 = build_into ~jobs:1 ~cache root in
+  check_b "clean rebuild succeeds" true (Build.ok r2)
+
 (* -- suite --------------------------------------------------------------------- *)
 
 let t name f = Alcotest.test_case name `Quick f
@@ -424,4 +659,15 @@ let suite =
     parallel_determinism Genproj.Diamond;
     parallel_determinism Genproj.Chain;
     t "concurrent store: K domains, one cache" concurrent_store_stress;
+    t "fault plan: parse + reject" plan_parse;
+    t "fault plan: decisions are deterministic" deterministic_decisions;
+    t "fault hooks: inert when off" hooks_inert_when_off;
+    t "store: tmp sweep on open" tmp_sweep_on_open;
+    t "store: quarantine after repeated corruption" quarantine_after_repeated_corruption;
+    t_bitflip;
+    t "store: torn write heals by recompiling" torn_write_replayed;
+    t "store: injected read errors degrade" injected_read_error_degrades;
+    t "build: worker death does not hang join" worker_death_does_not_hang;
+    t "build: per-task deadline times out" task_deadline_times_out;
+    t "build: transient retries counted" transient_retries_counted;
   ]

@@ -1,0 +1,138 @@
+#!/bin/sh
+# Chaos gate (CI): drive seeded fault schedules through the CLI and
+# assert the closed-loop robustness property of the separate-compilation
+# layer (docs/robustness.md):
+#
+#   for every seeded fault plan over every gen-modules graph shape, a
+#   -j2 build either succeeds, fails with ordinary diagnostics (exit 1),
+#   or dies on an injected crash (exit 42 -- kill -9 semantics, temp
+#   files stranded); it never hangs (the per-run timeout fails the gate)
+#   and never exits any other way.  Afterwards a fault-free -j2 build
+#   over the damaged cache must succeed, every artifact must be
+#   byte-identical to a fault-free -j1 reference store, the warm program
+#   must print the generator's expected output, and no *.tmp.* orphans
+#   may remain (quarantined *.bad post-mortems are allowed by design).
+#
+# Unlike bench --chaos (in-process, error/torn/delay only), this gate
+# runs each schedule in a subprocess, so it exercises the crash mode and
+# the tmp-file sweep for real.
+#
+# Usage: tools/chaos_check.sh [path/to/liblang.exe]   (from the repo root;
+# the script cd's there itself when invoked from elsewhere).
+# CHAOS_SEEDS=N overrides the seeds-per-shape count (default 18: 18
+# seeds x 3 shapes = 54 schedules).
+
+set -u
+cd "$(dirname "$0")/.." || exit 2
+
+LIBLANG=${1:-_build/default/bin/liblang.exe}
+if [ ! -x "$LIBLANG" ]; then
+  echo "chaos_check: $LIBLANG not built (dune build bin/liblang.exe first)" >&2
+  exit 2
+fi
+LIBLANG=$(cd "$(dirname "$LIBLANG")" && pwd)/$(basename "$LIBLANG")
+
+if command -v timeout >/dev/null 2>&1; then RUN="timeout 60"; else RUN=""; fi
+
+SEEDS=${CHAOS_SEEDS:-18}
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT INT TERM
+
+fail=0
+bad() { printf 'chaos_check FAIL: %s\n' "$*" >&2; fail=1; }
+
+schedules=0
+crashes=0
+diag_fails=0
+
+for shape in wide diamond chain; do
+  DIR="$WORK/$shape"
+  mkdir -p "$DIR"
+  gen=$("$LIBLANG" gen-modules --dir "$DIR" --shape "$shape" 6)
+  root=$(printf '%s\n' "$gen" | sed -n 's/^root: //p')
+  expected=$(printf '%s\n' "$gen" | sed -n 's/^expected output: //p')
+  if [ -z "$root" ] || [ -z "$expected" ]; then
+    bad "$shape: gen-modules did not report a root/expected output"
+    continue
+  fi
+
+  # fault-free -j1 reference store
+  REF="$DIR/cache-ref"
+  if ! $RUN "$LIBLANG" compile -j 1 --cache-dir "$REF" "$root" >/dev/null 2>&1; then
+    bad "$shape: fault-free -j1 reference build failed"
+    continue
+  fi
+
+  CACHE="$DIR/cache-chaos"
+  s=0
+  while [ "$s" -lt "$SEEDS" ]; do
+    s=$((s + 1))
+    seed=$((s * 37))
+    # rotate three plan templates; crash modes are the point of running
+    # via the CLI (an in-process crash would kill the driver)
+    case $((s % 3)) in
+      0) plan="seed=$seed;deadline=20;store.read=error~0.25;store.write=torn@64~0.3;build.task=error~0.25" ;;
+      1) plan="seed=$seed;deadline=20;store.rename=crash~0.08;store.write=torn@40~0.2;loader.replay=error~0.25;store.lock=delay@5~0.2" ;;
+      2) plan="seed=$seed;deadline=20;build.spawn=error~0.3;build.task=delay@15~0.2;store.read=error~0.2" ;;
+    esac
+    $RUN "$LIBLANG" compile -j 2 --cache-dir "$CACHE" --faults "$plan" "$root" >/dev/null 2>&1
+    code=$?
+    schedules=$((schedules + 1))
+    case $code in
+      0) ;;                            # survived the schedule
+      1) diag_fails=$((diag_fails + 1)) ;;  # contained diagnostics
+      42) crashes=$((crashes + 1)) ;;  # injected crash (expected)
+      124) bad "$shape seed=$seed: build timed out (pool hang?) plan=$plan" ;;
+      *) bad "$shape seed=$seed: build exited $code (not 0/1/42) plan=$plan" ;;
+    esac
+  done
+
+  # recovery: a fault-free warm build over the damaged cache must heal it
+  if ! $RUN "$LIBLANG" compile -j 2 --cache-dir "$CACHE" "$root" >/dev/null 2>&1; then
+    bad "$shape: fault-free recovery build failed over the damaged cache"
+    continue
+  fi
+  # ... reach a fully warm steady state ...
+  out=$($RUN "$LIBLANG" compile -j 2 --cache-dir "$CACHE" "$root" 2>/dev/null)
+  case $out in
+    *"compiles=0 "*) : ;;
+    *) bad "$shape: post-recovery build is not fully warm: $out" ;;
+  esac
+  # ... print the generator's closed form ...
+  got=$($RUN "$LIBLANG" run --cache-dir "$CACHE" "$root" 2>/dev/null)
+  if [ "$got" != "$expected" ]; then
+    bad "$shape: recovered run printed '$got', expected '$expected'"
+  fi
+  # ... with every artifact byte-identical to the fault-free -j1 store ...
+  for a in "$CACHE"/*.lart; do
+    [ -e "$a" ] || continue
+    b="$REF/$(basename "$a")"
+    if [ ! -f "$b" ]; then
+      bad "$shape: $(basename "$a") exists in the chaos store but not the reference"
+    elif ! cmp -s "$a" "$b"; then
+      bad "$shape: $(basename "$a") differs from the fault-free reference after recovery"
+    fi
+  done
+  for b in "$REF"/*.lart; do
+    [ -e "$b" ] || continue
+    if [ ! -f "$CACHE/$(basename "$b")" ]; then
+      bad "$shape: $(basename "$b") missing from the chaos store after recovery"
+    fi
+  done
+  # ... and no stranded temp files (the recovery build's store open swept
+  # anything a crashed schedule left behind)
+  leftover=$(find "$CACHE" -name '*.tmp.*' | wc -l)
+  if [ "$leftover" -ne 0 ]; then
+    bad "$shape: $leftover stranded *.tmp.* file(s) survived recovery"
+  fi
+done
+
+if [ "$schedules" -lt 50 ]; then
+  bad "only $schedules schedules ran (need >= 50; is CHAOS_SEEDS too low?)"
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "chaos_check OK: $schedules seeded schedules ($crashes injected crashes, $diag_fails contained failures); all stores recovered byte-identical"
+fi
+exit "$fail"

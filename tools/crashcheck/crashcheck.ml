@@ -60,6 +60,74 @@ let check_file path : (string, string) result =
             ("internal diagnostic (exception escaped containment): "
             ^ Diagnostic.to_string (List.hd internal)))
 
+(* -- adversarial cache dirs ----------------------------------------------------
+
+   The artifact store must never break a run: "any unusable artifact (or
+   store) degrades to a recompile, never an error" (docs/compilation.md).
+   Each case runs a tiny valid program through [run_file ?cache_dir]
+   against a hostile cache location and asserts the program still prints
+   its answer.  (Unwritable-permission cases are deliberately absent: CI
+   and containers often run as root, where chmod 0 is not a barrier.) *)
+
+let check_cache_dir_case ~(label : string) (prepare : string -> string) :
+    (string, string) result =
+  Core.Modsys.reset_user_modules_for_tests ();
+  Core.Compiled.reset_session ();
+  let work =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "crashcheck-cache-%d-%s" (Unix.getpid ()) label)
+  in
+  (try Unix.mkdir work 0o755 with Unix.Unix_error _ -> ());
+  let src = Filename.concat work "prog.scm" in
+  let oc = open_out_bin src in
+  output_string oc "#lang racket\n(define (tri n) (if (= n 0) 0 (+ n (tri (- n 1)))))\n(display (tri 7))\n";
+  close_out oc;
+  let cache_dir = prepare work in
+  match
+    with_time_cap (fun () ->
+        Core.Prims.with_captured_output (fun () ->
+            Pipeline.run_file ~fuel:200_000 ~cache_dir src))
+  with
+  | exception Timeout -> Error "timed out against a hostile cache dir"
+  | exception e -> Error ("uncaught exception escaped the pipeline: " ^ Printexc.to_string e)
+  | out, Ok _ ->
+      if String.equal out "28" then Ok "ran correctly despite the hostile cache dir"
+      else Error (Printf.sprintf "printed %S, expected \"28\"" out)
+  | _, Error ds ->
+      Error
+        ("cache trouble broke the run: "
+        ^ (match ds with d :: _ -> Diagnostic.to_string d | [] -> "(no diagnostics)"))
+
+let cache_dir_cases =
+  [
+    ( "cache-dir-is-a-file",
+      fun work ->
+        (* the would-be cache directory already exists as a regular file:
+           mkdir fails, every write fails, reads find nothing *)
+        let path = Filename.concat work "cache-as-file" in
+        let oc = open_out_bin path in
+        output_string oc "not a directory\n";
+        close_out oc;
+        path );
+    ( "artifact-path-is-a-dir",
+      fun work ->
+        (* the module's artifact path inside the cache is occupied by a
+           directory: reads are unreadable, the write's rename fails *)
+        let cache = Filename.concat work "cache-art-dir" in
+        Unix.mkdir cache 0o755;
+        let key = Core.Compiled.Resolver.module_key (Filename.concat work "prog.scm") in
+        let art =
+          Filename.concat cache (Core.Compiled.Digest_util.key_file key ^ ".lart")
+        in
+        Unix.mkdir art 0o755;
+        cache );
+    ( "nested-missing-cache-dir",
+      fun work ->
+        (* a/b/c where even [a] does not exist: Store.create's single
+           mkdir cannot create it, so every access misses *)
+        Filename.concat (Filename.concat (Filename.concat work "a") "b") "c" );
+  ]
+
 let find_corpus_dir () =
   match Sys.argv with
   | [| _; dir |] -> dir
@@ -95,7 +163,15 @@ let () =
           incr failures;
           Printf.printf "  FAIL %-28s %s\n%!" label why)
     files;
-  Printf.printf "crashcheck: %d/%d corpus programs contained\n"
-    (List.length files - !failures)
-    (List.length files);
+  List.iter
+    (fun (label, prepare) ->
+      match check_cache_dir_case ~label prepare with
+      | Ok detail -> Printf.printf "  ok   %-28s %s\n%!" label detail
+      | Error why ->
+          incr failures;
+          Printf.printf "  FAIL %-28s %s\n%!" label why)
+    cache_dir_cases;
+  Printf.printf "crashcheck: %d/%d corpus programs + cache-dir cases contained\n"
+    (List.length files + List.length cache_dir_cases - !failures)
+    (List.length files + List.length cache_dir_cases);
   exit (if !failures = 0 then 0 else 1)
