@@ -538,6 +538,141 @@ let json_of_par_rows ~(jobs : int) (rows : par_row list) : Json.t =
              rows) );
     ]
 
+(* -- the --serve series (compile-server throughput) ----------------------------
+
+   The compile-server daemon measured end to end: a daemon is spawned in a
+   domain of this process, N client domains each issue M [run] requests
+   for the same generated project, and every response's output is checked
+   against the generator's closed form.  The steady state is all-warm —
+   after the priming request nothing recompiles — so the numbers measure
+   protocol + scheduling + warm instantiation, i.e. what a [--via-server]
+   edit-run loop feels like.  A final fresh-session [compile] must report
+   [compiles=0] (the ISSUE's warm gate); any output mismatch or a warm
+   compile fails the bench run like a checksum mismatch. *)
+
+(* Nearest-rank percentile of an ascending-sorted array. *)
+let percentile (sorted : float array) (p : float) : float =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let run_server_figure ~(smoke : bool) () : Json.t =
+  let module Server = Liblang_server.Server in
+  let module Client = Liblang_server.Client in
+  let module P = Liblang_server.Protocol in
+  let module Genproj = Core.Compiled.Genproj in
+  let clients = if smoke then 2 else 4 in
+  let per_client = if smoke then 6 else 25 in
+  let n = if smoke then 6 else 12 in
+  incr cached_tmp_counter;
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "liblang-bench-serve-%d-%d" (Unix.getpid ()) !cached_tmp_counter)
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ());
+  Printf.printf "\n%s\nCompile server: %d clients x %d warm run requests (%d-module diamond)\n%s\n"
+    line clients per_client n line;
+  Fun.protect
+    ~finally:(fun () ->
+      Core.Compiled.reset_session ();
+      rm_rf dir)
+  @@ fun () ->
+  let root, expected = Genproj.generate ~dir ~shape:Genproj.Diamond ~n ~depth:6 () in
+  let expected = string_of_int expected in
+  let socket = Filename.concat dir "server.sock" in
+  let cfg =
+    {
+      Server.socket_path = socket;
+      cache_dir = Filename.concat dir "cache";
+      default_jobs = 1;
+      fuel = None;
+    }
+  in
+  let server = Domain.spawn (fun () -> Server.serve cfg) in
+  let failures = Atomic.make 0 in
+  (* prime: one cold compile so the measured phase is the warm steady state *)
+  (match Client.connect ~retries:200 socket with
+  | Ok c ->
+      (match Client.request c (P.Compile { path = root; jobs = None }) with
+      | Ok j when Client.ok_of j -> ()
+      | _ -> Atomic.incr failures);
+      Client.close c
+  | Error _ -> Atomic.incr failures);
+  let t0 = now () in
+  let client_domains =
+    List.init clients (fun _ ->
+        Domain.spawn (fun () ->
+            match Client.connect ~retries:200 socket with
+            | Error _ ->
+                Atomic.incr failures;
+                [||]
+            | Ok conn ->
+                let lats = Array.make per_client 0.0 in
+                for i = 0 to per_client - 1 do
+                  let s = now () in
+                  (match Client.request conn (P.Run { path = root; fuel = None }) with
+                  | Ok j when Client.ok_of j && String.equal (Client.output_of j) expected
+                    ->
+                      ()
+                  | _ -> Atomic.incr failures);
+                  lats.(i) <- 1000.0 *. (now () -. s)
+                done;
+                Client.close conn;
+                lats))
+  in
+  let lats =
+    List.concat_map (fun d -> Array.to_list (Domain.join d)) client_domains
+  in
+  let wall_ms = 1000.0 *. (now () -. t0) in
+  (* the warm gate: a brand-new session must compile nothing *)
+  let warm_compiles =
+    match Client.connect ~retries:50 socket with
+    | Error _ -> -1
+    | Ok conn ->
+        let r =
+          match Client.request conn (P.Compile { path = root; jobs = None }) with
+          | Ok j when Client.ok_of j -> Client.summary_count j "compiles"
+          | _ -> -1
+        in
+        ignore (Client.request conn P.Shutdown);
+        Client.close conn;
+        r
+  in
+  Domain.join server;
+  let total = clients * per_client in
+  let sorted = Array.of_list lats in
+  Array.sort compare sorted;
+  let p50 = percentile sorted 50.0
+  and p95 = percentile sorted 95.0
+  and p99 = percentile sorted 99.0 in
+  let req_per_s = float_of_int total /. (wall_ms /. 1000.0) in
+  let ok =
+    Atomic.get failures = 0 && warm_compiles = 0 && Array.length sorted = total
+  in
+  if not ok then checksum_mismatches := ("serve", Base) :: !checksum_mismatches;
+  Printf.printf "%-10s %10s %10s %10s %10s %6s %6s\n" "req/s" "p50(ms)" "p95(ms)"
+    "p99(ms)" "wall(ms)" "warm" "ok";
+  Printf.printf "%-10.1f %10.2f %10.2f %10.2f %10.1f %6d %6s\n%!" req_per_s p50 p95 p99
+    wall_ms warm_compiles
+    (if ok then "yes" else "NO");
+  Json.Obj
+    [
+      ("clients", Json.Num (float_of_int clients));
+      ("requests_per_client", Json.Num (float_of_int per_client));
+      ("requests", Json.Num (float_of_int total));
+      ("modules", Json.Num (float_of_int n));
+      ("wall_ms", Json.Num wall_ms);
+      ("req_per_s", Json.Num req_per_s);
+      ("p50_ms", Json.Num p50);
+      ("p95_ms", Json.Num p95);
+      ("p99_ms", Json.Num p99);
+      ("outputs_identical", Json.Bool (Atomic.get failures = 0));
+      ("warm_compiles", Json.Num (float_of_int warm_compiles));
+      ("ok", Json.Bool ok);
+    ]
+
 (* -- machine-readable output (BENCH_<figure>.json) ---------------------------- *)
 
 (** The JSON shape of a figure run; schema documented in
@@ -546,8 +681,8 @@ let json_of_par_rows ~(jobs : int) (rows : par_row list) : Json.t =
     per-rule firing histogram for the variant's compilation, so a claimed
     speedup (e.g. EXPERIMENTS.md's sumfp 0.55x) is checkable against the
     rules that produced it. *)
-let json_of_figure ?(expansion = []) ?parallel ~figure ~rounds ~smoke (rows : row list) :
-    Json.t =
+let json_of_figure ?(expansion = []) ?parallel ?server ~figure ~rounds ~smoke
+    (rows : row list) : Json.t =
   let json_of_result (v, (r : result)) =
     Json.Obj
       ([
@@ -602,9 +737,10 @@ let json_of_figure ?(expansion = []) ?parallel ~figure ~rounds ~smoke (rows : ro
   in
   Json.Obj
     ([
-       (* bumped to 2 for: per-variant gc_minor_words/gc_major_words and
-          the optional top-level "parallel" section *)
-       ("schema", Json.Num 2.0);
+       (* 2 added per-variant gc_minor_words/gc_major_words and the
+          optional top-level "parallel" section; 3 adds the optional
+          top-level "server" section (--serve) *)
+       ("schema", Json.Num 3.0);
        ("figure", Json.Str figure);
        ("rounds", Json.Num (float_of_int rounds));
        ("smoke", Json.Bool smoke);
@@ -616,17 +752,19 @@ let json_of_figure ?(expansion = []) ?parallel ~figure ~rounds ~smoke (rows : ro
        ("benchmarks", Json.Arr (List.map json_of_row rows));
        ("expansion_stress", json_of_expand_rows expansion);
      ]
-    @ match parallel with None -> [] | Some p -> [ ("parallel", p) ])
+    @ (match parallel with None -> [] | Some p -> [ ("parallel", p) ])
+    @ match server with None -> [] | Some s -> [ ("server", s) ])
 
 (** Write a figure's rows to [path] (e.g. [BENCH_fig6.json]). *)
-let write_figure_json ?expansion ?parallel ~path ~figure ~rounds ~smoke (rows : row list) =
+let write_figure_json ?expansion ?parallel ?server ~path ~figure ~rounds ~smoke
+    (rows : row list) =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
       output_string oc
         (Json.to_string ~pretty:true
-           (json_of_figure ?expansion ?parallel ~figure ~rounds ~smoke rows));
+           (json_of_figure ?expansion ?parallel ?server ~figure ~rounds ~smoke rows));
       output_char oc '\n');
   Printf.printf "wrote %s\n%!" path
 

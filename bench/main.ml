@@ -30,6 +30,7 @@ open Harness
 
 let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv
 let chaos = Array.exists (fun a -> a = "--chaos" || a = "chaos") Sys.argv
+let serve_mode = Array.exists (fun a -> a = "--serve") Sys.argv
 let expand_mode = Array.exists (fun a -> a = "--expand" || a = "expand") Sys.argv
 let quick = smoke || Array.exists (fun a -> a = "--quick") Sys.argv
 let cached = Array.exists (fun a -> a = "--cached") Sys.argv
@@ -75,9 +76,13 @@ let fig6 () =
      (clearing the user module registry), which must not race the rows
      above re-instantiating their declared modules *)
   let par = run_parallel_figure ~jobs ~smoke () in
+  (* --serve: the compile-server series — N client domains x M warm run
+     requests against an in-process daemon, with the compiles=0 warm gate
+     (not subject to --filter; it measures the server, not a benchmark) *)
+  let server = if serve_mode then Some (run_server_figure ~smoke ()) else None in
   write_figure_json ~expansion
     ~parallel:(json_of_par_rows ~jobs par)
-    ~path:"BENCH_fig6.json" ~figure:"fig6" ~rounds ~smoke rows
+    ?server ~path:"BENCH_fig6.json" ~figure:"fig6" ~rounds ~smoke rows
 
 let fig7 () =
   run_figure ~rounds ~title:"Figure 7: Computer Language Benchmarks Game" ~figure:"fig7"

@@ -23,6 +23,12 @@
     liblang expand FILE               print a module's fully-expanded core forms
     liblang eval [-l LANG] EXPR       evaluate one expression
     liblang repl [-l LANG]            interactive read-eval-print loop
+    liblang serve [--socket PATH] [--cache-dir DIR]
+                                      start the compile-server daemon
+                                      (protocol: docs/server.md)
+    liblang client [--socket PATH] (run|compile|expand) FILE...
+    liblang client [--socket PATH] (status|shutdown)
+                                      talk to a running compile server
     liblang langs                     list the registered languages
     liblang help | --help             print this usage (exit 0)
     v}
@@ -43,6 +49,9 @@ module Metrics = Pipeline.Metrics
 module Trace = Pipeline.Trace
 module Json = Liblang_core.Core.Json
 module Value = Liblang_core.Core.Value
+module Server = Liblang_server.Server
+module Client = Liblang_server.Client
+module Sproto = Liblang_server.Protocol
 
 let color_stderr = lazy (Unix.isatty Unix.stderr)
 
@@ -79,6 +88,9 @@ let usage_text =
   \                          sites for chaos testing, e.g.\n\
   \                          'seed=7;store.write=torn@64~0.3;build.task=error~0.2'\n\
   \                          (docs/robustness.md has the site catalogue)\n\
+  \      --via-server PATH   route the command through the compile server\n\
+  \                          listening on socket PATH instead of compiling\n\
+  \                          locally (also accepted by compile)\n\
   \  compile [--cache-dir DIR] [--fuel N] [-j N] [--profile[=json]]\n\
   \          [--trace FILE] [-v|-vv] FILE...\n\
   \                          compile each file (and its requires) through the\n\
@@ -94,6 +106,18 @@ let usage_text =
   \  expand FILE             print a module's fully-expanded core forms\n\
   \  eval [-l LANG] EXPR     evaluate one expression (default language: racket)\n\
   \  repl [-l LANG]          interactive read-eval-print loop\n\
+  \  serve [--socket PATH] [--cache-dir DIR] [--fuel N] [-j N] [--faults PLAN]\n\
+  \                          start the compile server: a persistent daemon on\n\
+  \                          a unix socket (default .liblang-server.sock) that\n\
+  \                          keeps compiled state warm across requests and\n\
+  \                          recompiles only modules whose files changed;\n\
+  \                          the NDJSON protocol is documented in docs/server.md\n\
+  \  client [--socket PATH] (run|compile|expand) FILE...\n\
+  \  client [--socket PATH] (status|shutdown)\n\
+  \                          send requests to a running compile server; run,\n\
+  \                          compile and expand mirror the local subcommands\n\
+  \                          (same output, same exit codes); status prints the\n\
+  \                          daemon's counters as JSON\n\
   \  langs                   list the registered languages\n\
   \  help                    print this message\n\n\
    exit codes: 0 success; 1 program diagnostics; 2 internal platform error;\n\
@@ -121,6 +145,8 @@ type run_opts = {
   mutable cache_dir : string option;
   mutable jobs : int option;  (** [-j N]: worker domains for the build *)
   mutable faults : string option;  (** [--faults PLAN]: chaos testing *)
+  mutable via_server : string option;
+      (** [--via-server PATH]: route through the compile server on PATH *)
   mutable paths : string list;  (** reversed *)
 }
 
@@ -134,6 +160,7 @@ let parse_run_opts args =
       cache_dir = None;
       jobs = None;
       faults = None;
+      via_server = None;
       paths = [];
     }
   in
@@ -177,6 +204,10 @@ let parse_run_opts args =
         o.faults <- Some plan;
         go rest
     | "--faults" :: [] -> usage ()
+    | "--via-server" :: sock :: rest ->
+        o.via_server <- Some sock;
+        go rest
+    | "--via-server" :: [] -> usage ()
     | "-v" :: rest ->
         o.verbosity <- max o.verbosity 1;
         go rest
@@ -232,16 +263,99 @@ let setup_observe (o : run_opts) =
       match trace with Some s -> flush s.Trace.out; close_out_noerr s.Trace.out | None -> ());
   (metrics, trace)
 
-let cmd_run args =
-  let o = parse_run_opts args in
-  let metrics, trace = setup_observe o in
-  let observe = { Observe.metrics; trace } in
+(* -- talking to a compile server --------------------------------------------- *)
+
+let client_connect socket =
+  match Client.connect socket with
+  | Ok c -> c
+  | Error m ->
+      Printf.eprintf "liblang: %s\n" m;
+      exit 2
+
+(* The daemon resolves paths against its own cwd; canonicalize here so a
+   client in any directory names the same module. *)
+let abs_path p = Liblang_core.Core.Compiled.Resolver.module_key p
+
+(* Print a response the way the equivalent local command would — raw
+   program output to stdout, the rendered diagnostic report to stderr —
+   and return the exit code it implies. *)
+let print_response ~(print_output : bool) (r : (Json.t, string) result) : int =
+  match r with
+  | Error m ->
+      Printf.eprintf "liblang: %s\n" m;
+      2
+  | Ok j ->
+      if print_output then begin
+        print_string (Client.output_of j);
+        flush stdout
+      end;
+      if Client.ok_of j then 0
+      else begin
+        (match Client.rendered_of j with
+        | Some r when r <> "" -> prerr_endline r
+        | _ -> (
+            match Client.error_of j with
+            | Some e -> Printf.eprintf "liblang: %s\n" e
+            | None -> ()));
+        Client.exit_of j
+      end
+
+(* [run]/[expand] through a server connection: like the local commands,
+   stop at the first failing file. *)
+let run_via_server conn ~fuel paths =
   List.iter
     (fun path ->
-      match Pipeline.run_file ?fuel:o.fuel ?cache_dir:o.cache_dir ?jobs:o.jobs ~observe path with
-      | Ok _ -> ()
-      | Error ds -> fail ds)
-    o.paths
+      let code =
+        print_response ~print_output:true
+          (Client.request conn (Sproto.Run { path = abs_path path; fuel }))
+      in
+      if code <> 0 then exit code)
+    paths
+
+let expand_via_server conn paths =
+  List.iter
+    (fun path ->
+      let code =
+        print_response ~print_output:true
+          (Client.request conn (Sproto.Expand { path = abs_path path }))
+      in
+      if code <> 0 then exit code)
+    paths
+
+(* [compile] through a server connection: the same per-file summary line
+   as the local command, built from the response's [summary] object. *)
+let compile_via_server conn ~jobs paths =
+  let worst = ref 0 in
+  List.iter
+    (fun path ->
+      match Client.request conn (Sproto.Compile { path = abs_path path; jobs }) with
+      | Ok j when Client.ok_of j ->
+          let s = Client.summary_count j in
+          Printf.printf "compiled %s: modules=%d hits=%d compiles=%d stale=%d misses=%d\n"
+            path (s "modules") (s "hits") (s "compiles") (s "stale") (s "misses")
+      | r -> worst := max !worst (print_response ~print_output:false r))
+    paths;
+  if !worst > 0 then exit !worst
+
+let cmd_run args =
+  let o = parse_run_opts args in
+  match o.via_server with
+  | Some sock ->
+      let conn = client_connect sock in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () -> run_via_server conn ~fuel:o.fuel o.paths)
+  | None ->
+      let metrics, trace = setup_observe o in
+      let observe = { Observe.metrics; trace } in
+      List.iter
+        (fun path ->
+          match
+            Pipeline.run_file ?fuel:o.fuel ?cache_dir:o.cache_dir ?jobs:o.jobs ~observe path
+          with
+          | Ok _ -> ()
+          | Error ds -> fail ds)
+        o.paths
 
 (* -- compile ---------------------------------------------------------------- *)
 
@@ -251,6 +365,13 @@ let cmd_run args =
     [compiled FILE: modules=N hits=H compiles=C stale=S misses=M]. *)
 let cmd_compile args =
   let o = parse_run_opts args in
+  match o.via_server with
+  | Some sock ->
+      let conn = client_connect sock in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () -> compile_via_server conn ~jobs:o.jobs o.paths)
+  | None ->
   let cache_dir =
     match o.cache_dir with
     | Some d -> d
@@ -314,6 +435,111 @@ let cmd_gen_modules args =
       let root, checksum = Genproj.generate ~dir:!dir ~shape:!shape ~n () in
       Printf.printf "generated %d modules (%s) under %s\nroot: %s\nexpected output: %d\n" n
         (Genproj.shape_to_string !shape) !dir root checksum
+
+(* -- serve / client ----------------------------------------------------------- *)
+
+(** [liblang serve]: run the compile-server daemon in the foreground until
+    a [shutdown] request arrives (see docs/server.md). *)
+let cmd_serve args =
+  let socket = ref Server.default_socket
+  and cache = ref Liblang_core.Core.Compiled.Store.default_dir
+  and fuel = ref None
+  and jobs = ref 1 in
+  let rec go = function
+    | [] -> ()
+    | "--socket" :: s :: rest ->
+        socket := s;
+        go rest
+    | "--cache-dir" :: d :: rest ->
+        cache := d;
+        go rest
+    | "--fuel" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n > 0 ->
+            fuel := Some n;
+            go rest
+        | _ -> usage ())
+    | "-j" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n > 0 ->
+            jobs := n;
+            go rest
+        | _ -> usage ())
+    | "--faults" :: plan :: rest -> (
+        match Liblang_core.Core.Fault.parse plan with
+        | Ok p ->
+            Liblang_core.Core.Fault.install (Some p);
+            go rest
+        | Error m ->
+            Printf.eprintf "liblang: bad --faults plan: %s\n" m;
+            exit 64)
+    | _ -> usage ()
+  in
+  go args;
+  let cfg =
+    { Server.socket_path = !socket; cache_dir = !cache; default_jobs = !jobs; fuel = !fuel }
+  in
+  match
+    Server.serve
+      ~on_ready:(fun _ ->
+        Printf.printf "liblang server: listening on %s (cache %s, pid %d)\n%!" !socket
+          !cache (Unix.getpid ()))
+      cfg
+  with
+  | () -> print_endline "liblang server: shut down"
+  | exception Failure m ->
+      Printf.eprintf "liblang: %s\n" m;
+      exit 2
+
+(** [liblang client]: one-shot requests against a running daemon. *)
+let cmd_client args =
+  let socket = ref Server.default_socket in
+  let rec flags = function
+    | "--socket" :: s :: rest ->
+        socket := s;
+        flags rest
+    | "--socket" :: [] -> usage ()
+    | rest -> rest
+  in
+  let rest = flags args in
+  let with_conn f =
+    let conn = client_connect !socket in
+    Fun.protect ~finally:(fun () -> Client.close conn) (fun () -> f conn)
+  in
+  (* an ok:false reply (a faulted session, a protocol error) is a failed
+     command: report it and exit with the response's code, never pretend
+     the request took effect *)
+  let failed_reply j =
+    Printf.eprintf "liblang: %s\n"
+      (match Client.error_of j with Some m -> m | None -> "request failed");
+    exit (Client.exit_of j)
+  in
+  match rest with
+  | [ "status" ] ->
+      with_conn (fun conn ->
+          match Client.request conn Sproto.Status with
+          | Ok j when Client.ok_of j ->
+              let body =
+                match Json.member "status" j with Some s -> s | None -> j
+              in
+              print_endline (Json.to_string ~pretty:true body)
+          | Ok j -> failed_reply j
+          | Error m ->
+              Printf.eprintf "liblang: %s\n" m;
+              exit 2)
+  | [ "shutdown" ] ->
+      with_conn (fun conn ->
+          match Client.request conn Sproto.Shutdown with
+          | Ok j when Client.ok_of j -> print_endline "liblang server: shut down"
+          | Ok j -> failed_reply j
+          | Error m ->
+              Printf.eprintf "liblang: %s\n" m;
+              exit 2)
+  | "run" :: (_ :: _ as paths) -> with_conn (fun conn -> run_via_server conn ~fuel:None paths)
+  | "compile" :: (_ :: _ as paths) ->
+      with_conn (fun conn -> compile_via_server conn ~jobs:None paths)
+  | "expand" :: (_ :: _ as paths) -> with_conn (fun conn -> expand_via_server conn paths)
+  | _ -> usage ()
 
 (* -- other subcommands ------------------------------------------------------- *)
 
@@ -380,6 +606,8 @@ let () =
   | _ :: "run" :: (_ :: _ as rest) -> cmd_run rest
   | _ :: "compile" :: (_ :: _ as rest) -> cmd_compile rest
   | _ :: "gen-modules" :: (_ :: _ as rest) -> cmd_gen_modules rest
+  | _ :: "serve" :: rest -> cmd_serve rest
+  | _ :: "client" :: (_ :: _ as rest) -> cmd_client rest
   | [ _; "expand"; path ] -> cmd_expand path
   | [ _; "eval"; "-l"; lang; expr ] -> cmd_eval lang expr
   | [ _; "eval"; expr ] -> cmd_eval "racket" expr

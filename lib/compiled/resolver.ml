@@ -60,9 +60,28 @@ let normalize (path : string) : string =
   in
   "/" ^ String.concat "/" (go [] parts)
 
+(** Canonicalize [path] to the one true module key: lexical normalization
+    first (so the result is deterministic for nonexistent files), then
+    symlink resolution via [realpath] when the file — or at least its
+    directory — exists.  Every consumer of module identity must go
+    through here: [Build.scan_file]'s textual require scan, the server's
+    mtime/digest invalidation, and the resolver itself all agree on keys
+    only because they share this helper — a [./]-prefixed or symlinked
+    spelling of the same file must never yield a second cache key. *)
+let canonicalize (path : string) : string =
+  let lex = normalize path in
+  match Unix.realpath lex with
+  | p -> p
+  | exception Unix.Unix_error _ -> (
+      (* file not (yet) on disk: canonicalize the directory so a later
+         require of the created file lands on the same key *)
+      match Unix.realpath (Filename.dirname lex) with
+      | d -> Filename.concat d (Filename.basename lex)
+      | exception Unix.Unix_error _ -> lex)
+
 (** The canonical module key for a require of [path] from the current
     load context. *)
-let module_key (path : string) : string = normalize path
+let module_key (path : string) : string = canonicalize path
 
 (* -- session state ------------------------------------------------------------ *)
 
@@ -81,6 +100,34 @@ let loaded_key : (string, string * Modsys.t) Hashtbl.t Domain.DLS.key =
 
 let[@inline] loaded () = Domain.DLS.get loaded_key
 
+(* key -> (mtime, size, source digest): the stat fast path.  When a file's
+   (mtime, size) pair is unchanged since the digest was last computed, the
+   digest is trusted without re-reading the bytes — this is what makes a
+   warm compile-server request O(stat) per module.  Same caveat as make:
+   a same-second, same-size rewrite is invisible (ext4 nanosecond mtimes
+   make that window vanishingly small).  Domain-local and fresh in
+   workers, like [loaded]. *)
+let stat_memo_key : (string, float * int * string) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+
+let[@inline] stat_memo () = Domain.DLS.get stat_memo_key
+
+(** Run [f] with the given session tables installed as this domain's
+    [loaded] / stat-memo state (restored after).  The compile-server's
+    session layer swaps a per-connection pair in around each request, so
+    concurrent sessions never share acquisition memos; see
+    [Liblang_server.Session]. *)
+let with_session_tables ~(loaded : (string, string * Modsys.t) Hashtbl.t)
+    ~(stats : (string, float * int * string) Hashtbl.t) (f : unit -> 'a) : 'a =
+  let saved_l = Domain.DLS.get loaded_key and saved_s = Domain.DLS.get stat_memo_key in
+  Domain.DLS.set loaded_key loaded;
+  Domain.DLS.set stat_memo_key stats;
+  Fun.protect
+    ~finally:(fun () ->
+      Domain.DLS.set loaded_key saved_l;
+      Domain.DLS.set stat_memo_key saved_s)
+    f
+
 (* key -> source digest for files the resolver is compiling right now;
    the Modsys compiled_hook persists artifacts only for these
    (inline/test modules are not files and are never cached).
@@ -95,6 +142,7 @@ let[@inline] cacheable () = Domain.DLS.get cacheable_key
     actually exercises the artifact store. *)
 let reset_session () =
   Hashtbl.reset (loaded ());
+  Hashtbl.reset (stat_memo ());
   Modsys.reset_user_modules_for_tests ()
 
 (* -- compiling and loading ----------------------------------------------------- *)
@@ -177,6 +225,26 @@ and require_key ?(loc = Srcloc.none) (key : string) : Modsys.t =
      through here, bounding how far a task can run past its budget *)
   Liblang_fault.Fault.check_deadline ();
   Modsys.check_cycle ~loc key;
+  let loaded = loaded () in
+  let stat_memo = stat_memo () in
+  let st = match Unix.stat key with s -> Some s | exception Unix.Unix_error _ -> None in
+  (* stat fast path: (mtime, size) unchanged since this session digested
+     the file, and the module is still loaded+registered — return it
+     without reading a byte.  The warm-server steady state. *)
+  let stat_hit =
+    match (st, Hashtbl.find_opt stat_memo key) with
+    | Some st, Some (mt, sz, d) when Float.equal st.Unix.st_mtime mt && st.Unix.st_size = sz
+      -> (
+        match Hashtbl.find_opt loaded key with
+        | Some (d', m) when String.equal d' d && Modsys.is_declared key -> Some m
+        | _ -> None)
+    | _ -> None
+  in
+  match stat_hit with
+  | Some m ->
+      Metrics.count "module.stat_hits";
+      m
+  | None -> (
   let source =
     match slurp key with
     | s -> s
@@ -185,7 +253,9 @@ and require_key ?(loc = Srcloc.none) (key : string) : Modsys.t =
         Modsys.err_at loc "require: cannot read module file %s: %s" key m
   in
   let source_digest = Digest_util.of_string source in
-  let loaded = loaded () in
+  (match st with
+  | Some st -> Hashtbl.replace stat_memo key (st.Unix.st_mtime, st.Unix.st_size, source_digest)
+  | None -> ());
   match Hashtbl.find_opt loaded key with
   | Some (d, m) when String.equal d source_digest && Modsys.is_declared key -> m
   | _ ->
@@ -205,12 +275,74 @@ and require_key ?(loc = Srcloc.none) (key : string) : Modsys.t =
             | None -> compile_from_source ~key ~source)
       in
       Hashtbl.replace loaded key (source_digest, m);
-      m
+      m)
 
 (** The [Modsys.file_require_handler]: resolve a [(require "path")] spec
     against the requiring file's directory. *)
 let require_path ~(path : string) ~(loc : Srcloc.t) : Modsys.t =
   require_key ~loc (module_key path)
+
+(* -- incremental invalidation (compile server) --------------------------------- *)
+
+(** Drop from the session every loaded module whose source changed on disk
+    (or vanished) — and, transitively, every loaded dependent: the dirty
+    cone of the edit.  Dropped modules are forgotten from the module
+    registry too, so the next acquisition re-resolves them — dependents
+    whose own sources are unchanged typically replay from freshly written
+    artifacts rather than recompiling.  Unchanged modules keep their
+    loaded records, registry entries and stat memos: this is what makes a
+    server edit-recompile touch only the cone.  Returns the number of
+    modules dropped.  The compile server calls this at the top of every
+    [compile]/[run]/[expand] request (see docs/server.md). *)
+let invalidate_changed () : int =
+  let loaded = loaded () in
+  let stat_memo = stat_memo () in
+  let changed : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun key (d, _m) ->
+      let current =
+        match Unix.stat key with
+        | exception Unix.Unix_error _ -> None
+        | st -> (
+            match Hashtbl.find_opt stat_memo key with
+            | Some (mt, sz, d')
+              when Float.equal st.Unix.st_mtime mt && st.Unix.st_size = sz ->
+                Some d'
+            | _ -> (
+                match slurp key with
+                | s ->
+                    let d' = Digest_util.of_string s in
+                    Hashtbl.replace stat_memo key (st.Unix.st_mtime, st.Unix.st_size, d');
+                    Some d'
+                | exception Sys_error _ -> None))
+      in
+      match current with
+      | Some d' when String.equal d' d -> ()
+      | _ -> Hashtbl.replace changed key ())
+    loaded;
+  (* close over dependents: a loaded module requiring anything in the
+     changed set is itself dirty (fixpoint; graphs are small) *)
+  let grew = ref true in
+  while !grew do
+    grew := false;
+    Hashtbl.iter
+      (fun key (_d, m) ->
+        if
+          (not (Hashtbl.mem changed key))
+          && List.exists (Hashtbl.mem changed) m.Modsys.requires
+        then begin
+          Hashtbl.replace changed key ();
+          grew := true
+        end)
+      loaded
+  done;
+  Hashtbl.iter
+    (fun key () ->
+      Hashtbl.remove loaded key;
+      Hashtbl.remove stat_memo key;
+      Modsys.forget key)
+    changed;
+  Hashtbl.length changed
 
 (* -- persisting artifacts ------------------------------------------------------ *)
 

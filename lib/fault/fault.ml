@@ -26,6 +26,10 @@
     - [build.spawn]   a worker domain starting up (fires per worker)
     - [build.task]    a scheduled build task starting
     - [loader.replay] rebuilding a live module from an artifact
+    - [server.accept]  the compile server accepting a client connection
+                       (an injected error drops that connection only)
+    - [server.session] a compile-server request starting (an injected
+                       error kills that session; the daemon survives)
 
     {2 Modes}
 
@@ -100,6 +104,8 @@ let sites =
     "build.spawn";
     "build.task";
     "loader.replay";
+    "server.accept";
+    "server.session";
   ]
 
 let mode_to_string = function

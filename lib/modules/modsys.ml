@@ -596,6 +596,64 @@ let add_builtin_exports (m : t) ~(ctx_id : string -> Stx.t)
       m.exports <- m.exports @ [ { ext_name = n; binding = b } ])
     reexports
 
+(* -- sessions (compile server / REPL isolation) --------------------------------- *)
+
+(** A session: private registry/internals tables layered over the
+    domain-local split, so two compile-server connections (or REPLs)
+    declaring conflicting module names never observe each other's
+    bindings.  [fresh_session] clones this domain's current tables —
+    builtins and anything preloaded included — with the same record-clone
+    discipline as the [Domain.spawn] split (mutable visit/instantiate
+    marks stay per-session; immutable content is shared).
+    [with_session] installs a session's tables for the extent of [f];
+    mutations made inside persist in the session for its next request. *)
+type session = {
+  s_registry : (string, t) Hashtbl.t;
+  s_internals : (string, (string, Binding.t) Hashtbl.t) Hashtbl.t;
+}
+
+let fresh_session () : session =
+  let internals = internals () in
+  let internals_copy = Hashtbl.create (max 32 (Hashtbl.length internals)) in
+  Hashtbl.iter (fun k tbl -> Hashtbl.replace internals_copy k (Hashtbl.copy tbl)) internals;
+  { s_registry = clone_registry (registry ()); s_internals = internals_copy }
+
+let with_session (s : session) (f : unit -> 'a) : 'a =
+  let saved_r = Domain.DLS.get registry_key and saved_i = Domain.DLS.get internals_key in
+  Domain.DLS.set registry_key s.s_registry;
+  Domain.DLS.set internals_key s.s_internals;
+  Fun.protect
+    ~finally:(fun () ->
+      Domain.DLS.set registry_key saved_r;
+      Domain.DLS.set internals_key saved_i)
+    f
+
+(** Forget [name] — and every alias of the same module record, so a stale
+    alias can never resurrect a dropped module.  The resolver's
+    incremental invalidation uses this to evict the dirty cone of an
+    edit. *)
+let forget name =
+  let registry = registry () in
+  (match Hashtbl.find_opt registry name with
+  | None -> ()
+  | Some m ->
+      Hashtbl.iter
+        (fun n m' -> if m' == m then Hashtbl.remove registry n)
+        (Hashtbl.copy registry));
+  Hashtbl.remove (internals ()) name
+
+(** Clear the instantiate marks of [m]'s non-builtin require closure, so
+    a long-lived session can re-run a program: the next [instantiate]
+    re-evaluates every module body, exactly as a fresh process would
+    (compile-time state is not replayed again; globals are redefined). *)
+let rec reset_instantiated (m : t) =
+  if (not m.builtin) && m.instantiated then begin
+    m.instantiated <- false;
+    List.iter
+      (fun r -> match find_opt r with Some d -> reset_instantiated d | None -> ())
+      m.requires
+  end
+
 (** Testing hook: forget declared modules (builtin modules must be
     re-registered by their libraries). *)
 let reset_user_modules_for_tests () =

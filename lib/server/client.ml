@@ -1,0 +1,79 @@
+(** Client side of the compile-server protocol: connect to a daemon's
+    Unix-domain socket, send one request frame, read one response frame.
+    Used by [liblang client] and [liblang run/compile --via-server], and
+    by the bench harness's [--serve] series.  Paths in requests should be
+    absolute (the daemon resolves relative paths against {e its} working
+    directory, not the client's) — {!Liblang_compiled.Resolver.module_key}
+    canonicalizes on the client side. *)
+
+module Json = Liblang_observe.Json
+module P = Protocol
+
+type t = { fd : Unix.file_descr; mutable next_id : int }
+
+(** Connect to the daemon at [path].  [retries] (default 0) retries at
+    50 ms intervals — for callers that just started the daemon and race
+    its bind. *)
+let connect ?(retries = 0) (path : string) : (t, string) result =
+  (* a daemon that died mid-conversation must surface as an error result
+     on the next send, not as a SIGPIPE *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let rec go n =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> Ok { fd; next_id = 1 }
+    | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if n > 0 then begin
+          Unix.sleepf 0.05;
+          go (n - 1)
+        end
+        else
+          Error
+            (Printf.sprintf "cannot connect to server at %s: %s" path
+               (Unix.error_message e))
+  in
+  go retries
+
+let close (t : t) : unit = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(** Send [req] and wait for its response object. *)
+let request (t : t) (req : P.request) : (Json.t, string) result =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  match P.write_frame t.fd (P.request_to_json ~id:(Json.Num (float_of_int id)) req) with
+  | exception Unix.Unix_error (e, _, _) -> Error ("send: " ^ Unix.error_message e)
+  | () -> (
+      match P.read_frame t.fd with
+      | P.Frame j -> Ok j
+      | P.Eof -> Error "server closed the connection"
+      | P.Malformed m -> Error ("malformed response: " ^ m))
+
+(* -- response accessors ------------------------------------------------------- *)
+
+let ok_of (j : Json.t) : bool =
+  match Json.member "ok" j with Some (Json.Bool b) -> b | _ -> false
+
+let exit_of (j : Json.t) : int =
+  match Option.bind (Json.member "exit" j) Json.to_num with
+  | Some f -> int_of_float f
+  | None -> 2
+
+let output_of (j : Json.t) : string =
+  match Option.bind (Json.member "output" j) Json.to_str with Some s -> s | None -> ""
+
+let error_of (j : Json.t) : string option =
+  Option.bind (Json.member "error" j) Json.to_str
+
+let rendered_of (j : Json.t) : string option =
+  Option.bind (Json.member "rendered" j) Json.to_str
+
+(** The [n]-named count out of the response's [summary] object; [-1] when
+    absent (callers treat that as "unknown", never as zero). *)
+let summary_count (j : Json.t) (n : string) : int =
+  match
+    Option.bind (Json.member "summary" j) (fun s ->
+        Option.bind (Json.member n s) Json.to_num)
+  with
+  | Some f -> int_of_float f
+  | None -> -1

@@ -1,0 +1,398 @@
+(** The compile-server daemon behind [liblang serve].
+
+    A single-threaded {!Unix.select} loop over a Unix-domain socket:
+    clients connect, speak the length-prefixed NDJSON protocol
+    ({!Protocol}, spec in docs/server.md), and the daemon serves
+    [compile]/[run]/[expand]/[status]/[shutdown] requests one at a time.
+    What makes warm requests fast is everything the process keeps hot
+    between them: the interned symbol and scope-set tables, one persistent
+    artifact {!Liblang_compiled.Store.t}, and per-session module
+    registries and resolver memos ({!Session}).  Before each
+    compile/run/expand the resolver's incremental invalidation
+    ({!Liblang_compiled.Resolver.invalidate_changed}) drops exactly the
+    modules whose files changed on disk — plus their dependent cone — so
+    an unchanged project compiles nothing and a one-leaf edit recompiles
+    one cone.
+
+    Robustness: the loop never dies for a session's sake.  A malformed
+    frame, a request that raises, or an injected [server.session] fault
+    costs that client (an error response, then the connection closes); an
+    injected [server.accept] fault costs the incoming connection.  The
+    daemon answers the next request either way — the same blast-radius
+    discipline as the parallel build's worker supervision
+    (docs/robustness.md). *)
+
+module Core = Liblang_core.Core
+module Pipeline = Liblang_core.Pipeline
+module Compiled = Core.Compiled
+module Modsys = Core.Modsys
+module Interp = Core.Interp
+module Prims = Core.Prims
+module Diagnostic = Core.Diagnostic
+module Json = Core.Json
+module Metrics = Core.Metrics
+module Trace = Core.Trace
+module Observe = Core.Observe
+module Fault = Core.Fault
+module P = Protocol
+
+let default_socket = ".liblang-server.sock"
+
+type config = {
+  socket_path : string;
+  cache_dir : string;  (** root of the daemon's persistent artifact store *)
+  default_jobs : int;  (** worker domains for [compile] requests that don't say *)
+  fuel : int option;  (** default evaluation-step budget for [run] requests *)
+}
+
+type conn = { fd : Unix.file_descr; session : Session.t }
+
+type t = {
+  cfg : config;
+  listener : Unix.file_descr;
+  store : Compiled.Store.t;
+  metrics : Metrics.t;  (** daemon-lifetime counters (status, at-exit report) *)
+  started : float;
+  mutable conns : conn list;
+  mutable sessions_total : int;
+  mutable stopping : bool;
+}
+
+(* -- request handlers --------------------------------------------------------- *)
+
+let num n = Json.Num (float_of_int n)
+
+(* The per-request compile summary, computed exactly as the CLI's
+   [compiled ...] line: modules touched = compiles + session hits. *)
+let summary_field (c : Metrics.t) : string * Json.t =
+  let g = Metrics.get c in
+  ( "summary",
+    Json.Obj
+      [
+        ("modules", num (g "module.compiles" + g "module.cache_hits"));
+        ("hits", num (g "module.cache_hits"));
+        ("compiles", num (g "module.compiles"));
+        ("stale", num (g "cache.stale"));
+        ("misses", num (g "cache.misses"));
+      ] )
+
+(* Failure fields shared by every op: a one-line [error], the structured
+   [diagnostics] array, and the CLI's full [rendered] report (no color —
+   the client's terminal does its own styling decisions). *)
+let failure_fields (ds : Diagnostic.t list) : int * (string * Json.t) list =
+  let exit = if List.exists Diagnostic.is_internal ds then 2 else 1 in
+  let one (d : Diagnostic.t) =
+    Json.Obj
+      [
+        ("severity", Json.Str (Diagnostic.severity_name d.Diagnostic.severity));
+        ("phase", Json.Str (Diagnostic.phase_name d.Diagnostic.phase));
+        ("message", Json.Str d.Diagnostic.message);
+      ]
+  in
+  ( exit,
+    [
+      ( "error",
+        Json.Str
+          (match ds with d :: _ -> d.Diagnostic.message | [] -> "request failed") );
+      ("diagnostics", Json.Arr (List.map one ds));
+      ("rendered", Json.Str (Pipeline.render_errors ~color:false ds));
+    ] )
+
+(* Run [f] in the request's environment: the connection's session state,
+   the daemon's artifact store, and — first — incremental invalidation of
+   any session-loaded module whose file changed on disk since it was
+   loaded (the dirty cone recompiles; everything else stays warm). *)
+let in_request_env (srv : t) (conn : conn) (f : unit -> 'a) : 'a =
+  Session.enter conn.session @@ fun () ->
+  Compiled.Store.with_store (Some srv.store) @@ fun () ->
+  let dropped = Compiled.Resolver.invalidate_changed () in
+  if dropped > 0 then begin
+    Metrics.countn "server.invalidated" dropped;
+    Trace.event "server-invalidated"
+      [
+        ("sid", string_of_int conn.session.Session.sid);
+        ("modules", string_of_int dropped);
+      ]
+  end;
+  f ()
+
+let handle (srv : t) (conn : conn) (env : P.envelope) : Json.t =
+  let id = env.P.id and op = P.op_name env.P.req in
+  let respond_result (c : Metrics.t) ok_fields = function
+    | Ok () ->
+        Metrics.merge ~into:srv.metrics c;
+        P.response ~id ~op ~ok:true ~exit:0 ~fields:(ok_fields ()) ()
+    | Error ds ->
+        Metrics.merge ~into:srv.metrics c;
+        Metrics.count "server.errors";
+        let exit, fields = failure_fields ds in
+        P.response ~id ~op ~ok:false ~exit ~fields ()
+  in
+  match env.P.req with
+  | P.Compile { path; jobs } ->
+      let jobs = match jobs with Some j -> j | None -> srv.cfg.default_jobs in
+      let c = Metrics.create () in
+      let observe = { Observe.metrics = Some c; trace = Trace.current () } in
+      let r =
+        in_request_env srv conn (fun () ->
+            Pipeline.compile_file ?fuel:srv.cfg.fuel ~jobs ~observe path)
+      in
+      respond_result c (fun () -> [ summary_field c ]) r
+  | P.Run { path; fuel } ->
+      let fuel = match fuel with Some _ as f -> f | None -> srv.cfg.fuel in
+      let c = Metrics.create () in
+      let observe = { Observe.metrics = Some c; trace = Trace.current () } in
+      (* Replicates the CLI's cached run: compile through the resolver
+         (store-aware), alias under the basename so in-session requires by
+         module name keep working, then instantiate.  [reset_instantiated]
+         first: a warm session has already run this cone, and running a
+         program twice must print twice. *)
+      let output, r =
+        Prims.with_captured_output (fun () ->
+            in_request_env srv conn (fun () ->
+                Observe.with_ctx observe (fun () ->
+                    Pipeline.with_stx_counters @@ fun () ->
+                    Trace.span "run" ~detail:path (fun () ->
+                        Pipeline.contain ?fuel (fun () ->
+                            let m = Compiled.compile_file path in
+                            Modsys.alias m
+                              (Filename.remove_extension (Filename.basename path));
+                            Interp.fuel :=
+                              (match fuel with Some n -> n | None -> Interp.unlimited);
+                            Modsys.reset_instantiated m;
+                            Modsys.instantiate m)))))
+      in
+      let output_field = ("output", Json.Str output) in
+      (match r with
+      | Ok () ->
+          Metrics.merge ~into:srv.metrics c;
+          P.response ~id ~op ~ok:true ~exit:0
+            ~fields:[ output_field; summary_field c ]
+            ()
+      | Error ds ->
+          Metrics.merge ~into:srv.metrics c;
+          Metrics.count "server.errors";
+          let exit, fields = failure_fields ds in
+          (* partial output printed before the failure still belongs to
+             the client *)
+          P.response ~id ~op ~ok:false ~exit ~fields:(output_field :: fields) ())
+  | P.Expand { path } ->
+      let c = Metrics.create () in
+      let observe = { Observe.metrics = Some c; trace = Trace.current () } in
+      let r =
+        in_request_env srv conn (fun () ->
+            match Pipeline.slurp path with
+            | exception Sys_error m ->
+                Error
+                  [
+                    Diagnostic.error ~phase:Diagnostic.Module
+                      ("cannot read file: " ^ m);
+                  ]
+            | source ->
+                (* relative requires in the expanded module resolve
+                   against the file's own directory, as under run *)
+                Compiled.with_source_dir path (fun () ->
+                    Pipeline.expand ?fuel:srv.cfg.fuel
+                      ~name:(Filename.remove_extension (Filename.basename path))
+                      ~observe source))
+      in
+      (match r with
+      | Ok forms ->
+          Metrics.merge ~into:srv.metrics c;
+          P.response ~id ~op ~ok:true ~exit:0
+            ~fields:
+              [ ("output", Json.Str (String.concat "" (List.map (fun f -> f ^ "\n") forms))) ]
+            ()
+      | Error ds ->
+          Metrics.merge ~into:srv.metrics c;
+          Metrics.count "server.errors";
+          let exit, fields = failure_fields ds in
+          P.response ~id ~op ~ok:false ~exit ~fields ())
+  | P.Status ->
+      let g = Metrics.get srv.metrics in
+      P.response ~id ~op ~ok:true ~exit:0
+        ~fields:
+          [
+            ( "status",
+              Json.Obj
+                [
+                  ("pid", num (Unix.getpid ()));
+                  ("uptime_ms", Json.Num (1000.0 *. (Unix.gettimeofday () -. srv.started)));
+                  ("socket", Json.Str srv.cfg.socket_path);
+                  ("cache_dir", Json.Str srv.cfg.cache_dir);
+                  ("active_sessions", num (List.length srv.conns));
+                  ("sessions", num srv.sessions_total);
+                  ("requests", num (g "server.requests"));
+                  ("errors", num (g "server.errors"));
+                  ("session_faults", num (g "server.session_faults"));
+                  ("accept_faults", num (g "server.accept_faults"));
+                  ("invalidated", num (g "server.invalidated"));
+                  ("compiles", num (g "module.compiles"));
+                  ("cache_hits", num (g "module.cache_hits"));
+                  ("stat_hits", num (g "module.stat_hits"));
+                ] );
+          ]
+        ()
+  | P.Shutdown -> P.response ~id ~op ~ok:true ~exit:0 ()
+
+(* -- the connection loop ------------------------------------------------------ *)
+
+let close_conn (srv : t) (conn : conn) : unit =
+  srv.conns <- List.filter (fun c -> c != conn) srv.conns;
+  try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+(* Send a response; a client that vanished mid-reply just loses its
+   connection (never the daemon). *)
+let send (srv : t) (conn : conn) (j : Json.t) : unit =
+  match P.write_frame conn.fd j with
+  | () -> ()
+  | exception Unix.Unix_error _ -> close_conn srv conn
+
+let serve_one (srv : t) (conn : conn) : unit =
+  match P.read_frame conn.fd with
+  | P.Eof -> close_conn srv conn
+  | P.Malformed msg ->
+      (* framing is unrecoverable once desynchronized: answer, then close *)
+      Metrics.count "server.errors";
+      send srv conn
+        (P.response ~id:Json.Null ~op:"?" ~ok:false ~exit:64
+           ~fields:[ ("error", Json.Str ("protocol error: " ^ msg)) ]
+           ());
+      close_conn srv conn
+  | P.Frame j -> (
+      Metrics.count "server.requests";
+      conn.session.Session.requests <- conn.session.Session.requests + 1;
+      match Fault.check "server.session" with
+      | exception Fault.Injected (site, mode) ->
+          (* chaos: this session dies, the daemon does not *)
+          Metrics.count "server.session_faults";
+          Trace.event "server-session-killed"
+            [ ("sid", string_of_int conn.session.Session.sid); ("mode", mode) ];
+          send srv conn
+            (P.response ~id:(P.raw_id j) ~op:(P.raw_op j) ~ok:false ~exit:1
+               ~fields:
+                 [
+                   ( "error",
+                     Json.Str
+                       (Printf.sprintf "injected fault at %s (%s): session killed"
+                          site mode) );
+                 ]
+               ());
+          close_conn srv conn
+      | () -> (
+          match P.request_of_json j with
+          | Error msg ->
+              Metrics.count "server.errors";
+              send srv conn
+                (P.response ~id:(P.raw_id j) ~op:(P.raw_op j) ~ok:false ~exit:64
+                   ~fields:[ ("error", Json.Str msg) ]
+                   ())
+          | Ok env ->
+              let reply =
+                Metrics.time "server.request" @@ fun () ->
+                Trace.span "server-request" ~detail:(P.op_name env.P.req) @@ fun () ->
+                try handle srv conn env
+                with e ->
+                  (* a handler bug is an internal error for this client,
+                     never a daemon crash *)
+                  Metrics.count "server.errors";
+                  P.response ~id:env.P.id ~op:(P.op_name env.P.req) ~ok:false
+                    ~exit:2
+                    ~fields:
+                      [
+                        ( "error",
+                          Json.Str ("internal error: " ^ Printexc.to_string e) );
+                      ]
+                    ()
+              in
+              send srv conn reply;
+              if env.P.req = P.Shutdown then srv.stopping <- true))
+
+let accept_one (srv : t) : unit =
+  match Unix.accept srv.listener with
+  | exception Unix.Unix_error _ -> ()
+  | fd, _ -> (
+      match Fault.check "server.accept" with
+      | () ->
+          srv.sessions_total <- srv.sessions_total + 1;
+          let session = Session.create () in
+          Metrics.count "server.sessions";
+          Trace.event "server-accept" [ ("sid", string_of_int session.Session.sid) ];
+          srv.conns <- { fd; session } :: srv.conns
+      | exception Fault.Injected _ ->
+          (* chaos: drop the incoming connection only *)
+          Metrics.count "server.accept_faults";
+          (try Unix.close fd with Unix.Unix_error _ -> ()))
+
+let rec loop (srv : t) : unit =
+  if not srv.stopping then begin
+    let fds = srv.listener :: List.map (fun c -> c.fd) srv.conns in
+    match Unix.select fds [] [] (-1.0) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop srv
+    | readable, _, _ ->
+        List.iter
+          (fun fd ->
+            if srv.stopping then ()
+            else if fd = srv.listener then accept_one srv
+            else
+              match List.find_opt (fun c -> c.fd = fd) srv.conns with
+              | Some conn -> serve_one srv conn
+              | None -> () (* closed earlier in this very round *))
+          readable;
+        loop srv
+  end
+
+(* -- lifecycle ---------------------------------------------------------------- *)
+
+(* Bind the listening socket.  A stale socket file from a dead daemon is
+   unlinked and rebound; refusing to clobber anything that is not a
+   socket keeps a typo'd --socket from deleting a real file. *)
+let listen_socket (path : string) : Unix.file_descr =
+  (match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> (
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+  | _ -> failwith (Printf.sprintf "socket path %s exists and is not a socket" path)
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.bind fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  Unix.listen fd 64;
+  fd
+
+(** Run the daemon until a [shutdown] request (blocking).  [on_ready] is
+    invoked once the socket is bound and listening — before the first
+    [accept] — so a caller can print the listening line or release a
+    waiting client.  On return the listener and every live connection are
+    closed and the socket file is removed.  Raises [Failure] if the
+    socket path is unusable. *)
+let serve ?(on_ready = fun (_ : t) -> ()) (cfg : config) : unit =
+  Core.init ();
+  (* a client that disconnects mid-reply must cost its connection (an
+     EPIPE on the next write), never the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let listener = listen_socket cfg.socket_path in
+  let srv =
+    {
+      cfg;
+      listener;
+      store = Compiled.Store.create ~dir:cfg.cache_dir ();
+      metrics = Metrics.create ();
+      started = Unix.gettimeofday ();
+      conns = [];
+      sessions_total = 0;
+      stopping = false;
+    }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close srv.listener with Unix.Unix_error _ -> ());
+      List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) srv.conns;
+      try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ())
+    (fun () ->
+      on_ready srv;
+      Metrics.with_collector srv.metrics (fun () -> loop srv))
+
+(** Daemon-lifetime counters (for the CLI's at-exit report). *)
+let metrics (srv : t) : Metrics.t = srv.metrics

@@ -1,0 +1,60 @@
+(** Per-connection compile-server sessions.
+
+    Each client connection gets its own {e session}: a snapshot of the
+    daemon's module registry (aliases shared, declarations copy-on-write
+    — {!Liblang_modules.Modsys.fresh_session}), its own resolver memo
+    tables (loaded modules and file stats —
+    {!Liblang_compiled.Resolver.with_session_tables}) and its own
+    compile-time store ({!Liblang_expander.Ct_store.create}, with a
+    globally-unique store id so one session's syntax objects can never
+    smuggle compile-time state into another's expansion).
+
+    What sessions deliberately {e do} share is the daemon's on-disk
+    artifact store: it is content-addressed and digest-validated, so
+    cross-session reuse is safe — that sharing is exactly what makes the
+    second client's requests compile nothing.  Two sessions declaring
+    conflicting module names (say, two different [decl.scm] files) stay
+    isolated because each name lands in the session's own registry
+    snapshot, never in the daemon's base registry.  See
+    docs/server.md#session-isolation. *)
+
+module Core = Liblang_core.Core
+module Modsys = Core.Modsys
+module Ct_store = Core.Ct_store
+module Resolver = Liblang_compiled.Resolver
+
+type t = {
+  sid : int;  (** daemon-unique session number (traces, status) *)
+  modules : Modsys.session;
+  loaded : (string, string * Modsys.t) Hashtbl.t;
+      (** resolver memo: module key -> (source digest, module) *)
+  stats : (string, float * int * string) Hashtbl.t;
+      (** resolver stat memo: module key -> (mtime, size, digest) *)
+  ct : Ct_store.t;  (** the session's compile-time store *)
+  mutable requests : int;  (** requests served on this session *)
+}
+
+let counter = Atomic.make 0
+
+(** A fresh session snapshotting the current (daemon base) module
+    registry.  Cheap: the registry clone shares module records; internals
+    tables are copied shallowly per module. *)
+let create () : t =
+  {
+    sid = 1 + Atomic.fetch_and_add counter 1;
+    modules = Modsys.fresh_session ();
+    loaded = Hashtbl.create 16;
+    stats = Hashtbl.create 16;
+    ct = Ct_store.create ();
+    requests = 0;
+  }
+
+(** Run [f] with [s] installed: its module registry, module internals,
+    resolver memos and ambient compile-time store replace the daemon's for
+    the extent of [f].  Mutations persist in [s] for its next request —
+    that persistence is the warm state — and nothing leaks into other
+    sessions or the daemon's base tables. *)
+let enter (s : t) (f : unit -> 'a) : 'a =
+  Modsys.with_session s.modules @@ fun () ->
+  Resolver.with_session_tables ~loaded:s.loaded ~stats:s.stats @@ fun () ->
+  Ct_store.with_store s.ct f

@@ -636,6 +636,44 @@ let transient_retries_counted () =
   let r2 = build_into ~jobs:1 ~cache root in
   check_b "clean rebuild succeeds" true (Build.ok r2)
 
+(** Path canonicalization: the textual require scan, the resolver and the
+    server's invalidation must agree on one key per file, however it is
+    spelled — [./]-prefixed, [dir/../dir]-indirected, or reached through a
+    symlinked directory.  One helper ([Resolver.module_key], realpath-
+    based) owns that; a second spelling of an already-loaded module must
+    be a session memo hit, not a recompile. *)
+let canonicalization_one_key_per_file () =
+  let module Resolver = Compiled.Resolver in
+  let dir = fresh_dir () in
+  let real = Filename.concat dir "real" in
+  (try Unix.mkdir real 0o755 with Unix.Unix_error _ -> ());
+  write_file (Filename.concat real "lib.scm")
+    "#lang racket\n(provide seven)\n(define seven 7)\n";
+  let plain = Filename.concat real "lib.scm" in
+  let dotted = Filename.concat dir "./real/./lib.scm" in
+  let indirected = Filename.concat dir "real/../real/lib.scm" in
+  check_s "./ spelling" (Resolver.module_key plain) (Resolver.module_key dotted);
+  check_s "dir/../dir spelling" (Resolver.module_key plain)
+    (Resolver.module_key indirected);
+  let link = Filename.concat dir "link" in
+  (match Unix.symlink real link with
+  | () ->
+      check_s "symlinked dir spelling" (Resolver.module_key plain)
+        (Resolver.module_key (Filename.concat link "lib.scm"))
+  | exception Unix.Unix_error _ -> () (* filesystem without symlinks *));
+  (* a not-yet-existing path still canonicalizes through its parent *)
+  check_s "nonexistent file keys through its dir"
+    (Filename.concat (Resolver.module_key real) "future.scm")
+    (Resolver.module_key (Filename.concat dir "./real/../real/future.scm"));
+  (* and the resolver treats every spelling as one module: main requires
+     the same file under two spellings — it must compile (and run) once *)
+  write_file (Filename.concat dir "main.scm")
+    "#lang racket\n(require \"real/lib.scm\")\n(require \"./real/../real/lib.scm\")\n(display seven)\n";
+  let out, c = run_measured (Filename.concat dir "main.scm") in
+  check_s "two spellings, one module" "7" out;
+  check_i "compiled once" 2 (Metrics.get c "module.compiles")
+(* main + lib *)
+
 (* -- suite --------------------------------------------------------------------- *)
 
 let t name f = Alcotest.test_case name `Quick f
@@ -646,6 +684,7 @@ let suite =
     t "file require: relative to requiring file" file_require_relative_nesting;
     t "file require: missing file" file_require_missing;
     t "file require: cross-file cycle" file_require_cycle;
+    t "canonicalization: one key per file" canonicalization_one_key_per_file;
     t "warm run: zero compiles, all hits" warm_run_zero_compiles;
     t "invalidation: exactly the dependents" dependent_invalidation_exact;
     t_corrupt;

@@ -24,4 +24,5 @@ let () =
       (* last: these tests reset the module registry between runs to
          simulate fresh processes *)
       ("compiled", Test_compiled.suite);
+      ("server", Test_server.suite);
     ]
