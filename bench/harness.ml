@@ -60,6 +60,22 @@ type result = {
           (an optimization that trades time for allocation shows up here
           first). *)
   gc_major_words : float;  (** same, words promoted to / allocated in the major heap *)
+  vm : vm_result option;
+      (** the bytecode-VM series ([--engine vm]): the same module body
+          re-instantiated under {!Liblang_backend.Vm} instead of the
+          closure-compiling interpreter.  [None] for the naive backend
+          row (the AST walker stands in for other systems; it has no VM
+          analogue).  The checksum is compared against the interpreter's
+          — a divergent VM fails the run like any other mismatch — and
+          [vm_gc_minor_words] feeds the allocation gate: inlined-loop
+          float kernels must run allocation-free under the VM. *)
+}
+
+and vm_result = {
+  vm_ms : float;  (** median instantiate wall-clock under the VM *)
+  vm_checksum : string;
+  vm_gc_minor_words : float;
+  vm_gc_major_words : float;
 }
 
 let now () = Unix.gettimeofday ()
@@ -160,20 +176,30 @@ let declare_variant_counted (b : Programs.t) (v : variant) : Modsys.t * (string 
 let declare_variant b v : Modsys.t = fst (declare_variant_counted b v)
 
 (* Run the module body once, under the variant's evaluation regime, and
-   return (checksum, elapsed seconds). *)
-let run_once (m : Modsys.t) (v : variant) : string * float =
+   return (checksum, elapsed seconds).  [~vm:true] swaps in the bytecode
+   backend (the CLI's [--engine vm]) for the same variant: lowering
+   still honours the variant's unboxing toggle, so e.g. typed-noubx/vm
+   measures the VM without its float lane. *)
+let run_once ?(vm = false) (m : Modsys.t) (v : variant) : string * float =
   let saved_eval = !Modsys.evaluator in
   let saved_unbox = !Interp.unboxing_enabled in
-  (match v with
-  | Naive_backend -> Modsys.evaluator := Naive.eval_top
-  | _ -> Modsys.evaluator := Interp.eval_top);
+  let saved_engine = !Core.Vm.Engine.current in
+  (if vm then begin
+     Modsys.evaluator := Core.Vm.eval_top;
+     Core.Vm.Engine.current := Core.Vm.Engine.Vm
+   end
+   else
+     match v with
+     | Naive_backend -> Modsys.evaluator := Naive.eval_top
+     | _ -> Modsys.evaluator := Interp.eval_top);
   (match v with
   | Typed_no_unbox -> Interp.unboxing_enabled := false
   | _ -> Interp.unboxing_enabled := true);
   Fun.protect
     ~finally:(fun () ->
       Modsys.evaluator := saved_eval;
-      Interp.unboxing_enabled := saved_unbox)
+      Interp.unboxing_enabled := saved_unbox;
+      Core.Vm.Engine.current := saved_engine)
     (fun () ->
       m.Modsys.instantiated <- false;
       let out, dt =
@@ -241,8 +267,18 @@ let measure_variants ?(rounds = 9) (b : Programs.t) (variants : variant list)
   in
   let ms = List.map (fun v -> (v, declare_variant_counted b v)) variants in
   let firsts = List.map (fun (v, (m, _)) -> (v, run_once m v)) ms in
+  (* the naive backend has no lowering pipeline, so it is the one variant
+     without a bytecode series *)
+  let has_vm v = v <> Naive_backend in
+  let vm_firsts =
+    List.filter_map
+      (fun (v, (m, _)) -> if has_vm v then Some (v, run_once ~vm:true m v) else None)
+      ms
+  in
   let samples = List.map (fun v -> (v, ref [])) variants in
   let gc_samples = List.map (fun v -> (v, ref [])) variants in
+  let vm_samples = List.map (fun v -> (v, ref [])) variants in
+  let vm_gc_samples = List.map (fun v -> (v, ref [])) variants in
   for _ = 1 to rounds do
     List.iter
       (fun (v, (m, _)) ->
@@ -257,7 +293,20 @@ let measure_variants ?(rounds = 9) (b : Programs.t) (variants : variant list)
         g :=
           ( s1.Gc.minor_words -. s0.Gc.minor_words,
             s1.Gc.major_words -. s0.Gc.major_words )
-          :: !g)
+          :: !g;
+        if has_vm v then begin
+          Gc.minor ();
+          let s0 = Gc.quick_stat () in
+          let _, dt = run_once ~vm:true m v in
+          let s1 = Gc.quick_stat () in
+          let l = List.assoc v vm_samples in
+          l := dt :: !l;
+          let g = List.assoc v vm_gc_samples in
+          g :=
+            ( s1.Gc.minor_words -. s0.Gc.minor_words,
+              s1.Gc.major_words -. s0.Gc.major_words )
+            :: !g
+        end)
       ms
   done;
   let median l = List.nth (List.sort compare l) (List.length l / 2) in
@@ -269,6 +318,20 @@ let measure_variants ?(rounds = 9) (b : Programs.t) (variants : variant list)
       let rewrites = snd (List.assoc v ms) in
       let cached = List.assoc v cached_results in
       let expand_ms = List.assoc v expands in
+      let vm =
+        match List.assoc_opt v vm_firsts with
+        | None -> None
+        | Some (vm_checksum, _) ->
+            let vl = !(List.assoc v vm_samples) in
+            let vgl = !(List.assoc v vm_gc_samples) in
+            Some
+              {
+                vm_ms = 1000.0 *. median vl;
+                vm_checksum;
+                vm_gc_minor_words = median (List.map fst vgl);
+                vm_gc_major_words = median (List.map snd vgl);
+              }
+      in
       {
         mean_ms = 1000.0 *. median l;
         checksum;
@@ -278,6 +341,7 @@ let measure_variants ?(rounds = 9) (b : Programs.t) (variants : variant list)
         expand_ms;
         gc_minor_words = median (List.map fst gl);
         gc_major_words = median (List.map snd gl);
+        vm;
       }
       |> fun r -> (v, r))
     variants
@@ -306,10 +370,58 @@ let check_agreement name (results : (variant * result) list) =
             Printf.printf "!! %s: checksum mismatch under %s: %s vs %s\n" name (variant_name v)
               r.checksum r0.checksum
           end)
-        rest
+        rest;
+      (* the differential contract: under every variant, the bytecode VM
+         must produce the same output as the tree-walking interpreter *)
+      List.iter
+        (fun (v, r) ->
+          match r.vm with
+          | Some vm when not (String.equal vm.vm_checksum r.checksum) ->
+              checksum_mismatches := (name, v) :: !checksum_mismatches;
+              Printf.printf "!! %s: vm/interp checksum mismatch under %s: %s vs %s\n" name
+                (variant_name v) vm.vm_checksum r.checksum
+          | _ -> ())
+        results
 
 (** One measured benchmark: the program and its per-variant results. *)
 type row = { program : Programs.t; results : (variant * result) list }
+
+(** Allocation-gate failures: float kernels whose typed/vm series
+    allocated past its budget (a mis-lowering — the unboxed register
+    lanes should carry the whole inner loop); the driver exits nonzero
+    when this is nonempty, like {!checksum_mismatches}. *)
+let alloc_gate_failures : (string * float) list ref = ref []
+
+(* Per-run minor-word budgets for the inlined-loop float kernels under
+   the bytecode VM.  sumfp and mbrot run their inner loops entirely on
+   the float registers: measured typed/vm gc_minor_words is exactly 0,
+   vs ~12.6M (sumfp) / ~4.5M (mbrot) words for the unboxing interpreter
+   — the budget only needs to be far below the boxed figure.  heapsort's
+   sift loops are register-resident too, but its residue is structural:
+   ~30k generic sift-down! activations plus fill-random!'s per-slot
+   boxing put the measured floor at ~7.3M words (vs ~23.6M interp); the
+   10M budget still fails if the loops fall back to boxed locals. *)
+let vm_alloc_budgets =
+  [ ("sumfp", 50_000.0); ("mbrot", 50_000.0); ("heapsort", 10_000_000.0) ]
+
+(** The allocation gate over a figure's measured rows: under the
+    bytecode VM the typed variant of each budgeted float kernel must
+    stay within its minor-words budget. *)
+let check_vm_allocation (rows : row list) =
+  List.iter
+    (fun row ->
+      let name = row.program.Programs.name in
+      match List.assoc_opt name vm_alloc_budgets with
+      | None -> ()
+      | Some budget -> (
+          match List.assoc_opt Typed row.results with
+          | Some { vm = Some vm; _ } when vm.vm_gc_minor_words > budget ->
+              alloc_gate_failures := (name, vm.vm_gc_minor_words) :: !alloc_gate_failures;
+              Printf.printf
+                "!! %s: typed/vm gc_minor_words %.0f exceeds the %.0f-word allocation budget\n"
+                name vm.vm_gc_minor_words budget
+          | _ -> ()))
+    rows
 
 (** Run every benchmark of [figure] under [variants]; print a table of
     runtimes normalized to the [Base] series (smaller is better, as in the
@@ -588,6 +700,7 @@ let run_server_figure ~(smoke : bool) () : Json.t =
       cache_dir = Filename.concat dir "cache";
       default_jobs = 1;
       fuel = None;
+      engine = Liblang_core.Pipeline.Interp;
     }
   in
   let server = Domain.spawn (fun () -> Server.serve cfg) in
@@ -694,6 +807,17 @@ let json_of_figure ?(expansion = []) ?parallel ?server ~figure ~rounds ~smoke
          ("gc_minor_words", Json.Num r.gc_minor_words);
          ("gc_major_words", Json.Num r.gc_major_words);
        ]
+      @ (match r.vm with
+        | None -> []
+        | Some vm ->
+            (* the bytecode-VM series for the same variant ([--engine vm]);
+               vm_gc_minor_words feeds the allocation gate *)
+            [
+              ("vm_run_ms", Json.Num vm.vm_ms);
+              ("vm_checksum", Json.Str vm.vm_checksum);
+              ("vm_gc_minor_words", Json.Num vm.vm_gc_minor_words);
+              ("vm_gc_major_words", Json.Num vm.vm_gc_major_words);
+            ])
       @ (match r.cached with
         | None -> []
         | Some (cold, warm) ->
@@ -739,8 +863,10 @@ let json_of_figure ?(expansion = []) ?parallel ?server ~figure ~rounds ~smoke
     ([
        (* 2 added per-variant gc_minor_words/gc_major_words and the
           optional top-level "parallel" section; 3 adds the optional
-          top-level "server" section (--serve) *)
-       ("schema", Json.Num 3.0);
+          top-level "server" section (--serve); 4 adds the per-variant
+          bytecode-VM series (vm_run_ms / vm_checksum /
+          vm_gc_minor_words / vm_gc_major_words) *)
+       ("schema", Json.Num 4.0);
        ("figure", Json.Str figure);
        ("rounds", Json.Num (float_of_int rounds));
        ("smoke", Json.Bool smoke);

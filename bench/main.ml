@@ -80,6 +80,10 @@ let fig6 () =
      requests against an in-process daemon, with the compiles=0 warm gate
      (not subject to --filter; it measures the server, not a benchmark) *)
   let server = if serve_mode then Some (run_server_figure ~smoke ()) else None in
+  (* the VM allocation gate: float kernels must run their inner loops on
+     the unboxed register lanes (near-zero minor words), see
+     Harness.vm_alloc_budgets *)
+  check_vm_allocation rows;
   write_figure_json ~expansion
     ~parallel:(json_of_par_rows ~jobs par)
     ?server ~path:"BENCH_fig6.json" ~figure:"fig6" ~rounds ~smoke rows
@@ -238,13 +242,19 @@ let bechamel () =
 (* CI gate: a checksum disagreement between variants of the same benchmark
    means a mis-optimization, not noise — fail the process. *)
 let finish () =
-  match !Harness.checksum_mismatches with
+  (match !Harness.alloc_gate_failures with
+  | [] -> ()
+  | fs ->
+      Printf.eprintf "FAIL: %d float kernel%s over the vm allocation budget (see above)\n"
+        (List.length fs)
+        (if List.length fs = 1 then "" else "s"));
+  (match !Harness.checksum_mismatches with
   | [] -> ()
   | ms ->
       Printf.eprintf "FAIL: %d variant checksum mismatch%s (see table output above)\n"
         (List.length ms)
-        (if List.length ms = 1 then "" else "es");
-      exit 1
+        (if List.length ms = 1 then "" else "es"));
+  if !Harness.alloc_gate_failures <> [] || !Harness.checksum_mismatches <> [] then exit 1
 
 let () =
   Core.init ();

@@ -2,7 +2,7 @@
 
     {v
     liblang run [--fuel N] [--profile[=json]] [--trace FILE] [-v|-vv]
-                [--cache | --cache-dir DIR] FILE ...
+                [--cache | --cache-dir DIR] [--engine interp|vm] FILE ...
                                       run #lang programs (later files may
                                       require modules declared by earlier
                                       ones); --fuel bounds evaluation steps;
@@ -91,6 +91,9 @@ let usage_text =
   \      --via-server PATH   route the command through the compile server\n\
   \                          listening on socket PATH instead of compiling\n\
   \                          locally (also accepted by compile)\n\
+  \      --engine interp|vm  evaluation backend: the closure-tree interpreter\n\
+  \                          (default) or the bytecode VM (docs/backend.md);\n\
+  \                          the two are observably identical\n\
   \  compile [--cache-dir DIR] [--fuel N] [-j N] [--profile[=json]]\n\
   \          [--trace FILE] [-v|-vv] FILE...\n\
   \                          compile each file (and its requires) through the\n\
@@ -104,9 +107,11 @@ let usage_text =
   \                          for exercising the parallel build; prints the\n\
   \                          root file and its expected output\n\
   \  expand FILE             print a module's fully-expanded core forms\n\
-  \  eval [-l LANG] EXPR     evaluate one expression (default language: racket)\n\
+  \  eval [-l LANG] [--engine interp|vm] EXPR\n\
+  \                          evaluate one expression (default language: racket)\n\
   \  repl [-l LANG]          interactive read-eval-print loop\n\
   \  serve [--socket PATH] [--cache-dir DIR] [--fuel N] [-j N] [--faults PLAN]\n\
+  \        [--engine interp|vm]\n\
   \                          start the compile server: a persistent daemon on\n\
   \                          a unix socket (default .liblang-server.sock) that\n\
   \                          keeps compiled state warm across requests and\n\
@@ -147,6 +152,7 @@ type run_opts = {
   mutable faults : string option;  (** [--faults PLAN]: chaos testing *)
   mutable via_server : string option;
       (** [--via-server PATH]: route through the compile server on PATH *)
+  mutable engine : Pipeline.engine;  (** [--engine interp|vm] *)
   mutable paths : string list;  (** reversed *)
 }
 
@@ -161,6 +167,7 @@ let parse_run_opts args =
       jobs = None;
       faults = None;
       via_server = None;
+      engine = Pipeline.Interp;
       paths = [];
     }
   in
@@ -208,6 +215,13 @@ let parse_run_opts args =
         o.via_server <- Some sock;
         go rest
     | "--via-server" :: [] -> usage ()
+    | "--engine" :: e :: rest -> (
+        match Pipeline.engine_of_string e with
+        | Some eng ->
+            o.engine <- eng;
+            go rest
+        | None -> usage ())
+    | "--engine" :: [] -> usage ()
     | "-v" :: rest ->
         o.verbosity <- max o.verbosity 1;
         go rest
@@ -351,7 +365,8 @@ let cmd_run args =
       List.iter
         (fun path ->
           match
-            Pipeline.run_file ?fuel:o.fuel ?cache_dir:o.cache_dir ?jobs:o.jobs ~observe path
+            Pipeline.run_file ?fuel:o.fuel ?cache_dir:o.cache_dir ?jobs:o.jobs ~observe
+              ~engine:o.engine path
           with
           | Ok _ -> ()
           | Error ds -> fail ds)
@@ -444,7 +459,8 @@ let cmd_serve args =
   let socket = ref Server.default_socket
   and cache = ref Liblang_core.Core.Compiled.Store.default_dir
   and fuel = ref None
-  and jobs = ref 1 in
+  and jobs = ref 1
+  and engine = ref Pipeline.Interp in
   let rec go = function
     | [] -> ()
     | "--socket" :: s :: rest ->
@@ -473,11 +489,23 @@ let cmd_serve args =
         | Error m ->
             Printf.eprintf "liblang: bad --faults plan: %s\n" m;
             exit 64)
+    | "--engine" :: e :: rest -> (
+        match Pipeline.engine_of_string e with
+        | Some eng ->
+            engine := eng;
+            go rest
+        | None -> usage ())
     | _ -> usage ()
   in
   go args;
   let cfg =
-    { Server.socket_path = !socket; cache_dir = !cache; default_jobs = !jobs; fuel = !fuel }
+    {
+      Server.socket_path = !socket;
+      cache_dir = !cache;
+      default_jobs = !jobs;
+      fuel = !fuel;
+      engine = !engine;
+    }
   in
   match
     Server.serve
@@ -555,10 +583,33 @@ let cmd_expand path =
       | Ok forms -> List.iter print_endline forms
       | Error ds -> fail ds)
 
-let cmd_eval lang expr =
-  match Pipeline.eval ~lang expr with
-  | Ok v -> print_endline (Value.write_string v)
-  | Error ds -> fail ds
+let cmd_eval args =
+  let lang = ref "racket" and engine = ref Pipeline.Interp and expr = ref None in
+  let rec go = function
+    | [] -> ()
+    | "-l" :: l :: rest ->
+        lang := l;
+        go rest
+    | "-l" :: [] -> usage ()
+    | "--engine" :: e :: rest -> (
+        match Pipeline.engine_of_string e with
+        | Some eng ->
+            engine := eng;
+            go rest
+        | None -> usage ())
+    | "--engine" :: [] -> usage ()
+    | e :: rest when !expr = None ->
+        expr := Some e;
+        go rest
+    | _ -> usage ()
+  in
+  go args;
+  match !expr with
+  | None -> usage ()
+  | Some expr -> (
+      match Pipeline.eval ~lang:!lang ~engine:!engine expr with
+      | Ok v -> print_endline (Value.write_string v)
+      | Error ds -> fail ds)
 
 let cmd_langs () =
   (* every builtin language *)
@@ -609,8 +660,7 @@ let () =
   | _ :: "serve" :: rest -> cmd_serve rest
   | _ :: "client" :: (_ :: _ as rest) -> cmd_client rest
   | [ _; "expand"; path ] -> cmd_expand path
-  | [ _; "eval"; "-l"; lang; expr ] -> cmd_eval lang expr
-  | [ _; "eval"; expr ] -> cmd_eval "racket" expr
+  | _ :: "eval" :: (_ :: _ as rest) -> cmd_eval rest
   | [ _; "repl"; "-l"; lang ] -> cmd_repl lang
   | [ _; "repl" ] -> cmd_repl "racket"
   | [ _; "langs" ] -> cmd_langs ()

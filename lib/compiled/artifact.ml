@@ -27,8 +27,13 @@ module Stx = Liblang_stx.Stx
 
 (** Bump whenever the serialized shape (or the meaning of the core forms)
     changes; artifacts written by any other version are ignored.
-    v2: integrity trailer appended (see {!verify_integrity}). *)
-let format_version = 2
+    v2: integrity trailer appended (see {!verify_integrity}).
+    v3: optional [(bytecode ...)] section — the backend's lowered code
+    for the body forms, covered by the integrity trailer like
+    everything else.  Absent when the compiling session lowered
+    nothing; a v2 artifact (no such section possible) is version skew
+    and degrades to a recompile. *)
+let format_version = 3
 
 (** The magic header line; doubles as a human hint not to edit the file. *)
 let magic = ";; liblang compiled artifact (machine-generated; do not edit)"
@@ -61,6 +66,12 @@ type t = {
           name through the require; these cannot, so the loader re-links
           them explicitly via {!Liblang_modules.Modsys.find_internal}. *)
   core_forms : Datum.annot list;  (** fully-expanded module body *)
+  bytecode : Datum.annot option;
+      (** the backend's serialized lowering of the body's runnable forms
+          (see {!Liblang_backend.Lower.code_to_datum}); [None] when the
+          writer had none.  Purely an acceleration: the loader primes
+          the VM's code cache from it, and any inconsistency degrades to
+          lowering afresh. *)
 }
 
 (** Why a stored artifact cannot be used (each degrades to a recompile). *)
@@ -125,14 +136,19 @@ let to_string (a : t) : string =
       Buffer.add_char buf '\n')
     a.core_forms;
   Buffer.add_string buf ")\n";
+  (match a.bytecode with
+  | None -> ()
+  | Some bc ->
+      Buffer.add_string buf (Datum.to_string bc.Datum.d);
+      Buffer.add_char buf '\n');
   let body_text = Buffer.contents buf in
   body_text ^ integrity_marker ^ Digest_util.of_string body_text ^ "\n"
 
 (** Build the artifact for a compiled module from its expanded core forms
     (syntax is flattened to datums; scopes are per-session and are
     reconstructed by the loader). *)
-let of_compiled ~mod_name ~lang ~source_digest ~requires ~exports ~links
-    ~(core_forms : Stx.t list) : t =
+let of_compiled ?bytecode ~mod_name ~lang ~source_digest ~requires ~exports ~links
+    ~(core_forms : Stx.t list) () : t =
   {
     version = format_version;
     mod_name;
@@ -142,6 +158,7 @@ let of_compiled ~mod_name ~lang ~source_digest ~requires ~exports ~links
     exports;
     links;
     core_forms = List.map Stx.to_annot core_forms;
+    bytecode;
   }
 
 (* -- integrity -------------------------------------------------------------- *)
@@ -194,6 +211,17 @@ let of_string (text : string) : (t, invalid) result =
   | exception Reader.Error (m, _) -> Error (Corrupt m)
   | datums -> (
       try
+        (* the bytecode section is optional; peel it off so the 2-datum
+           core shape below stays the only required structure *)
+        let datums, bytecode =
+          match datums with
+          | [ h; b; bc ] -> (
+              match bc.Datum.d with
+              | Datum.List (k :: _) when Datum.is_sym "bytecode" k ->
+                  ([ h; b ], Some bc)
+              | _ -> (datums, None))
+          | _ -> (datums, None)
+        in
         match datums with
         | [ header; body ] -> (
             let fields =
@@ -261,6 +289,7 @@ let of_string (text : string) : (t, invalid) result =
                   exports;
                   links;
                   core_forms;
+                  bytecode;
                 })
         | _ -> bad "expected a header and a body (truncated?)"
       with Bad m -> Error (Corrupt m))

@@ -44,8 +44,66 @@ module Ct_store = Liblang_expander.Ct_store
 module Modsys = Liblang_modules.Modsys
 module Metrics = Liblang_observe.Metrics
 module Trace = Liblang_observe.Trace
+module Datum = Liblang_reader.Datum
+module Lower = Liblang_backend.Lower
+module Vm = Liblang_backend.Vm
+module Il = Liblang_backend.Il
 
 let err = Modsys.err
+
+(* -- bytecode priming -----------------------------------------------------
+
+   Parse the artifact's optional [(bytecode (unboxing B) (form I CODE|interp) ...)]
+   section into a body-index table.  Entirely best-effort: a malformed
+   section yields an empty table and the VM lowers afresh at first
+   evaluation — never an error (the integrity trailer already vouches
+   for undamaged bytes; this guards shape skew). *)
+type bc_entry = BCode of Datum.annot | BInterp
+
+let parse_bytecode (bc : Datum.annot option) : bool * (int, bc_entry) Hashtbl.t =
+  let table = Hashtbl.create 8 in
+  match bc with
+  | None -> (true, table)
+  | Some bc -> (
+      match bc.Datum.d with
+      | Datum.List (_tag :: flag :: entries) ->
+          let unboxing =
+            match flag.Datum.d with
+            | Datum.List [ k; { d = Datum.Atom (Datum.Bool b); _ } ]
+              when Datum.is_sym "unboxing" k ->
+                b
+            | _ -> true
+          in
+          List.iter
+            (fun (e : Datum.annot) ->
+              match e.Datum.d with
+              | Datum.List
+                  [ k; { d = Datum.Atom (Datum.Int i); _ }; payload ]
+                when Datum.is_sym "form" k -> (
+                  match payload.Datum.d with
+                  | Datum.Atom (Datum.Sym "interp") ->
+                      Hashtbl.replace table i BInterp
+                  | _ -> Hashtbl.replace table i (BCode payload))
+              | _ -> ())
+            entries;
+          (unboxing, table)
+      | _ -> (true, table))
+
+(* Decode-and-prime for one deferred body form.  The [vm.load] fault
+   site models bytecode deserialization failure; injected faults and
+   decode errors alike degrade to lowering afresh at first eval. *)
+let prime_form ~unboxing (table : (int, bc_entry) Hashtbl.t) ix (ast : Ast.t) : unit =
+  match Hashtbl.find_opt table ix with
+  | None -> ()
+  | Some BInterp -> Liblang_backend.Vm.prime_fallback ast ~unboxing
+  | Some (BCode d) -> (
+      match
+        Liblang_fault.Fault.check "vm.load";
+        Lower.code_of_datum ast d
+      with
+      | code -> Vm.prime ast ~unboxing code
+      | exception (Il.Decode_error _ | Liblang_fault.Fault.Injected _) ->
+          Metrics.count "vm.load_failures")
 
 let resolve_exn id =
   match Binding.resolve id with
@@ -151,6 +209,13 @@ let load (a : Artifact.t) : Modsys.t =
          or a parallel-build worker replaying a dependency's artifact —
          therefore never pays for the body at all. *)
       let store = Ct_store.current () in
+      let bc_unboxing, bc_table = parse_bytecode a.Artifact.bytecode in
+      let body_ix = ref 0 in
+      let next_ix () =
+        let i = !body_ix in
+        incr body_ix;
+        i
+      in
       let defer (compile : unit -> Modsys.compiled_form) : Modsys.compiled_form =
         Modsys.CLazy
           (lazy
@@ -162,7 +227,11 @@ let load (a : Artifact.t) : Modsys.t =
                compile))
       in
       let defer_expr (form : Stx.t) : Modsys.compiled_form =
-        defer (fun () -> Modsys.CExpr (Compile.compile_expr (Expander.expand_expr form)))
+        let ix = next_ix () in
+        defer (fun () ->
+            let ast = Compile.compile_expr (Expander.expand_expr form) in
+            prime_form ~unboxing:bc_unboxing bc_table ix ast;
+            Modsys.CExpr ast)
       in
       let load_form (form : Stx.t) =
         match Stx.view form with
@@ -175,6 +244,7 @@ let load (a : Artifact.t) : Modsys.t =
                     let globals =
                       List.map (fun id -> Namespace.global_of (resolve_exn id)) ids
                     in
+                    let ix = next_ix () in
                     let form =
                       defer (fun () ->
                           let ast = Compile.compile_expr (Expander.expand_expr rhs) in
@@ -182,6 +252,7 @@ let load (a : Artifact.t) : Modsys.t =
                           | [ g ], Ast.Lambda l when l.Ast.l_name = "" ->
                               l.Ast.l_name <- g.Ast.g_name
                           | _ -> ());
+                          prime_form ~unboxing:bc_unboxing bc_table ix ast;
                           Modsys.CDef (globals, ast))
                     in
                     m.Modsys.body <- form :: m.Modsys.body

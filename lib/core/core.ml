@@ -25,6 +25,9 @@ module Numeric = Liblang_runtime.Numeric
 module Ast = Liblang_runtime.Ast
 module Interp = Liblang_runtime.Interp
 module Naive = Liblang_runtime.Naive
+module Il = Liblang_backend.Il
+module Lower = Liblang_backend.Lower
+module Vm = Liblang_backend.Vm
 module Prims = Liblang_runtime.Prims
 module Expander = Liblang_expander.Expander
 module Compile = Liblang_expander.Compile
@@ -107,7 +110,8 @@ let eval_expr ?(lang = "racket") (src : string) : Value.value =
   in_lang_context ~lang (fun scopes ->
       let stx = read_one_stx ~scopes src in
       let expanded = Expander.expand_expr stx in
-      Interp.eval_top (Compile.compile_expr expanded))
+      (* Vm.eval dispatches on the selected engine (interpreter by default) *)
+      Vm.eval (Compile.compile_expr expanded))
 
 (** Expand one expression to core forms and render it — the view
     [local-expand] gives a language (§2.2). *)

@@ -39,6 +39,37 @@ module Trace = Liblang_observe.Trace
     phase-1 loop is cut off in well under a second. *)
 let default_compile_fuel = 10_000_000
 
+(** Which evaluation backend instantiates modules: the closure-tree
+    interpreter (the default) or the bytecode VM ({!Core.Vm}, with
+    per-form fallback to the interpreter — see docs/backend.md).  The
+    two are observably identical; [Vm] exists for speed and for the
+    differential gate that proves the equivalence. *)
+type engine = Interp | Vm
+
+let engine_of_string = function
+  | "interp" -> Some Interp
+  | "vm" -> Some Vm
+  | _ -> None
+
+let engine_to_string = function Interp -> "interp" | Vm -> "vm"
+
+(** Run [f] with the chosen engine installed as the module system's
+    evaluator (restored after — the setting is per-entry-point, not
+    global, so a server can honor a per-request engine). *)
+let with_engine (engine : engine) (f : unit -> 'a) : 'a =
+  match engine with
+  | Interp -> f ()
+  | Vm ->
+      let saved = !Modsys.evaluator in
+      let saved_engine = !Core.Vm.Engine.current in
+      Modsys.evaluator := Core.Vm.eval_top;
+      Core.Vm.Engine.current := Core.Vm.Engine.Vm;
+      Fun.protect
+        ~finally:(fun () ->
+          Modsys.evaluator := saved;
+          Core.Vm.Engine.current := saved_engine)
+        f
+
 let in_note (s : Stx.t) = [ Diagnostic.note ("in: " ^ Diagnostic.truncated (Stx.to_string s)) ]
 
 (* The hygiene engine (lib/stx) keeps plain monotonic int counters for its
@@ -184,7 +215,7 @@ let read_module_body ~name source =
     fuel, optimizer rewrite-rule firings, and module-system activity into
     it.  The default context observes nothing and costs nothing (see
     docs/observability.md). *)
-let run ?fuel ?name ?(observe = Observe.nothing) (source : string) :
+let run ?fuel ?name ?(observe = Observe.nothing) ?(engine = Interp) (source : string) :
     (Value.value, Diagnostic.t list) result =
   Core.init ();
   let name = match name with Some n -> n | None -> Core.fresh_module_name "program" in
@@ -193,12 +224,13 @@ let run ?fuel ?name ?(observe = Observe.nothing) (source : string) :
       with_stx_counters @@ fun () ->
       Trace.span "run" ~detail:name (fun () ->
           contain ?fuel (fun () ->
-              let lang, datums = read_module_body ~name source in
-              let m = Modsys.compile_module ~name ~lang datums in
-              (* compilation done: switch the step counter to the runtime allotment *)
-              Interp.fuel := (match fuel with Some n -> n | None -> Interp.unlimited);
-              Modsys.instantiate m;
-              Value.Void)))
+              with_engine engine (fun () ->
+                  let lang, datums = read_module_body ~name source in
+                  let m = Modsys.compile_module ~name ~lang datums in
+                  (* compilation done: switch the step counter to the runtime allotment *)
+                  Interp.fuel := (match fuel with Some n -> n | None -> Interp.unlimited);
+                  Modsys.instantiate m;
+                  Value.Void))))
 
 let slurp path =
   let ic = open_in_bin path in
@@ -270,8 +302,8 @@ let compile_file ?fuel ?cache_dir ?(jobs = 1) ?(observe = Observe.nothing) (path
                     ignore (Core.Compiled.compile_file path)))))
   end
 
-let run_file ?fuel ?cache_dir ?(jobs = 1) ?(observe = Observe.nothing) (path : string) :
-    (Value.value, Diagnostic.t list) result =
+let run_file ?fuel ?cache_dir ?(jobs = 1) ?(observe = Observe.nothing) ?(engine = Interp)
+    (path : string) : (Value.value, Diagnostic.t list) result =
   match cache_dir with
   | None -> (
       match slurp path with
@@ -279,7 +311,7 @@ let run_file ?fuel ?cache_dir ?(jobs = 1) ?(observe = Observe.nothing) (path : s
           (* relative (require "path.scm") forms resolve against the
              file's own directory, exactly as under the cached path *)
           Core.Compiled.with_source_dir path (fun () ->
-              run ?fuel ~observe
+              run ?fuel ~observe ~engine
                 ~name:(Filename.remove_extension (Filename.basename path))
                 source)
       | exception Sys_error m ->
@@ -297,15 +329,16 @@ let run_file ?fuel ?cache_dir ?(jobs = 1) ?(observe = Observe.nothing) (path : s
       with_stx_counters @@ fun () ->
           Trace.span "run" ~detail:path (fun () ->
               contain ?fuel (fun () ->
-                  with_optional_cache cache_dir (fun () ->
-                      if jobs > 1 then
-                        raise_build_failures
-                          (Core.Compiled.Build.build ~diagnostic_of_exn ~jobs [ path ]);
-                      let m = Core.Compiled.compile_file path in
-                      Interp.fuel :=
-                        (match fuel with Some n -> n | None -> Interp.unlimited);
-                      Modsys.instantiate m;
-                      Value.Void))))
+                  with_engine engine (fun () ->
+                      with_optional_cache cache_dir (fun () ->
+                          if jobs > 1 then
+                            raise_build_failures
+                              (Core.Compiled.Build.build ~diagnostic_of_exn ~jobs [ path ]);
+                          let m = Core.Compiled.compile_file path in
+                          Interp.fuel :=
+                            (match fuel with Some n -> n | None -> Interp.unlimited);
+                          Modsys.instantiate m;
+                          Value.Void)))))
 
 (** Expand a module to core forms (each rendered as text). *)
 let expand ?fuel ?name ?(observe = Observe.nothing) (source : string) :
@@ -322,14 +355,15 @@ let expand ?fuel ?name ?(observe = Observe.nothing) (source : string) :
 
 (** Evaluate one expression in [lang]'s environment; [?fuel] bounds its
     evaluation steps (default: unbounded, as befits a REPL). *)
-let eval ?fuel ?(lang = "racket") ?(observe = Observe.nothing) (src : string) :
-    (Value.value, Diagnostic.t list) result =
+let eval ?fuel ?(lang = "racket") ?(observe = Observe.nothing) ?(engine = Interp)
+    (src : string) : (Value.value, Diagnostic.t list) result =
   Core.init ();
   Observe.with_ctx observe (fun () ->
       with_stx_counters @@ fun () ->
       contain ?fuel (fun () ->
-          Interp.fuel := (match fuel with Some n -> n | None -> Interp.unlimited);
-          Core.eval_expr ~lang src))
+          with_engine engine (fun () ->
+              Interp.fuel := (match fuel with Some n -> n | None -> Interp.unlimited);
+              Core.eval_expr ~lang src)))
 
 (** Render a diagnostic batch for the terminal. *)
 let render_errors ?color (ds : Diagnostic.t list) : string = Render.render_all ?color ds

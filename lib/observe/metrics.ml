@@ -161,7 +161,8 @@ let merge ~(into : t) (c : t) : unit =
 (* -- reports ---------------------------------------------------------------- *)
 
 (** The canonical phase order of the pipeline (see docs/architecture.md). *)
-let phase_order = [ "read"; "expand"; "typecheck"; "optimize"; "compile"; "load"; "instantiate" ]
+let phase_order =
+  [ "read"; "expand"; "typecheck"; "optimize"; "compile"; "lower"; "load"; "instantiate" ]
 
 (** Human-readable profile report (what [--profile] prints). *)
 let render (c : t) : string =

@@ -43,6 +43,7 @@ type config = {
   cache_dir : string;  (** root of the daemon's persistent artifact store *)
   default_jobs : int;  (** worker domains for [compile] requests that don't say *)
   fuel : int option;  (** default evaluation-step budget for [run] requests *)
+  engine : Pipeline.engine;  (** evaluation backend for [run] requests *)
 }
 
 type conn = { fd : Unix.file_descr; session : Session.t }
@@ -154,6 +155,7 @@ let handle (srv : t) (conn : conn) (env : P.envelope) : Json.t =
                     Pipeline.with_stx_counters @@ fun () ->
                     Trace.span "run" ~detail:path (fun () ->
                         Pipeline.contain ?fuel (fun () ->
+                            Pipeline.with_engine srv.cfg.engine @@ fun () ->
                             let m = Compiled.compile_file path in
                             Modsys.alias m
                               (Filename.remove_extension (Filename.basename path));
@@ -220,6 +222,7 @@ let handle (srv : t) (conn : conn) (env : P.envelope) : Json.t =
                   ("uptime_ms", Json.Num (1000.0 *. (Unix.gettimeofday () -. srv.started)));
                   ("socket", Json.Str srv.cfg.socket_path);
                   ("cache_dir", Json.Str srv.cfg.cache_dir);
+                  ("engine", Json.Str (Pipeline.engine_to_string srv.cfg.engine));
                   ("active_sessions", num (List.length srv.conns));
                   ("sessions", num srv.sessions_total);
                   ("requests", num (g "server.requests"));

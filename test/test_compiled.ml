@@ -205,9 +205,70 @@ let replace_first hay needle repl =
 
 let t_version_skew = robustness "format version skew" (fun ~src:_ ~art ->
     let text = read_file art in
-    let skewed = replace_first text "(version 2)" "(version 999)" in
+    let skewed = replace_first text "(version 3)" "(version 999)" in
     check_b "artifact records its version" true (text <> skewed);
     write_file art skewed)
+
+(* Strip [text]'s integrity trailer line, returning the covered body. *)
+let strip_trailer text =
+  String.split_on_char '\n' text
+  |> List.filter (fun l -> not (String.starts_with ~prefix:";; integrity:" l))
+  |> String.concat "\n"
+
+(* Re-trailer [body] so it reads as a *valid* artifact again (the skew
+   under test is structural, not damage). *)
+let with_trailer body = body ^ ";; integrity: " ^ Compiled.Digest_util.of_string body ^ "\n"
+
+let t_v2_no_bytecode =
+  robustness "v2 artifact (no bytecode section)" (fun ~src:_ ~art ->
+      (* regress a real v3 artifact to the v2 shape: drop the (bytecode
+         ...) section, regress the version marker, and recompute the
+         trailer so it is a well-formed v2 artifact rather than a corrupt
+         v3 one.  The warm run must see version skew — never an error,
+         never a bytecode-less replay of the v3 format *)
+      let text = read_file art in
+      check_b "v3 artifact carries a bytecode section" true
+        (List.exists (String.starts_with ~prefix:"(bytecode ") (String.split_on_char '\n' text));
+      let body =
+        strip_trailer text |> String.split_on_char '\n'
+        |> List.filter (fun l -> not (String.starts_with ~prefix:"(bytecode " l))
+        |> String.concat "\n"
+      in
+      let body = replace_first body "(version 3)" "(version 2)" in
+      write_file art (with_trailer body))
+
+let t_bad_bytecode_trailer =
+  robustness "damaged bytecode section caught by integrity trailer" (fun ~src:_ ~art ->
+      (* flip one opcode digit inside the (bytecode ...) section only —
+         header and core forms untouched, trailer left stale.  The
+         integrity check must reject the artifact before the VM ever
+         decodes the damaged code *)
+      let text = read_file art in
+      let damaged =
+        String.split_on_char '\n' text
+        |> List.map (fun l ->
+               if String.starts_with ~prefix:"(bytecode " l then begin
+                 let b = Bytes.of_string l in
+                 (* mutate the first digit after the section head *)
+                 let rec go i =
+                   if i >= Bytes.length b then failwith "no digit in bytecode section"
+                   else
+                     match Bytes.get b i with
+                     | '0' .. '8' as c ->
+                         Bytes.set b i (Char.chr (Char.code c + 1));
+                         Bytes.to_string b
+                     | '9' ->
+                         Bytes.set b i '8';
+                         Bytes.to_string b
+                     | _ -> go (i + 1)
+                 in
+                 go (String.length "(bytecode ")
+               end
+               else l)
+        |> String.concat "\n"
+      in
+      check_b "bytecode section present and mutated" true (text <> damaged);
+      write_file art damaged)
 
 let t_stale_source = robustness "stale source" (fun ~src ~art:_ ->
     write_file src "#lang racket\n(define (sq x) (* x x))\n(display (sq 9))\n;; edited\n")
@@ -690,6 +751,8 @@ let suite =
     t_corrupt;
     t_truncated;
     t_version_skew;
+    t_v2_no_bytecode;
+    t_bad_bytecode_trailer;
     t_stale_source;
     t "stale transitive require" stale_transitive_require;
     t "§5 replay: types from artifact" replay_types_from_artifact;

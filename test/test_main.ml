@@ -25,4 +25,5 @@ let () =
          simulate fresh processes *)
       ("compiled", Test_compiled.suite);
       ("server", Test_server.suite);
+      ("backend", Test_backend.suite);
     ]

@@ -129,6 +129,7 @@ let with_server (f : string -> string -> unit) : unit =
       cache_dir = Filename.concat dir "cache";
       default_jobs = 1;
       fuel = None;
+      engine = Liblang_core.Pipeline.Interp;
     }
   in
   let d = Domain.spawn (fun () -> Server.serve cfg) in

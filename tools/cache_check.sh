@@ -14,7 +14,11 @@
 #     "Parallel builds" -- determinism is a hard invariant, not a
 #     best-effort);
 #   runs: every example must print byte-identical output with and
-#     without the cache, with matching exit codes.
+#     without the cache, with matching exit codes;
+#   engine vm: every example again under run --engine vm, cached and
+#     uncached -- both must match the interpreter's uncached output
+#     byte-for-byte (the cached leg warm-loads the artifact's v3
+#     bytecode section; docs/backend.md).
 #
 # Usage: tools/cache_check.sh [path/to/liblang.exe]   (from the repo root;
 # the script cd's there itself when invoked from elsewhere)
@@ -125,11 +129,27 @@ for f in examples/scm/*.scm; do
   if [ "$plain" != "$cached" ]; then
     bad "$f: cached run output diverges from uncached"
   fi
+  # engine parity through the same store: the VM must agree with the
+  # interpreter uncached, and warm-loading the artifact's bytecode
+  # section must not change a byte either.
+  vm=$($RUN "$LIBLANG" run --engine vm "$f" 2>/dev/null)
+  vc=$?
+  vmc=$($RUN "$LIBLANG" run --engine vm --cache-dir "$CACHE" "$f" 2>/dev/null)
+  vcc=$?
+  if [ "$pc" -ne "$vc" ] || [ "$pc" -ne "$vcc" ]; then
+    bad "$f: exit code diverges under --engine vm (interp $pc, vm $vc, vm cached $vcc)"
+  fi
+  if [ "$plain" != "$vm" ]; then
+    bad "$f: --engine vm output diverges from the interpreter"
+  fi
+  if [ "$plain" != "$vmc" ]; then
+    bad "$f: cached --engine vm output diverges from the interpreter"
+  fi
 done
 
 if [ "$fail" -eq 0 ]; then
   n=0
   [ -f "$WORK/ok" ] && n=$(wc -l <"$WORK/ok")
-  echo "cache_check OK: $n modules warm-loaded (serial and -j2, byte-identical stores); cached and uncached runs agree"
+  echo "cache_check OK: $n modules warm-loaded (serial and -j2, byte-identical stores); cached, uncached, and --engine vm runs agree"
 fi
 exit "$fail"

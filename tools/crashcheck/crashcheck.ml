@@ -128,6 +128,45 @@ let cache_dir_cases =
         Filename.concat (Filename.concat (Filename.concat work "a") "b") "c" );
   ]
 
+(* -- engine differential gate --------------------------------------------------
+
+   The bytecode VM must be observably identical to the closure-tree
+   interpreter (docs/backend.md): for every corpus program (broken on
+   purpose — the interesting case is identical *diagnostics*, including
+   where the fuel ran out) and every example program (working on purpose
+   — identical output), a run under each engine must agree byte for
+   byte on both captured output and the rendered diagnostic list. *)
+
+let run_under (engine : Pipeline.engine) path : (string * string, string) result =
+  Core.Modsys.reset_user_modules_for_tests ();
+  match
+    with_time_cap (fun () ->
+        Core.Prims.with_captured_output (fun () ->
+            Pipeline.run_file ~fuel:200_000 ~engine path))
+  with
+  | exception Timeout -> Error "timed out (divergence escaped the fuel budget)"
+  | exception e -> Error ("uncaught exception escaped the pipeline: " ^ Printexc.to_string e)
+  | out, Ok _ -> Ok (out, "")
+  | out, Error ds -> Ok (out, String.concat "\n" (List.map Diagnostic.to_string ds))
+
+let check_differential path : (string, string) result =
+  match (run_under Pipeline.Interp path, run_under Pipeline.Vm path) with
+  | Error why, _ -> Error ("interp: " ^ why)
+  | _, Error why -> Error ("vm: " ^ why)
+  | Ok (o1, d1), Ok (o2, d2) ->
+      if not (String.equal o1 o2) then
+        Error
+          (Printf.sprintf "output diverges: interp %s vs vm %s"
+             (Diagnostic.truncated o1) (Diagnostic.truncated o2))
+      else if not (String.equal d1 d2) then
+        Error
+          (Printf.sprintf "diagnostics diverge: interp %s vs vm %s"
+             (Diagnostic.truncated d1) (Diagnostic.truncated d2))
+      else
+        Ok
+          (Printf.sprintf "engines agree (%d output bytes, %d diagnostic bytes)"
+             (String.length o1) (String.length d1))
+
 let find_corpus_dir () =
   match Sys.argv with
   | [| _; dir |] -> dir
@@ -135,6 +174,11 @@ let find_corpus_dir () =
       if Sys.file_exists "test/corpus" then "test/corpus"
       else if Sys.file_exists "../../../test/corpus" then "../../../test/corpus"
       else "test/corpus"
+
+let find_examples_dir () =
+  if Sys.file_exists "examples/scm" then Some "examples/scm"
+  else if Sys.file_exists "../../../examples/scm" then Some "../../../examples/scm"
+  else None
 
 let () =
   Core.init ();
@@ -171,7 +215,29 @@ let () =
           incr failures;
           Printf.printf "  FAIL %-28s %s\n%!" label why)
     cache_dir_cases;
-  Printf.printf "crashcheck: %d/%d corpus programs + cache-dir cases contained\n"
-    (List.length files + List.length cache_dir_cases - !failures)
-    (List.length files + List.length cache_dir_cases);
+  (* the engine differential: corpus programs plus the working examples *)
+  let examples =
+    match find_examples_dir () with
+    | None -> []
+    | Some dir ->
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".scm")
+        |> List.sort compare
+        |> List.map (Filename.concat dir)
+  in
+  let diff_files = files @ examples in
+  Printf.printf "engine differential (interp vs vm):\n%!";
+  List.iter
+    (fun path ->
+      let label = Filename.basename path in
+      match check_differential path with
+      | Ok detail -> Printf.printf "  ok   %-28s %s\n%!" label detail
+      | Error why ->
+          incr failures;
+          Printf.printf "  FAIL %-28s %s\n%!" label why)
+    diff_files;
+  Printf.printf
+    "crashcheck: %d/%d corpus + cache-dir + differential cases contained\n"
+    (List.length files + List.length cache_dir_cases + List.length diff_files - !failures)
+    (List.length files + List.length cache_dir_cases + List.length diff_files);
   exit (if !failures = 0 then 0 else 1)

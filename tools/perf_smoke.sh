@@ -15,7 +15,11 @@
 #   4. the stress family re-runs alone (--filter stx-: no fig6 rows, no
 #      parallel projects, hence no domain pool) -- the single-domain
 #      regression gate for the parallelism work: the gated locks must
-#      not change any checksum when no pool is active.
+#      not change any checksum when no pool is active;
+#   5. a typed float loop under run --engine vm reports
+#      vm.instructions > 0 via --profile=json -- the bytecode VM must be
+#      actually retiring instructions, not silently falling back to the
+#      tree walker (docs/backend.md).
 #
 # Timings are noise in CI and are not asserted; correctness of the perf
 # machinery is what this gate pins down.
@@ -130,6 +134,40 @@ else
   else
     echo "perf_smoke: single-domain stx checksums hold ($srows rows)"
   fi
+fi
+
+# -- 5. the bytecode VM is wired (vm.instructions > 0 under --engine vm) -----
+# Same answer under both engines, and the VM run must actually retire
+# bytecode: a zero counter means every form fell back to the interpreter,
+# which the parity gates cannot see (fallback is observably identical by
+# design -- docs/backend.md).
+cat > "$WORK/flloop.scm" <<'EOF'
+#lang typed/racket
+(: run (Float -> Float))
+(define (run n)
+  (let loop : Float ([i : Float 0.0] [s : Float 0.0])
+    (if (< i n) (loop (+ i 1.0) (+ s i)) s)))
+(display (run 1000.0))
+EOF
+
+interp_out=$($RUN "$LIBLANG" run "$WORK/flloop.scm" 2>/dev/null)
+vm_answer=$($RUN "$LIBLANG" run --engine vm "$WORK/flloop.scm" 2>/dev/null)
+if [ "$interp_out" != "$vm_answer" ]; then
+  echo "perf_smoke: FAIL: --engine vm output '$vm_answer' != interpreter '$interp_out'" >&2
+  fail=1
+fi
+# The profile JSON follows the program output on stdout; the counter line
+# is unambiguous either way.
+vm_out=$($RUN "$LIBLANG" run --profile=json --engine vm "$WORK/flloop.scm" 2>/dev/null)
+instrs=$(printf '%s\n' "$vm_out" | sed -n 's/.*"vm\.instructions": *\([0-9][0-9]*\).*/\1/p' | head -n 1)
+if [ -z "${instrs:-}" ]; then
+  echo "perf_smoke: FAIL: vm.instructions missing from --engine vm --profile=json output" >&2
+  fail=1
+elif [ "$instrs" -le 0 ]; then
+  echo "perf_smoke: FAIL: vm.instructions = $instrs (VM fell back to the interpreter)" >&2
+  fail=1
+else
+  echo "perf_smoke: bytecode VM wired (vm.instructions = $instrs)"
 fi
 
 if [ "$fail" -ne 0 ]; then
