@@ -11,6 +11,7 @@ module Modsys = Core.Modsys
 module Interp = Core.Interp
 module Naive = Core.Naive
 module Optimize = Core.Optimize
+module Zcfa = Core.Zcfa
 module Prims = Core.Prims
 module Value = Core.Value
 module Json = Core.Json
@@ -21,6 +22,7 @@ type variant =
   | Typed  (** typed, optimizer + unboxing backend *)
   | Typed_O0  (** typed, optimizer disabled (ablation) *)
   | Typed_no_unbox  (** typed, rewrites on, backend unboxing off (ablation) *)
+  | Typed_no_cfa  (** typed, optimizer on but 0CFA facts off (flow-analysis ablation) *)
 
 let variant_name = function
   | Naive_backend -> "naive"
@@ -28,8 +30,11 @@ let variant_name = function
   | Typed -> "typed"
   | Typed_O0 -> "typed-O0"
   | Typed_no_unbox -> "typed-noubx"
+  | Typed_no_cfa -> "typed-nocfa"
 
-let is_typed = function Typed | Typed_O0 | Typed_no_unbox -> true | _ -> false
+let is_typed = function
+  | Typed | Typed_O0 | Typed_no_unbox | Typed_no_cfa -> true
+  | _ -> false
 
 type result = {
   mean_ms : float;
@@ -60,6 +65,10 @@ type result = {
           (an optimization that trades time for allocation shows up here
           first). *)
   gc_major_words : float;  (** same, words promoted to / allocated in the major heap *)
+  analysis_ms : float;
+      (** time spent in the 0CFA pass ([phase.analyze]) while compiling
+          this variant — 0.0 for untyped variants and for
+          [Typed_no_cfa], whose whole point is to skip the pass *)
   vm : vm_result option;
       (** the bytecode-VM series ([--engine vm]): the same module body
           re-instantiated under {!Liblang_backend.Vm} instead of the
@@ -141,9 +150,12 @@ let measure_cached (b : Programs.t) (v : variant) : float * float =
   close_out oc;
   let cache = Filename.concat dir "cache" in
   let saved = !Optimize.enabled in
+  let saved_cfa = !Zcfa.enabled in
   Optimize.enabled := v <> Typed_O0;
+  Zcfa.enabled := v <> Typed_no_cfa;
   Fun.protect ~finally:(fun () ->
       Optimize.enabled := saved;
+      Zcfa.enabled := saved_cfa;
       rm_rf dir)
   @@ fun () ->
   let compile_once () =
@@ -157,23 +169,32 @@ let measure_cached (b : Programs.t) (v : variant) : float * float =
   Core.Compiled.reset_session ();
   (1000.0 *. cold, 1000.0 *. warm)
 
-(** Compile one variant of a benchmark; returns the module and the
-    optimizer's per-rule rewrite counts for that compilation. *)
-let declare_variant_counted (b : Programs.t) (v : variant) : Modsys.t * (string * int) list =
+(** Compile one variant of a benchmark; returns the module, the
+    optimizer's per-rule rewrite counts for that compilation, and the
+    time spent in the 0CFA pass (the [phase.analyze] timer, ms). *)
+let declare_variant_counted (b : Programs.t) (v : variant) :
+    Modsys.t * (string * int) list * float =
   let lang, body = if is_typed v then ("typed/racket", b.Programs.typed) else ("racket", b.Programs.untyped) in
   let source = "#lang " ^ lang ^ "\n" ^ body in
   let name = Printf.sprintf "%s/%s" b.Programs.name (variant_name v) in
   let saved = !Optimize.enabled in
+  let saved_cfa = !Zcfa.enabled in
   Optimize.enabled := (v <> Typed_O0);
+  Zcfa.enabled := (v <> Typed_no_cfa);
   Optimize.reset_stats ();
+  let metrics = Core.Metrics.create () in
   let m =
     Fun.protect
-      ~finally:(fun () -> Optimize.enabled := saved)
-      (fun () -> Modsys.declare ~name source)
+      ~finally:(fun () ->
+        Optimize.enabled := saved;
+        Zcfa.enabled := saved_cfa)
+      (fun () -> Core.Metrics.with_collector metrics (fun () -> Modsys.declare ~name source))
   in
-  (m, Optimize.stats_alist ())
+  (m, Optimize.stats_alist (), Core.Metrics.get_ms metrics "phase.analyze")
 
-let declare_variant b v : Modsys.t = fst (declare_variant_counted b v)
+let declare_variant b v : Modsys.t =
+  let m, _, _ = declare_variant_counted b v in
+  m
 
 (* Run the module body once, under the variant's evaluation regime, and
    return (checksum, elapsed seconds).  [~vm:true] swaps in the bytecode
@@ -266,13 +287,13 @@ let measure_variants ?(rounds = 9) (b : Programs.t) (variants : variant list)
       variants
   in
   let ms = List.map (fun v -> (v, declare_variant_counted b v)) variants in
-  let firsts = List.map (fun (v, (m, _)) -> (v, run_once m v)) ms in
+  let firsts = List.map (fun (v, (m, _, _)) -> (v, run_once m v)) ms in
   (* the naive backend has no lowering pipeline, so it is the one variant
      without a bytecode series *)
   let has_vm v = v <> Naive_backend in
   let vm_firsts =
     List.filter_map
-      (fun (v, (m, _)) -> if has_vm v then Some (v, run_once ~vm:true m v) else None)
+      (fun (v, (m, _, _)) -> if has_vm v then Some (v, run_once ~vm:true m v) else None)
       ms
   in
   let samples = List.map (fun v -> (v, ref [])) variants in
@@ -281,7 +302,7 @@ let measure_variants ?(rounds = 9) (b : Programs.t) (variants : variant list)
   let vm_gc_samples = List.map (fun v -> (v, ref [])) variants in
   for _ = 1 to rounds do
     List.iter
-      (fun (v, (m, _)) ->
+      (fun (v, (m, _, _)) ->
         Gc.minor ();
         (* allocation deltas around the run: the GC-pressure series *)
         let s0 = Gc.quick_stat () in
@@ -315,7 +336,7 @@ let measure_variants ?(rounds = 9) (b : Programs.t) (variants : variant list)
       let checksum, _ = List.assoc v firsts in
       let l = !(List.assoc v samples) in
       let gl = !(List.assoc v gc_samples) in
-      let rewrites = snd (List.assoc v ms) in
+      let _, rewrites, analysis_ms = List.assoc v ms in
       let cached = List.assoc v cached_results in
       let expand_ms = List.assoc v expands in
       let vm =
@@ -341,6 +362,7 @@ let measure_variants ?(rounds = 9) (b : Programs.t) (variants : variant list)
         expand_ms;
         gc_minor_words = median (List.map fst gl);
         gc_major_words = median (List.map snd gl);
+        analysis_ms;
         vm;
       }
       |> fun r -> (v, r))
@@ -402,7 +424,18 @@ let alloc_gate_failures : (string * float) list ref = ref []
    boxing put the measured floor at ~7.3M words (vs ~23.6M interp); the
    10M budget still fails if the loops fall back to boxed locals. *)
 let vm_alloc_budgets =
-  [ ("sumfp", 50_000.0); ("mbrot", 50_000.0); ("heapsort", 10_000_000.0) ]
+  [
+    ("sumfp", 50_000.0);
+    ("mbrot", 50_000.0);
+    ("heapsort", 10_000_000.0);
+    (* the 0CFA vector kernels: direct calls + closure unboxing +
+       bound-check elision put typed/vm at ~3.1M (nbody) / ~4.5M
+       (spectralnorm) minor words, vs ~7.1M / ~5.5M for typed-nocfa —
+       the budgets sit between the two, so losing the flow-driven wins
+       trips the gate *)
+    ("nbody", 5_000_000.0);
+    ("spectralnorm", 5_000_000.0);
+  ]
 
 (** The allocation gate over a figure's measured rows: under the
     bytecode VM the typed variant of each budgeted float kernel must
@@ -423,11 +456,68 @@ let check_vm_allocation (rows : row list) =
           | _ -> ()))
     rows
 
+(* -- the expected-rewrite gate -------------------------------------------------
+
+   The flow-analysis counterpart of the allocation gate: the 0CFA-fed
+   rewrite classes must fire on the [Typed] variant of the benchmarks
+   below (a silently inert analysis cannot pass), and must all stay at
+   zero on [Typed_no_cfa] (facts leaking past the ablation switch cannot
+   pass either).  The driver exits nonzero on any violation, like
+   {!checksum_mismatches}. *)
+
+(** Every rewrite rule fed by the 0CFA facts table (as opposed to the
+    type-driven rules like [fl:+] or [vec:ref]). *)
+let cfa_rules = [ "opt:direct-call"; "opt:closure-unbox"; "vec:ref!"; "vec:set!" ]
+
+(** Per-benchmark floors: rules that must fire at least once on the
+    [Typed] variant.  spectralnorm's [mulAv] keeps its matrix-element
+    accessor as a single-call-site [let]-bound lambda precisely so
+    closure unboxing has a benchmarked target. *)
+let expected_rewrites =
+  [
+    ("spectralnorm", [ "opt:direct-call"; "opt:closure-unbox"; "vec:ref!"; "vec:set!" ]);
+    ("nbody", [ "opt:direct-call" ]);
+  ]
+
+let rewrite_gate_failures : (string * string) list ref = ref []
+
+let check_expected_rewrites (rows : row list) =
+  let count rules rule = match List.assoc_opt rule rules with Some n -> n | None -> 0 in
+  List.iter
+    (fun row ->
+      let name = row.program.Programs.name in
+      (match (List.assoc_opt name expected_rewrites, List.assoc_opt Typed row.results) with
+      | Some rules, Some r ->
+          List.iter
+            (fun rule ->
+              if count r.rewrites rule = 0 then begin
+                rewrite_gate_failures := (name, rule) :: !rewrite_gate_failures;
+                Printf.printf "!! %s: expected rewrite %s did not fire on typed\n" name rule
+              end)
+            rules
+      | _ -> ());
+      match List.assoc_opt Typed_no_cfa row.results with
+      | Some r ->
+          List.iter
+            (fun rule ->
+              let n = count r.rewrites rule in
+              if n > 0 then begin
+                rewrite_gate_failures := (name, rule) :: !rewrite_gate_failures;
+                Printf.printf "!! %s: 0CFA-fed rewrite %s fired %d times with the analysis off\n"
+                  name rule n
+              end)
+            cfa_rules
+      | None -> ())
+    rows
+
 (** Run every benchmark of [figure] under [variants]; print a table of
     runtimes normalized to the [Base] series (smaller is better, as in the
     paper's figures).  Returns the raw rows so the driver can also emit
-    them as machine-readable JSON (see {!json_of_figure}). *)
-let run_figure ?rounds ~title ~figure ~(variants : variant list) () : row list =
+    them as machine-readable JSON (see {!json_of_figure}).  [?only]
+    restricts the figure to the named benchmarks (on top of the user's
+    [--filter]) — the fig6 driver uses it to fold the two vector kernels
+    into BENCH_fig6.json without dragging in the rest of fig7. *)
+let run_figure ?rounds ?only ~title ~figure ~(variants : variant list) () : row list =
   Printf.printf "\n%s\n%s (normalized to untyped = 1.00; smaller is better)\n%s\n" line title line;
   Printf.printf "%-14s %-10s" "benchmark" "suite";
   List.iter (fun v -> Printf.printf "%14s" (variant_name v)) variants;
@@ -452,7 +542,11 @@ let run_figure ?rounds ~title ~figure ~(variants : variant list) () : row list =
       rows := { program = b; results } :: !rows;
       flush stdout)
     (List.filter
-       (fun (b : Programs.t) -> matches_filter b.Programs.name)
+       (fun (b : Programs.t) ->
+         (match only with
+         | None -> true
+         | Some names -> List.mem b.Programs.name names)
+         && matches_filter b.Programs.name)
        (Programs.by_figure figure));
   List.rev !rows
 
@@ -806,6 +900,7 @@ let json_of_figure ?(expansion = []) ?parallel ?server ~figure ~rounds ~smoke
          ("expand_ms", Json.Num r.expand_ms);
          ("gc_minor_words", Json.Num r.gc_minor_words);
          ("gc_major_words", Json.Num r.gc_major_words);
+         ("analysis_ms", Json.Num r.analysis_ms);
        ]
       @ (match r.vm with
         | None -> []
@@ -849,6 +944,40 @@ let json_of_figure ?(expansion = []) ?parallel ?server ~figure ~rounds ~smoke
                       in
                       if pre "fl:" || pre "cpx:" then acc + n else acc)
                     0 r.rewrites)) );
+          (* the 0CFA-fed subset — EXPERIMENTS.md's flow-analysis shape
+             claim is that these are nonzero exactly on the typed variant
+             (and zero on typed-nocfa, the ablation) *)
+          ( "cfa_rewrites",
+            Json.Num
+              (float_of_int
+                 (List.fold_left
+                    (fun acc (rule, n) ->
+                      if List.mem rule cfa_rules then acc + n else acc)
+                    0 r.rewrites)) );
+          (* the per-class histogram: rule firings grouped by the prefix
+             before the rule's ":" (fl, cpx, opt, vec, ...), so a figure
+             reader can see where a variant's rewrites came from without
+             re-deriving the rule taxonomy *)
+          ( "rewrite_classes",
+            Json.Obj
+              (let classes = Hashtbl.create 8 in
+               let order = ref [] in
+               List.iter
+                 (fun (rule, n) ->
+                   let cls =
+                     match String.index_opt rule ':' with
+                     | Some i -> String.sub rule 0 i
+                     | None -> rule
+                   in
+                   match Hashtbl.find_opt classes cls with
+                   | Some r -> r := !r + n
+                   | None ->
+                       Hashtbl.add classes cls (ref n);
+                       order := cls :: !order)
+                 r.rewrites;
+               List.rev_map
+                 (fun cls -> (cls, Json.Num (float_of_int !(Hashtbl.find classes cls))))
+                 !order) );
         ])
   in
   let json_of_row (row : row) =
@@ -865,8 +994,10 @@ let json_of_figure ?(expansion = []) ?parallel ?server ~figure ~rounds ~smoke
           optional top-level "parallel" section; 3 adds the optional
           top-level "server" section (--serve); 4 adds the per-variant
           bytecode-VM series (vm_run_ms / vm_checksum /
-          vm_gc_minor_words / vm_gc_major_words) *)
-       ("schema", Json.Num 4.0);
+          vm_gc_minor_words / vm_gc_major_words); 5 adds the flow-analysis
+          series — per-variant analysis_ms, the cfa_rewrites subset, the
+          rewrite_classes histogram, and the typed-nocfa ablation rows *)
+       ("schema", Json.Num 5.0);
        ("figure", Json.Str figure);
        ("rounds", Json.Num (float_of_int rounds));
        ("smoke", Json.Bool smoke);

@@ -72,6 +72,22 @@ let fig6 () =
       ~variants:[ Naive_backend; Base; Typed ]
       ()
   in
+  (* the vector-kernel pair rides along in BENCH_fig6.json with the
+     flow-analysis ablation column: typed-nocfa compiles with the
+     optimizer on but the 0CFA facts off, so the typed-vs-nocfa gap is
+     what direct calls, closure unboxing and bound-check elision buy,
+     and the checksum gate proves they bought it without changing
+     observable behavior *)
+  let vec_rows =
+    run_figure ~rounds
+      ~only:[ "spectralnorm"; "nbody" ]
+      ~title:
+        "Vector kernels (the 0CFA series): typed-nocfa = optimizer on, flow analysis off"
+      ~figure:"fig7"
+      ~variants:[ Base; Typed_no_cfa; Typed ]
+      ()
+  in
+  let rows = rows @ vec_rows in
   (* the parallel-build series runs last: it resets the resolver session
      (clearing the user module registry), which must not race the rows
      above re-instantiating their declared modules *)
@@ -84,6 +100,9 @@ let fig6 () =
      the unboxed register lanes (near-zero minor words), see
      Harness.vm_alloc_budgets *)
   check_vm_allocation rows;
+  (* the expected-rewrite gate: the 0CFA-fed rules must fire on typed and
+     stay silent on typed-nocfa, see Harness.expected_rewrites *)
+  check_expected_rewrites rows;
   write_figure_json ~expansion
     ~parallel:(json_of_par_rows ~jobs par)
     ?server ~path:"BENCH_fig6.json" ~figure:"fig6" ~rounds ~smoke rows
@@ -118,21 +137,26 @@ let prose () =
 let ablate () =
   Printf.printf
     "\n%s\nAblation: what the unsafe primitives buy (normalized to untyped = 1.00)\n\
-     typed-O0 = typecheck only; typed-noubx = rewrites without backend unboxing\n%s\n"
+     typed-O0 = typecheck only; typed-noubx = rewrites without backend unboxing;\n\
+     typed-nocfa = optimizer on, 0CFA flow facts off\n%s\n"
     line line;
-  Printf.printf "%-14s %12s %12s %12s %12s\n" "benchmark" "untyped" "typed-O0" "typed-noubx"
-    "typed";
+  Printf.printf "%-14s %12s %12s %12s %12s %12s\n" "benchmark" "untyped" "typed-O0"
+    "typed-noubx" "typed-nocfa" "typed";
   List.iter
     (fun name ->
       let b = Programs.find name in
-      let results = measure_variants ~rounds b [ Base; Typed_O0; Typed_no_unbox; Typed ] in
+      let results =
+        measure_variants ~rounds b [ Base; Typed_O0; Typed_no_unbox; Typed_no_cfa; Typed ]
+      in
       let base = List.assoc Base results in
       let o0 = List.assoc Typed_O0 results in
       let noubx = List.assoc Typed_no_unbox results in
+      let nocfa = List.assoc Typed_no_cfa results in
       let full = List.assoc Typed results in
       check_agreement name results;
-      Printf.printf "%-14s %12.2f %12.2f %12.2f %12.2f\n" name 1.0 (o0.mean_ms /. base.mean_ms)
-        (noubx.mean_ms /. base.mean_ms) (full.mean_ms /. base.mean_ms);
+      Printf.printf "%-14s %12.2f %12.2f %12.2f %12.2f %12.2f\n" name 1.0
+        (o0.mean_ms /. base.mean_ms) (noubx.mean_ms /. base.mean_ms)
+        (nocfa.mean_ms /. base.mean_ms) (full.mean_ms /. base.mean_ms);
       flush stdout)
     [ "sumfp"; "fibfp"; "mbrot"; "nbody"; "fft"; "pseudoknot" ]
 
@@ -248,13 +272,24 @@ let finish () =
       Printf.eprintf "FAIL: %d float kernel%s over the vm allocation budget (see above)\n"
         (List.length fs)
         (if List.length fs = 1 then "" else "s"));
+  (match !Harness.rewrite_gate_failures with
+  | [] -> ()
+  | fs ->
+      Printf.eprintf
+        "FAIL: %d expected-rewrite gate violation%s (0CFA rules inert or leaking, see above)\n"
+        (List.length fs)
+        (if List.length fs = 1 then "" else "s"));
   (match !Harness.checksum_mismatches with
   | [] -> ()
   | ms ->
       Printf.eprintf "FAIL: %d variant checksum mismatch%s (see table output above)\n"
         (List.length ms)
         (if List.length ms = 1 then "" else "es"));
-  if !Harness.alloc_gate_failures <> [] || !Harness.checksum_mismatches <> [] then exit 1
+  if
+    !Harness.alloc_gate_failures <> []
+    || !Harness.rewrite_gate_failures <> []
+    || !Harness.checksum_mismatches <> []
+  then exit 1
 
 let () =
   Core.init ();

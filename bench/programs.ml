@@ -661,15 +661,16 @@ let spectralnorm =
   (/ 1.0 (+ (* (exact->inexact (+ i j)) (/ (exact->inexact (+ i (+ j 1))) 2.0))
             (exact->inexact (+ i 1)))))
 (define (mulAv n v out transpose?)
-  (let iloop ([i 0])
-    (when (< i n)
-      (vector-set! out i 0.0)
-      (let jloop ([j 0])
-        (when (< j n)
-          (vector-set! out i (+ (vector-ref out i)
-                                (* (if transpose? (A j i) (A i j)) (vector-ref v j))))
-          (jloop (+ j 1))))
-      (iloop (+ i 1)))))
+  (let ([Aij (lambda (ai aj) (if transpose? (A aj ai) (A ai aj)))])
+    (let iloop ([i 0])
+      (when (< i n)
+        (vector-set! out i 0.0)
+        (let jloop ([j 0])
+          (when (< j n)
+            (vector-set! out i (+ (vector-ref out i)
+                                  (* (Aij i j) (vector-ref v j))))
+            (jloop (+ j 1))))
+        (iloop (+ i 1))))))
 (define (main)
   (let* ([n 40]
          [u (make-vector n 1.0)]
@@ -694,15 +695,16 @@ let spectralnorm =
             (exact->inexact (+ i 1)))))
 (define (mulAv [n : Integer] [v : (Vectorof Float)] [out : (Vectorof Float)]
                [transpose? : Boolean]) : Void
-  (let iloop : Void ([i : Integer 0])
-    (when (< i n)
-      (vector-set! out i 0.0)
-      (let jloop : Void ([j : Integer 0])
-        (when (< j n)
-          (vector-set! out i (+ (vector-ref out i)
-                                (* (if transpose? (A j i) (A i j)) (vector-ref v j))))
-          (jloop (+ j 1))))
-      (iloop (+ i 1)))))
+  (let ([Aij (lambda ([ai : Integer] [aj : Integer]) (if transpose? (A aj ai) (A ai aj)))])
+    (let iloop : Void ([i : Integer 0])
+      (when (< i n)
+        (vector-set! out i 0.0)
+        (let jloop : Void ([j : Integer 0])
+          (when (< j n)
+            (vector-set! out i (+ (vector-ref out i)
+                                  (* (Aij i j) (vector-ref v j))))
+            (jloop (+ j 1))))
+        (iloop (+ i 1))))))
 (define (main) : Float
   (let* ([n 40]
          [u (make-vector n 1.0)]

@@ -21,12 +21,15 @@
                                       through the artifact store without
                                       running them; one summary line each
     liblang expand FILE               print a module's fully-expanded core forms
+    liblang analyze [--stage S] [--profile[=json]] FILE
+                                      run the 0CFA flow analysis and print the
+                                      proved facts (docs/analysis.md)
     liblang eval [-l LANG] EXPR       evaluate one expression
     liblang repl [-l LANG]            interactive read-eval-print loop
     liblang serve [--socket PATH] [--cache-dir DIR]
                                       start the compile-server daemon
                                       (protocol: docs/server.md)
-    liblang client [--socket PATH] (run|compile|expand) FILE...
+    liblang client [--socket PATH] (run|compile|expand|analyze) FILE...
     liblang client [--socket PATH] (status|shutdown)
                                       talk to a running compile server
     liblang langs                     list the registered languages
@@ -107,6 +110,14 @@ let usage_text =
   \                          for exercising the parallel build; prints the\n\
   \                          root file and its expected output\n\
   \  expand FILE             print a module's fully-expanded core forms\n\
+  \  analyze [--stage wide|compiled|lazy|delta] [--profile[=json]] FILE\n\
+  \                          expand FILE and run the 0CFA flow analysis over\n\
+  \                          its core forms; prints a fact summary plus one\n\
+  \                          line per proved fact (call-site callees, escape\n\
+  \                          status, in-bounds accesses — docs/analysis.md);\n\
+  \                          --stage picks the solver stage (default delta),\n\
+  \                          --profile adds analysis.* metrics and the\n\
+  \                          phase.analyze timer\n\
   \  eval [-l LANG] [--engine interp|vm] EXPR\n\
   \                          evaluate one expression (default language: racket)\n\
   \  repl [-l LANG]          interactive read-eval-print loop\n\
@@ -117,7 +128,7 @@ let usage_text =
   \                          keeps compiled state warm across requests and\n\
   \                          recompiles only modules whose files changed;\n\
   \                          the NDJSON protocol is documented in docs/server.md\n\
-  \  client [--socket PATH] (run|compile|expand) FILE...\n\
+  \  client [--socket PATH] (run|compile|expand|analyze) FILE...\n\
   \  client [--socket PATH] (status|shutdown)\n\
   \                          send requests to a running compile server; run,\n\
   \                          compile and expand mirror the local subcommands\n\
@@ -332,6 +343,16 @@ let expand_via_server conn paths =
       let code =
         print_response ~print_output:true
           (Client.request conn (Sproto.Expand { path = abs_path path }))
+      in
+      if code <> 0 then exit code)
+    paths
+
+let analyze_via_server conn paths =
+  List.iter
+    (fun path ->
+      let code =
+        print_response ~print_output:true
+          (Client.request conn (Sproto.Analyze { path = abs_path path; stage = None }))
       in
       if code <> 0 then exit code)
     paths
@@ -567,6 +588,7 @@ let cmd_client args =
   | "compile" :: (_ :: _ as paths) ->
       with_conn (fun conn -> compile_via_server conn ~jobs:None paths)
   | "expand" :: (_ :: _ as paths) -> with_conn (fun conn -> expand_via_server conn paths)
+  | "analyze" :: (_ :: _ as paths) -> with_conn (fun conn -> analyze_via_server conn paths)
   | _ -> usage ()
 
 (* -- other subcommands ------------------------------------------------------- *)
@@ -582,6 +604,54 @@ let cmd_expand path =
       match Pipeline.expand ~name source with
       | Ok forms -> List.iter print_endline forms
       | Error ds -> fail ds)
+
+(* [analyze]: expand to core forms, run the 0CFA flow analysis, print the
+   fact report.  Diagnostics only — the analysis never rejects a program,
+   so the exit code is 0 unless expansion itself failed. *)
+let cmd_analyze args =
+  let stage = ref None and profile = ref Profile_off and path = ref None in
+  let rec go = function
+    | [] -> ()
+    | "--stage" :: s :: rest -> (
+        match Liblang_core.Core.Zcfa.stage_of_string s with
+        | Some st ->
+            stage := Some st;
+            go rest
+        | None -> usage ())
+    | "--stage" :: [] -> usage ()
+    | "--profile" :: rest ->
+        profile := Profile_text;
+        go rest
+    | "--profile=json" :: rest ->
+        profile := Profile_json;
+        go rest
+    | p :: rest when !path = None && (p = "" || p.[0] <> '-') ->
+        path := Some p;
+        go rest
+    | _ -> usage ()
+  in
+  go args;
+  match !path with
+  | None -> usage ()
+  | Some path -> (
+      match Pipeline.slurp path with
+      | exception Sys_error m ->
+          fail [ Diagnostic.error ~phase:Diagnostic.Module ("cannot read file: " ^ m) ]
+      | source -> (
+          let metrics =
+            match !profile with Profile_off -> None | _ -> Some (Metrics.create ())
+          in
+          at_exit (fun () ->
+              match (metrics, !profile) with
+              | Some c, Profile_json ->
+                  print_endline (Json.to_string ~pretty:true (Metrics.to_json c))
+              | Some c, Profile_text -> prerr_string (Metrics.render c)
+              | _ -> ());
+          let observe = { Observe.metrics; trace = None } in
+          let name = Filename.remove_extension (Filename.basename path) in
+          match Pipeline.analyze ~name ?stage:!stage ~observe source with
+          | Ok lines -> List.iter print_endline lines
+          | Error ds -> fail ds))
 
 let cmd_eval args =
   let lang = ref "racket" and engine = ref Pipeline.Interp and expr = ref None in
@@ -660,6 +730,7 @@ let () =
   | _ :: "serve" :: rest -> cmd_serve rest
   | _ :: "client" :: (_ :: _ as rest) -> cmd_client rest
   | [ _; "expand"; path ] -> cmd_expand path
+  | _ :: "analyze" :: (_ :: _ as rest) -> cmd_analyze rest
   | _ :: "eval" :: (_ :: _ as rest) -> cmd_eval rest
   | [ _; "repl"; "-l"; lang ] -> cmd_repl lang
   | [ _; "repl" ] -> cmd_repl "racket"

@@ -57,8 +57,15 @@ type instr =
   | MkClosure of int  (** push a closure over [protos.(i)] capturing the current env *)
   | Call of int  (** argc; pops argc args then the callee; pushes result *)
   | TailCall of int  (** like [Call] but releases this frame's VM state first *)
+  | CallKnown of int
+      (** [Call] at a site the flow analysis proved monomorphic: the callee
+          is expected to be an exact-arity closure, entered without generic
+          dispatch; anything else falls back to the [Call] path *)
+  | TailCallKnown of int  (** tail form of [CallKnown] *)
   | Fast1 of int  (** unary fast-path primitive: pool index into [fast1s] *)
   | Fast2 of int  (** binary fast-path primitive: pool index into [fast2s] *)
+  | VecRefU  (** pop i, v; push element — bounds proved by the analysis *)
+  | VecSetU  (** pop x, i, v; store unchecked; push Void *)
   | Step  (** one interpreter fuel tick (inlined loop iteration) *)
   | StepJump of int  (** fused [Step; Jump t]: the inlined-loop back edge *)
   | Return
@@ -231,6 +238,10 @@ let instr_to_ints = function
   | FxJcmp (c, a, b, t) -> [ 36; cmp_to_int c; a; b; t ]
   | FxMov (d, s) -> [ 37; d; s ]
   | FxToFl r -> [ 17; r ]
+  | VecRefU -> [ 19 ]
+  | CallKnown n -> [ 38; n ]
+  | TailCallKnown n -> [ 39; n ]
+  | VecSetU -> [ 40 ]
 
 let encode_code (code : instr array) : int list =
   Array.fold_right (fun i acc -> instr_to_ints i @ acc) code []
@@ -276,6 +287,10 @@ let decode_code (ints : int list) : instr array =
     | 35 :: c :: a :: b :: r -> emit (FxCmp (cmp_of_int c, a, b)) r
     | 36 :: c :: a :: b :: t :: r -> emit (FxJcmp (cmp_of_int c, a, b, t)) r
     | 37 :: d :: s :: r -> emit (FxMov (d, s)) r
+    | 19 :: r -> emit VecRefU r
+    | 38 :: n :: r -> emit (CallKnown n) r
+    | 39 :: n :: r -> emit (TailCallKnown n) r
+    | 40 :: r -> emit VecSetU r
     | op :: _ -> decode_fail "bad opcode %d" op
   and emit i r =
     out := i :: !out;

@@ -356,7 +356,7 @@ let collect_pools (a : Ast.t) =
         go e
     | Ast.Begin es -> Array.iter go es
     | Ast.Lambda l -> go l.Ast.l_body
-    | Ast.App (f, args) ->
+    | Ast.App (f, args) | Ast.DirectApp (f, args) ->
         go f;
         Array.iter go args
     | Ast.LetVals (cs, b) | Ast.LetrecVals (cs, b) ->
@@ -420,7 +420,7 @@ let rec sets_var (e : Ast.t) d i =
   | Ast.If (c, t, el) -> sets_var c d i || sets_var t d i || sets_var el d i
   | Ast.Begin es -> Array.exists (fun e -> sets_var e d i) es
   | Ast.Lambda l -> sets_var l.Ast.l_body (d + 1) i
-  | Ast.App (f, args) ->
+  | Ast.App (f, args) | Ast.DirectApp (f, args) ->
       sets_var f d i || Array.exists (fun a -> sets_var a d i) args
   | Ast.LetVals (cs, b) ->
       Array.exists (fun (c : Ast.clause) -> sets_var c.Ast.rhs d i) cs
@@ -458,11 +458,12 @@ let rec usage_ok ctx arity (e : Ast.t) d ltail =
         es;
       !ok
   | Ast.Lambda l -> usage_ok ctx arity l.Ast.l_body (d + 1) false
-  | Ast.App (Ast.LocalRef (d', _), args) when d' = d ->
+  | (Ast.App (Ast.LocalRef (d', _), args) | Ast.DirectApp (Ast.LocalRef (d', _), args))
+    when d' = d ->
       ltail
       && Array.length args = arity
       && Array.for_all (fun a -> usage_ok ctx arity a d false) args
-  | Ast.App (f, args) ->
+  | Ast.App (f, args) | Ast.DirectApp (f, args) ->
       usage_ok ctx arity f d false
       && Array.for_all (fun a -> usage_ok ctx arity a d false) args
   | Ast.LetVals (cs, b) ->
@@ -491,7 +492,7 @@ and lambda_free_ex ctx (e : Ast.t) =
       lambda_free_ex ctx c && lambda_free_ex ctx t && lambda_free_ex ctx el
   | Ast.Begin es -> Array.for_all (lambda_free_ex ctx) es
   | Ast.Lambda _ -> false
-  | Ast.App (f, args) ->
+  | Ast.App (f, args) | Ast.DirectApp (f, args) ->
       lambda_free_ex ctx f && Array.for_all (lambda_free_ex ctx) args
   | Ast.LetVals (cs, b) ->
       Array.for_all (fun (c : Ast.clause) -> lambda_free_ex ctx c.Ast.rhs) cs
@@ -541,12 +542,12 @@ let collect_sites ctx (l : Ast.lam) body : (Ast.t array * akind list) list =
         go el stk
     | Ast.Begin es -> Array.iter (fun e -> go e stk) es
     | Ast.Lambda l -> go l.Ast.l_body (KOther :: stk)
-    | Ast.App (Ast.LocalRef (d, _), args)
+    | (Ast.App (Ast.LocalRef (d, _), args) | Ast.DirectApp (Ast.LocalRef (d, _), args))
       when d < List.length stk && List.nth stk d = KLoop ->
         (* self-call of *this* loop: nested loops walk under KOther *)
         sites := (args, stk) :: !sites;
         Array.iter (fun a -> go a stk) args
-    | Ast.App (f, args) ->
+    | Ast.App (f, args) | Ast.DirectApp (f, args) ->
         go f stk;
         Array.iter (fun a -> go a stk) args
     | Ast.LetVals (cs, b) ->
@@ -742,6 +743,16 @@ let rec lower_expr ctx st scopes ~tail (e : Ast.t) =
       in
       lower_selfcall ctx st scopes lp args
   | Ast.App (f, args) -> lower_app ctx st scopes ~tail f args
+  | Ast.DirectApp (Ast.LocalRef (d, _), args)
+    when d < List.length scopes
+         && (match List.nth scopes d with SLoop _ -> true | _ -> false) ->
+      (* a named-let self-call the analysis also proved monomorphic:
+         the inlined-loop jump must win, as for plain App *)
+      let lp =
+        match List.nth scopes d with SLoop lp -> lp | _ -> assert false
+      in
+      lower_selfcall ctx st scopes lp args
+  | Ast.DirectApp (f, args) -> lower_direct ctx st scopes ~tail f args
   | Ast.LetVals (cs, body)
     when Array.length cs >= 1
          && Array.length cs <= 3
@@ -1089,6 +1100,16 @@ and lower_app ctx st scopes ~tail f (args : Ast.t array) =
         let r = lower_fx ctx st scopes (Ast.App (f, args)) in
         emit st (Il.FxPush r);
         adj st 1
+    | Some "unchecked-vector-ref" when argc = 2 ->
+        (* flow-proved in-bounds access: dedicated opcode, no fast2 hop *)
+        lower_expr ctx st scopes ~tail:false args.(0);
+        lower_expr ctx st scopes ~tail:false args.(1);
+        emit st Il.VecRefU;
+        adj st (-1)
+    | Some "unchecked-vector-set!" when argc = 3 ->
+        Array.iter (fun a -> lower_expr ctx st scopes ~tail:false a) args;
+        emit st Il.VecSetU;
+        adj st (-2)
     | Some n when argc = 2 && Hashtbl.mem Interp.fast2 n ->
         let fn = Hashtbl.find Interp.fast2 n in
         lower_expr ctx st scopes ~tail:false args.(0);
@@ -1112,6 +1133,23 @@ and lower_app ctx st scopes ~tail f (args : Ast.t array) =
         end;
         emit st (if tail then Il.TailCall argc else Il.Call argc);
         adj st (-argc)
+
+(* A flow-proved monomorphic call: the callee is a user lambda (never an
+   immutable prim global), so none of the fused/fastN prim paths apply;
+   emit the known-call opcodes, which skip generic dispatch in the VM.
+   Operand order matches [lower_app]'s generic branch exactly. *)
+and lower_direct ctx st scopes ~tail f (args : Ast.t array) =
+  let argc = Array.length args in
+  if argc = 1 then begin
+    lower_expr ctx st scopes ~tail:false args.(0);
+    lower_expr ctx st scopes ~tail:false f
+  end
+  else begin
+    lower_expr ctx st scopes ~tail:false f;
+    Array.iter (fun a -> lower_expr ctx st scopes ~tail:false a) args
+  end;
+  emit st (if tail then Il.TailCallKnown argc else Il.CallKnown argc);
+  adj st (-argc)
 
 (* float-lane lowering: emits code leaving the value in a float
    register and returns the register.  Binary operands evaluate RIGHT
@@ -1405,7 +1443,9 @@ let validate_code (c : Il.code) =
               target t
           | Il.MkClosure p ->
               if p <= 0 || p >= nprotos then dfail "proto index"
-          | Il.Call n | Il.TailCall n -> if n < 0 then dfail "argc"
+          | Il.Call n | Il.TailCall n | Il.CallKnown n | Il.TailCallKnown n ->
+              if n < 0 then dfail "argc"
+          | Il.VecRefU | Il.VecSetU -> ()
           | Il.Fast1 i -> if i < 0 || i >= nf1 then dfail "fast1 pool"
           | Il.Fast2 i -> if i < 0 || i >= nf2 then dfail "fast2 pool"
           | Il.BindE (d, s, k) ->

@@ -75,6 +75,26 @@ let call_n (stack : value array) n sp =
       in
       Interp.apply stack.(sp - n - 1) (args (sp - 1) [])
 
+(* A call site the flow analysis proved monomorphic: the common case is
+   an exact-arity closure, entered with a frame built straight off the
+   stack — no applyN dispatch chain.  Anything else (a fact made stale
+   by an escaped rebind, or code round-tripped through an artifact that
+   dropped the analysis) falls back to the generic path, so the
+   observable behavior — including arity errors — is identical. *)
+let call_known (stack : value array) n sp =
+  let f = if n = 1 then stack.(sp - 1) else stack.(sp - n - 1) in
+  match f with
+  | Closure c when c.arity = n && not c.rest ->
+      Interp.step ();
+      let frame = Array.make (max n 1) Undefined in
+      (if n = 1 then frame.(0) <- stack.(sp - 2)
+       else
+         for k = 0 to n - 1 do
+           frame.(k) <- stack.(sp - n + k)
+         done);
+      c.code { frame; up = c.cl_env }
+  | _ -> call_n stack n sp
+
 (* One [exec] activation per procedure call: three array allocations
    (often two, via the shared empties) and a tail-recursive dispatch
    loop with every piece of state in parameters — no closure is
@@ -170,6 +190,26 @@ and go (a : act) pc sp ic : value =
   | Il.TailCall n ->
       executed := !executed + ic + 1;
       call_n a.a_stack n sp
+  | Il.CallKnown n ->
+      let v = call_known a.a_stack n sp in
+      let sp' = sp - n in
+      a.a_stack.(sp' - 1) <- v;
+      go a (pc + 1) sp' (ic + 1)
+  | Il.TailCallKnown n ->
+      executed := !executed + ic + 1;
+      call_known a.a_stack n sp
+  | Il.VecRefU ->
+      (match (a.a_stack.(sp - 2), a.a_stack.(sp - 1)) with
+      | Vec arr, Int i -> a.a_stack.(sp - 2) <- Array.unsafe_get arr i
+      | _ -> error "unchecked-vector-ref: undefined behavior off-type");
+      go a (pc + 1) (sp - 1) (ic + 1)
+  | Il.VecSetU ->
+      (match (a.a_stack.(sp - 3), a.a_stack.(sp - 2)) with
+      | Vec arr, Int i ->
+          Array.unsafe_set arr i a.a_stack.(sp - 1);
+          a.a_stack.(sp - 3) <- Void
+      | _ -> error "unchecked-vector-set!: undefined behavior off-type");
+      go a (pc + 1) (sp - 2) (ic + 1)
   | Il.Fast1 i ->
       a.a_stack.(sp - 1) <- a.a_c.Il.fast1s.(i) a.a_stack.(sp - 1);
       go a (pc + 1) sp (ic + 1)

@@ -40,6 +40,8 @@ module Baselang = Liblang_modules.Baselang
 module Compiled = Liblang_compiled.Compiled
 module Types = Liblang_typed.Types
 module Check = Liblang_typed.Check
+module Zcfa = Liblang_analysis.Zcfa
+module Facts = Liblang_analysis.Facts
 module Optimize = Liblang_typed.Optimize
 module Boundary = Liblang_typed.Boundary
 module Typedlang = Liblang_typed.Typedlang

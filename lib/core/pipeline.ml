@@ -353,6 +353,27 @@ let expand ?fuel ?name ?(observe = Observe.nothing) (source : string) :
           | None -> ignore (read_module_body ~name source); assert false
           | Some _ -> List.map Stx.to_string (Modsys.expand_source ~name source)))
 
+(** Expand a module to core forms and run the 0CFA flow analysis
+    ({!Core.Zcfa}) over them, returning the rendered fact report — a
+    summary line plus one line per proved fact.  [?stage] selects the
+    solver stage ("wide" | "compiled" | "lazy" | "delta", default
+    delta); the analysis itself emits [analysis.*] metrics and a
+    [phase.analyze] timer into [?observe]. *)
+let analyze ?fuel ?name ?stage ?(observe = Observe.nothing) (source : string) :
+    (string list, Diagnostic.t list) result =
+  Core.init ();
+  let name = match name with Some n -> n | None -> Core.fresh_module_name "program" in
+  Sources.register ~file:name source;
+  Observe.with_ctx observe (fun () ->
+      with_stx_counters @@ fun () ->
+      contain ?fuel (fun () ->
+          match Reader.split_lang_line source with
+          | None -> ignore (read_module_body ~name source); assert false
+          | Some _ ->
+              let forms = Modsys.expand_source ~name source in
+              let facts = Core.Zcfa.analyze_module ?stage forms in
+              Core.Facts.render facts))
+
 (** Evaluate one expression in [lang]'s environment; [?fuel] bounds its
     evaluation steps (default: unbounded, as befits a REPL). *)
 let eval ?fuel ?(lang = "racket") ?(observe = Observe.nothing) ?(engine = Interp)

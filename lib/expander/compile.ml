@@ -70,7 +70,13 @@ and compile_core cenv name (s : Stx.t) (args : Stx.t list) : Ast.t =
   | "begin", (_ :: _) -> Ast.Begin (Array.of_list (List.map (compile cenv) args))
   | "#%expression", [ e ] -> compile cenv e
   | "#%plain-app", (f :: rest) ->
-      Ast.App (compile cenv f, Array.of_list (List.map (compile cenv) rest))
+      let cf = compile cenv f in
+      let cargs = Array.of_list (List.map (compile cenv) rest) in
+      (* the flow analysis marks call sites it proved monomorphic; the
+         property survives any optimizer rewrap of the same node *)
+      if Option.is_some (Stx.property_get "analysis:direct-call" s) then
+        Ast.DirectApp (cf, cargs)
+      else Ast.App (cf, cargs)
   | "#%plain-lambda", (formals :: body) when body <> [] ->
       let { ids; rest } = parse_formals formals in
       let uids = List.map (fun id -> (resolve_exn id).Binding.uid) ids in

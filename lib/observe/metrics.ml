@@ -162,7 +162,7 @@ let merge ~(into : t) (c : t) : unit =
 
 (** The canonical phase order of the pipeline (see docs/architecture.md). *)
 let phase_order =
-  [ "read"; "expand"; "typecheck"; "optimize"; "compile"; "lower"; "load"; "instantiate" ]
+  [ "read"; "expand"; "typecheck"; "analyze"; "optimize"; "compile"; "lower"; "load"; "instantiate" ]
 
 (** Human-readable profile report (what [--profile] prints). *)
 let render (c : t) : string =

@@ -25,6 +25,10 @@ type t =
   | Begin of t array  (** at least one subform *)
   | Lambda of lam
   | App of t * t array
+  | DirectApp of t * t array
+      (** an application the flow analysis proved monomorphic: same
+          semantics as [App], but the backend may lower it to a
+          known-arity call that skips generic closure dispatch *)
   | LetVals of clause array * t
       (** all right-hand sides evaluate in the outer environment, then one
           fresh frame binds every clause's variables in order *)
@@ -50,6 +54,8 @@ let rec to_string = function
         (to_string l.l_body)
   | App (f, args) ->
       "(" ^ String.concat " " (to_string f :: Array.to_list (Array.map to_string args)) ^ ")"
+  | DirectApp (f, args) ->
+      "(!" ^ String.concat " " (to_string f :: Array.to_list (Array.map to_string args)) ^ ")"
   | LetVals (cs, body) -> clause_string "let-values" cs body
   | LetrecVals (cs, body) -> clause_string "letrec-values" cs body
 

@@ -218,6 +218,11 @@ let rec compile (a : Ast.t) : env -> value =
       let arity = l.Ast.l_arity and rest = l.Ast.l_rest and name = l.Ast.l_name in
       fun env -> Closure { arity; rest; cl_name = name; cl_env = env; code = body }
   | Ast.App (f, args) -> compile_app f args
+  (* Proved-monomorphic call.  The tree walker's generic [applyN] already
+     pre-builds a frame on the matching-arity fast path, so sharing
+     [compile_app] is both the fast and the provably-equivalent choice;
+     the bytecode backend is where the fact selects a distinct opcode. *)
+  | Ast.DirectApp (f, args) -> compile_app f args
   (* single-value clauses are the common case (every [let]); specialize the
      small arities to avoid the general slot machinery *)
   | Ast.LetVals ([| { Ast.n_vals = 1; rhs } |], body) ->

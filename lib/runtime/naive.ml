@@ -46,7 +46,7 @@ let rec eval (a : Ast.t) (env : env) : value =
           cl_env = env;
           code = (fun env' -> eval body env');
         }
-  | Ast.App (f, args) ->
+  | Ast.App (f, args) | Ast.DirectApp (f, args) ->
       let vf = eval f env in
       let vs = Array.to_list (Array.map (fun a -> eval a env) args) in
       apply vf vs

@@ -232,6 +232,19 @@ let unsafe_prims =
         | _ -> error "unsafe-vector-set!: undefined behavior off-type");
     p1 "unsafe-vector-length" (fun v ->
         match v with Vec a -> Int (Array.length a) | _ -> error "unsafe-vector-length: undefined behavior off-type");
+    (* like their unsafe- twins, but inserted by the flow analysis rather
+       than written by the programmer — separate names so rewrite counters
+       and the VecRefU/VecSetU opcodes attribute the elision correctly *)
+    p2 "unchecked-vector-ref" (fun v i ->
+        match (v, i) with
+        | Vec a, Int i -> Array.unsafe_get a i
+        | _ -> error "unchecked-vector-ref: undefined behavior off-type");
+    p3 "unchecked-vector-set!" (fun v i x ->
+        match (v, i) with
+        | Vec a, Int i ->
+            Array.unsafe_set a i x;
+            Void
+        | _ -> error "unchecked-vector-set!: undefined behavior off-type");
     p2 "unsafe-string-ref" (fun s i ->
         match (s, i) with
         | Str b, Int i -> Char (Bytes.unsafe_get b i)
@@ -881,6 +894,10 @@ let () =
       match (v, i) with
       | Vec a, Int i -> Array.unsafe_get a i
       | _ -> error "unsafe-vector-ref: undefined behavior off-type");
+  Interp.register_fast2 "unchecked-vector-ref" (fun v i ->
+      match (v, i) with
+      | Vec a, Int i -> Array.unsafe_get a i
+      | _ -> error "unchecked-vector-ref: undefined behavior off-type");
   Interp.register_fast1 "unsafe-vector-length" (function
     | Vec a -> Int (Array.length a)
     | _ -> error "unsafe-vector-length: undefined behavior off-type");

@@ -114,6 +114,10 @@ type request =
       (** compile, then instantiate; the response carries the program's
           captured output *)
   | Expand of { path : string }  (** fully-expanded core forms as text *)
+  | Analyze of { path : string; stage : string option }
+      (** 0CFA flow analysis over the expanded core forms; [stage] picks
+          the solver stage (wide|compiled|lazy|delta, daemon default when
+          absent) *)
   | Status  (** daemon liveness/counters snapshot *)
   | Shutdown  (** acknowledge, then stop the daemon *)
 
@@ -125,6 +129,7 @@ let op_name = function
   | Compile _ -> "compile"
   | Run _ -> "run"
   | Expand _ -> "expand"
+  | Analyze _ -> "analyze"
   | Status -> "status"
   | Shutdown -> "shutdown"
 
@@ -146,6 +151,9 @@ let request_to_json ?(id = Json.Null) (req : request) : Json.t =
         [ ("op", Json.Str "run"); ("path", Json.Str path) ]
         @ (match fuel with None -> [] | Some f -> [ ("fuel", Json.Num (float_of_int f)) ])
     | Expand { path } -> [ ("op", Json.Str "expand"); ("path", Json.Str path) ]
+    | Analyze { path; stage } ->
+        [ ("op", Json.Str "analyze"); ("path", Json.Str path) ]
+        @ (match stage with None -> [] | Some s -> [ ("stage", Json.Str s) ])
     | Status -> [ ("op", Json.Str "status") ]
     | Shutdown -> [ ("op", Json.Str "shutdown") ]
   in
@@ -180,12 +188,15 @@ let request_of_json (j : Json.t) : (envelope, string) result =
                 in
                 with_path op (fun path -> Run { path; fuel })
             | "expand" -> with_path op (fun path -> Expand { path })
+            | "analyze" ->
+                let stage = str "stage" in
+                with_path op (fun path -> Analyze { path; stage })
             | "status" -> Ok Status
             | "shutdown" -> Ok Shutdown
             | _ ->
                 Error
                   (Printf.sprintf
-                     "unknown op %S (compile, run, expand, status, shutdown)" op))
+                     "unknown op %S (compile, run, expand, analyze, status, shutdown)" op))
         | Some _ -> Error "\"op\" must be a string"
         | None -> Error "missing \"op\""
       in

@@ -456,6 +456,12 @@ let register_for_module (mod_name : string) =
   sp' "unsafe-vector-length" (function
     | [ Vectorof _ ] -> Integer
     | _ -> rule_err "unsafe-vector-length: bad arguments");
+  sp' "unchecked-vector-ref" (function
+    | [ Vectorof t; i ] when subtype i Integer -> t
+    | _ -> rule_err "unchecked-vector-ref: bad arguments");
+  sp' "unchecked-vector-set!" (function
+    | [ Vectorof t; i; v ] when subtype i Integer && subtype v t -> Void_
+    | _ -> rule_err "unchecked-vector-set!: bad arguments");
   (* higher-order fallbacks for overloaded primitives *)
   let ho name t = match bind_of name with Some b -> Hashtbl.replace ho_types b.Binding.uid t | None -> () in
   List.iter (fun n -> ho n (Fun ([ Number; Number ], Number))) [ "+"; "-"; "*"; "/"; "min"; "max" ];

@@ -11,6 +11,8 @@ module Stx = Liblang_stx.Stx
 module Binding = Liblang_stx.Binding
 module Denote = Liblang_expander.Denote
 module Baselang = Liblang_modules.Baselang
+module Zcfa = Liblang_analysis.Zcfa
+module Facts = Liblang_analysis.Facts
 open Types
 
 (** Optimization levels, for the ablation benchmarks:
@@ -36,6 +38,12 @@ let count what =
   if Liblang_observe.Metrics.installed () then
     Liblang_observe.Metrics.count ("optimize." ^ what)
 
+(* a flow-fact-driven rule firing: the per-rule histogram entry plus a
+   flat counter the perf canary and the bench gates assert on *)
+let count_cfa what metric =
+  count what;
+  Liblang_observe.Metrics.count metric
+
 let stats_alist () =
   Hashtbl.fold (fun k n acc -> (k, n) :: acc) (stats ()) []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
@@ -43,6 +51,12 @@ let stats_alist () =
 let reset_stats () = Hashtbl.reset (stats ())
 let stat what = Option.value (Hashtbl.find_opt (stats ()) what) ~default:0
 let total_rewrites () = Hashtbl.fold (fun _ n acc -> acc + n) (stats ()) 0
+
+(* flow facts for the module being optimized, produced by {!Zcfa} at the
+   top of [optimize_module] — domain-local for the same reason as [stats] *)
+let facts_key : Facts.t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let[@inline] facts () = Domain.DLS.get facts_key
 
 let u name = Baselang.bid name
 let sl = Stx.list
@@ -143,6 +157,13 @@ let rec optimize (s : Stx.t) : Stx.t =
         | Some ("let-values" | "letrec-values") -> (
             match args with
             | clauses :: body ->
+                let clauses, body =
+                  (* opt:closure-unbox applies to non-recursive bindings
+                     only: in a letrec the call could run before the
+                     right-hand sides finish evaluating *)
+                  if core_kind hd = Some "let-values" then unbox_clauses clauses body
+                  else (clauses, body)
+                in
                 let clauses' =
                   match Stx.to_list clauses with
                   | Some cs ->
@@ -166,7 +187,23 @@ let rec optimize (s : Stx.t) : Stx.t =
 
 and optimize_app (s : Stx.t) (app_hd : Stx.t) (op : Stx.t) (operands : Stx.t list) : Stx.t =
   let default () =
-    Stx.rewrap s (Stx.List (app_hd :: op :: List.map optimize operands))
+    let s' = Stx.rewrap s (Stx.List (app_hd :: op :: List.map optimize operands)) in
+    (* opt:direct-call — the analysis proved a unique callee here, so mark
+       the rebuilt node; Compile turns the property into [Ast.DirectApp]
+       and the backend into a known-arity call *)
+    match facts () with
+    | Some facts -> (
+        match Facts.direct_callee facts s with
+        | Some c when c.Facts.callee_arity = List.length operands ->
+            count_cfa "opt:direct-call" "opt.direct_calls";
+            Stx.property_put "analysis:direct-call"
+              (Stx.atom (Liblang_reader.Datum.Sym c.Facts.callee_name))
+              s'
+        | _ -> s')
+    | None -> s'
+  in
+  let proved_inbounds tbl_lookup =
+    match facts () with Some facts -> tbl_lookup facts s | None -> false
   in
   match prim_name_of op with
   | None -> default ()
@@ -229,7 +266,16 @@ and optimize_app (s : Stx.t) (app_hd : Stx.t) (op : Stx.t) (operands : Stx.t lis
       | ("cdr" | "rest"), [ x ], _ when pair_shaped x ->
           count "pair:cdr";
           sl [ u "#%plain-app"; u "unsafe-cdr"; optimize x ]
-      (* vector specialization *)
+      (* vector specialization — the flow-proved in-bounds arms must come
+         first, or the type-only rewrite claims the site *)
+      | "vector-ref", [ v; i ], _
+        when proved_inbounds Facts.ref_inbounds && vector_shaped v && integer_typed i ->
+          count_cfa "vec:ref!" "opt.vec_unchecked";
+          sl [ u "#%plain-app"; u "unchecked-vector-ref"; optimize v; optimize i ]
+      | "vector-set!", [ v; i; x ], _
+        when proved_inbounds Facts.set_inbounds && vector_shaped v && integer_typed i ->
+          count_cfa "vec:set!" "opt.vec_unchecked";
+          sl [ u "#%plain-app"; u "unchecked-vector-set!"; optimize v; optimize i; optimize x ]
       | "vector-ref", [ v; i ], _ when vector_shaped v && integer_typed i ->
           count "vec:ref";
           sl [ u "#%plain-app"; u "unsafe-vector-ref"; optimize v; optimize i ]
@@ -241,13 +287,98 @@ and optimize_app (s : Stx.t) (app_hd : Stx.t) (op : Stx.t) (operands : Stx.t lis
           sl [ u "#%plain-app"; u "unsafe-vector-length"; optimize v ]
       | _ -> default ())
 
+(* opt:closure-unbox — a clause [(f) (lambda (x ...) body ...)] whose
+   lambda the analysis proved single-use in operator position inlines at
+   its unique call site as (let-values ([(x) arg] ...) body ...), and the
+   clause (with its per-iteration closure allocation) disappears.  Free
+   variables keep their meaning because fully-expanded bindings are
+   uid-addressed: the call site sits lexically inside the defining scope,
+   so every free reference of [body] still resolves, shadow-free. *)
+and unbox_clauses (clauses : Stx.t) (body : Stx.t list) : Stx.t * Stx.t list =
+  match (facts (), Stx.to_list clauses) with
+  | Some facts, Some cs ->
+      let kept = ref [] and body = ref body in
+      List.iter
+        (fun c ->
+          match unbox_clause facts c !body with
+          | Some body' -> body := body'
+          | None -> kept := c :: !kept)
+        cs;
+      if List.length !kept = List.length cs then (clauses, !body)
+      else (Stx.rewrap clauses (Stx.List (List.rev !kept)), !body)
+  | _ -> (clauses, body)
+
+and unbox_clause (facts : Facts.t) (c : Stx.t) (body : Stx.t list) : Stx.t list option =
+  match Stx.to_list c with
+  | Some [ ids; rhs ] when Facts.lambda_unboxable facts rhs -> (
+      match (Stx.to_list ids, Stx.view rhs) with
+      | Some [ fid ], Stx.List (_ :: formals :: lam_body) when Stx.is_id fid -> (
+          match (Binding.resolve fid, Stx.to_list formals) with
+          | Some b, Some params when List.for_all Stx.is_id params ->
+              let replaced = ref false in
+              let body' =
+                List.map (subst_call b.Binding.uid params lam_body replaced) body
+              in
+              if !replaced then begin
+                count_cfa "opt:closure-unbox" "opt.closure_unbox";
+                Some body'
+              end
+              else None
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+and subst_call uid (params : Stx.t list) (lam_body : Stx.t list) (replaced : bool ref)
+    (s : Stx.t) : Stx.t =
+  if !replaced then s
+  else
+    match Stx.view s with
+    | Stx.List (hd :: rest) when Stx.is_id hd -> (
+        match core_kind hd with
+        | Some ("quote" | "quote-syntax") -> s
+        | Some "#%plain-app" -> (
+            match rest with
+            | op :: args
+              when Stx.is_id op
+                   && (match Binding.resolve op with
+                      | Some b -> b.Binding.uid = uid
+                      | None -> false)
+                   && List.length args = List.length params ->
+                replaced := true;
+                let clause p a = sl [ sl [ p ]; a ] in
+                Stx.rewrap s
+                  (Stx.List
+                     (u "let-values" :: sl (List.map2 clause params args) :: lam_body))
+            | _ -> subst_children uid params lam_body replaced s hd rest)
+        | _ -> subst_children uid params lam_body replaced s hd rest)
+    | Stx.List (hd :: rest) -> subst_children uid params lam_body replaced s hd rest
+    | _ -> s
+
+and subst_children uid params lam_body replaced s hd rest =
+  let items = hd :: rest in
+  let items' = List.map (subst_call uid params lam_body replaced) items in
+  (* rebuild only the spine above the replaced call site: everywhere else
+     the original node must survive physically intact, because the facts
+     table is keyed on node identity and later flow-driven rewrites still
+     have to find their proofs *)
+  if List.for_all2 ( == ) items items' then s else Stx.rewrap s (Stx.List items')
+
 and pair_shaped e =
   match type_of e with Some (ListT (_ :: _)) | Some (Pairof _) -> true | _ -> false
 
 and vector_shaped e = match type_of e with Some (Vectorof _) -> true | _ -> false
 and integer_typed e = match type_of e with Some t -> proved_subtype t Integer | None -> false
 
-(** Optimize every form of a typechecked module body. *)
+(** Optimize every form of a typechecked module body.  When both the
+    optimizer and the analysis are enabled, a 0CFA pass over the module
+    runs first and its facts drive the [opt:*] and [vec:*!] rewrite
+    classes; with analysis disabled (ablation) only the type-driven
+    rules fire. *)
 let optimize_module (forms : Stx.t list) : Stx.t list =
   Liblang_observe.Trace.span "optimize" @@ fun () ->
+  let facts =
+    if !enabled && !Zcfa.enabled then Some (Zcfa.analyze_module forms) else None
+  in
+  Domain.DLS.set facts_key facts;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set facts_key None) @@ fun () ->
   Liblang_observe.Metrics.time "phase.optimize" @@ fun () -> List.map optimize forms

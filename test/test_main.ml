@@ -15,6 +15,7 @@ let () =
       ("occurrence-typing", Test_occurrence.suite);
       ("boundary", Test_boundary.suite);
       ("optimizer", Test_optimize.suite);
+      ("analysis", Test_analysis.suite);
       ("languages", Test_langs.suite);
       ("diagnostics", Test_diagnostics.suite);
       ("observe", Test_observe.suite);

@@ -128,6 +128,43 @@ let cache_dir_cases =
         Filename.concat (Filename.concat (Filename.concat work "a") "b") "c" );
   ]
 
+(* -- analyzer containment ------------------------------------------------------
+
+   [liblang analyze] over the same corpus plus the working examples: the
+   0CFA pass must terminate (its monotone join lattice is finite and the
+   pipeline's fuel caps expansion) and must never crash — broken
+   programs get contained diagnostics, working programs get a facts
+   report.  A hang or an escaped exception here is an analyzer bug, not
+   a corpus property. *)
+
+let slurp path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_analyze path : (string, string) result =
+  Core.Modsys.reset_user_modules_for_tests ();
+  match
+    with_time_cap (fun () ->
+        Core.Prims.with_captured_output (fun () ->
+            Pipeline.analyze ~fuel:200_000 ~name:(Filename.basename path) (slurp path)))
+  with
+  | exception Timeout -> Error "analysis timed out (widening failed to converge)"
+  | exception e -> Error ("uncaught exception escaped the analyzer: " ^ Printexc.to_string e)
+  | _, Ok lines -> Ok (Printf.sprintf "analyzed (%d report lines)" (List.length lines))
+  | _, Error [] -> Error "failed with an empty diagnostic list"
+  | _, Error ds -> (
+      match List.filter Diagnostic.is_internal ds with
+      | [] ->
+          Ok
+            (Printf.sprintf "contained (%d diagnostic%s)" (List.length ds)
+               (if List.length ds = 1 then "" else "s"))
+      | internal ->
+          Error
+            ("internal diagnostic (exception escaped containment): "
+            ^ Diagnostic.to_string (List.hd internal)))
+
 (* -- engine differential gate --------------------------------------------------
 
    The bytecode VM must be observably identical to the closure-tree
@@ -236,8 +273,20 @@ let () =
           incr failures;
           Printf.printf "  FAIL %-28s %s\n%!" label why)
     diff_files;
+  (* the analyzer leg: 0CFA over every corpus file and every example *)
+  Printf.printf "analyzer containment (liblang analyze):\n%!";
+  List.iter
+    (fun path ->
+      let label = Filename.basename path in
+      match check_analyze path with
+      | Ok detail -> Printf.printf "  ok   %-28s %s\n%!" label detail
+      | Error why ->
+          incr failures;
+          Printf.printf "  FAIL %-28s %s\n%!" label why)
+    diff_files;
   Printf.printf
-    "crashcheck: %d/%d corpus + cache-dir + differential cases contained\n"
-    (List.length files + List.length cache_dir_cases + List.length diff_files - !failures)
-    (List.length files + List.length cache_dir_cases + List.length diff_files);
+    "crashcheck: %d/%d corpus + cache-dir + differential + analyzer cases contained\n"
+    (List.length files + List.length cache_dir_cases + (2 * List.length diff_files)
+    - !failures)
+    (List.length files + List.length cache_dir_cases + (2 * List.length diff_files));
   exit (if !failures = 0 then 0 else 1)

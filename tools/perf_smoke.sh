@@ -19,7 +19,12 @@
 #   5. a typed float loop under run --engine vm reports
 #      vm.instructions > 0 via --profile=json -- the bytecode VM must be
 #      actually retiring instructions, not silently falling back to the
-#      tree walker (docs/backend.md).
+#      tree walker (docs/backend.md);
+#   6. a known-monomorphic typed program reports analysis.call_sites > 0
+#      and opt.direct_calls > 0 via --profile=json -- the 0CFA pass must
+#      be finding call sites and the optimizer must be consuming its
+#      facts, so a silently inert analysis cannot pass CI
+#      (docs/analysis.md).
 #
 # Timings are noise in CI and are not asserted; correctness of the perf
 # machinery is what this gate pins down.
@@ -168,6 +173,35 @@ elif [ "$instrs" -le 0 ]; then
   fail=1
 else
   echo "perf_smoke: bytecode VM wired (vm.instructions = $instrs)"
+fi
+
+# -- 6. the 0CFA analysis is wired (facts found and consumed) -----------------
+# Every call in this program is monomorphic, so the analysis must report
+# call sites and the optimizer must turn at least one of them into a
+# direct call.  Zero on either counter means the flow-analysis pipeline
+# is inert -- parity gates cannot see that (an unoptimized program is
+# observably identical by design -- docs/analysis.md).
+cat > "$WORK/mono.scm" <<'EOF'
+#lang typed/racket
+(define (add2 [x : Integer]) : Integer (+ x 2))
+(define (go [v : (Vectorof Integer)]) : Integer
+  (let ([n (vector-length v)])
+    (let loop : Integer ([j : Integer 0] [acc : Integer 0])
+      (if (< j n) (loop (+ j 1) (+ acc (vector-ref v j))) acc))))
+(display (add2 (go (make-vector 16 3))))
+EOF
+
+mono_out=$($RUN "$LIBLANG" run --profile=json "$WORK/mono.scm" 2>/dev/null)
+sites=$(printf '%s\n' "$mono_out" | sed -n 's/.*"analysis\.call_sites": *\([0-9][0-9]*\).*/\1/p' | head -n 1)
+directs=$(printf '%s\n' "$mono_out" | sed -n 's/.*"opt\.direct_calls": *\([0-9][0-9]*\).*/\1/p' | head -n 1)
+if [ -z "${sites:-}" ] || [ "$sites" -le 0 ]; then
+  echo "perf_smoke: FAIL: analysis.call_sites = ${sites:-missing} (0CFA pass inert)" >&2
+  fail=1
+elif [ -z "${directs:-}" ] || [ "$directs" -le 0 ]; then
+  echo "perf_smoke: FAIL: opt.direct_calls = ${directs:-missing} (facts not consumed)" >&2
+  fail=1
+else
+  echo "perf_smoke: 0CFA wired (analysis.call_sites = $sites, opt.direct_calls = $directs)"
 fi
 
 if [ "$fail" -ne 0 ]; then
