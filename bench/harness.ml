@@ -744,17 +744,29 @@ let json_of_par_rows ~(jobs : int) (rows : par_row list) : Json.t =
              rows) );
     ]
 
-(* -- the --serve series (compile-server throughput) ----------------------------
+(* -- the --serve series (concurrent compile server under mixed load) -----------
 
-   The compile-server daemon measured end to end: a daemon is spawned in a
-   domain of this process, N client domains each issue M [run] requests
-   for the same generated project, and every response's output is checked
-   against the generator's closed form.  The steady state is all-warm —
-   after the priming request nothing recompiles — so the numbers measure
-   protocol + scheduling + warm instantiation, i.e. what a [--via-server]
-   edit-run loop feels like.  A final fresh-session [compile] must report
-   [compiles=0] (the ISSUE's warm gate); any output mismatch or a warm
-   compile fails the bench run like a checksum mismatch. *)
+   The compile-server daemon measured end to end, twice — once with one
+   request worker and once with a pool — under a {e mixed} load: each of
+   N client domains issues M requests on its own connection, mostly warm
+   [run]s of a shared generated project but every k-th request a {e cold}
+   [run] of a freshly written module (unique per request, so it can never
+   hit any cache).  Every response's output is checked against its closed
+   form; latency percentiles are reported per class (warm vs cold),
+   because the whole point of concurrent dispatch is that the warm tail
+   stays flat while cold work happens next to it.
+
+   Gates (unconditional, exit 1 — like a checksum mismatch):
+   - byte identity: every response, warm or cold, exactly matches
+   - [warm_compiles = 0]: a final fresh-session [compile] of the shared
+     project must compile nothing
+
+   Hardware-conditional (like the PR-5 speedup gates, only on > 1 core):
+   - head-of-line: with a [store.write=delay] fault plan making one
+     session's cold compile deterministically slow, another session's
+     warm requests on the pooled daemon must not inherit that delay.
+   The workers=1 vs workers=N throughput ratio is recorded, never
+   gated — CI boxes don't promise cores. *)
 
 (* Nearest-rank percentile of an ascending-sorted array. *)
 let percentile (sorted : float array) (p : float) : float =
@@ -764,22 +776,34 @@ let percentile (sorted : float array) (p : float) : float =
     let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
     sorted.(max 0 (min (n - 1) (rank - 1)))
 
-let run_server_figure ~(smoke : bool) () : Json.t =
+let sorted_of (l : float list) : float array =
+  let a = Array.of_list l in
+  Array.sort compare a;
+  a
+
+let percentile_fields (prefix : string) (sorted : float array) :
+    (string * Json.t) list =
+  [
+    (prefix ^ "_p50_ms", Json.Num (percentile sorted 50.0));
+    (prefix ^ "_p95_ms", Json.Num (percentile sorted 95.0));
+    (prefix ^ "_p99_ms", Json.Num (percentile sorted 99.0));
+  ]
+
+(* One daemon, one load: [clients] connections x [per_client] requests,
+   every [cold_every]-th one cold.  Returns the series JSON, its gate
+   verdict, and the throughput (for the cross-series ratio). *)
+let run_server_series ~(workers : int) ~(clients : int) ~(per_client : int)
+    ~(cold_every : int) ~(n : int) () : Json.t * bool * float =
   let module Server = Liblang_server.Server in
   let module Client = Liblang_server.Client in
   let module P = Liblang_server.Protocol in
   let module Genproj = Core.Compiled.Genproj in
-  let clients = if smoke then 2 else 4 in
-  let per_client = if smoke then 6 else 25 in
-  let n = if smoke then 6 else 12 in
   incr cached_tmp_counter;
   let dir =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "liblang-bench-serve-%d-%d" (Unix.getpid ()) !cached_tmp_counter)
   in
   (try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ());
-  Printf.printf "\n%s\nCompile server: %d clients x %d warm run requests (%d-module diamond)\n%s\n"
-    line clients per_client n line;
   Fun.protect
     ~finally:(fun () ->
       Core.Compiled.reset_session ();
@@ -792,14 +816,18 @@ let run_server_figure ~(smoke : bool) () : Json.t =
     {
       Server.socket_path = socket;
       cache_dir = Filename.concat dir "cache";
+      workers;
       default_jobs = 1;
       fuel = None;
       engine = Liblang_core.Pipeline.Interp;
+      session_ttl = None;
+      max_sessions = None;
     }
   in
   let server = Domain.spawn (fun () -> Server.serve cfg) in
   let failures = Atomic.make 0 in
-  (* prime: one cold compile so the measured phase is the warm steady state *)
+  (* prime: one cold compile of the shared project, so its warm requests
+     measure the steady state *)
   (match Client.connect ~retries:200 socket with
   | Ok c ->
       (match Client.request c (P.Compile { path = root; jobs = None }) with
@@ -809,29 +837,49 @@ let run_server_figure ~(smoke : bool) () : Json.t =
   | Error _ -> Atomic.incr failures);
   let t0 = now () in
   let client_domains =
-    List.init clients (fun _ ->
+    List.init clients (fun ci ->
         Domain.spawn (fun () ->
             match Client.connect ~retries:200 socket with
             | Error _ ->
                 Atomic.incr failures;
-                [||]
+                ([], [])
             | Ok conn ->
-                let lats = Array.make per_client 0.0 in
+                let warm = ref [] and cold = ref [] in
                 for i = 0 to per_client - 1 do
-                  let s = now () in
-                  (match Client.request conn (P.Run { path = root; fuel = None }) with
-                  | Ok j when Client.ok_of j && String.equal (Client.output_of j) expected
-                    ->
-                      ()
-                  | _ -> Atomic.incr failures);
-                  lats.(i) <- 1000.0 *. (now () -. s)
+                  let is_cold = cold_every > 0 && i mod cold_every = cold_every - 1 in
+                  if is_cold then begin
+                    (* a module nothing has ever seen: cold by construction *)
+                    let k = (ci * per_client) + i in
+                    let path =
+                      Filename.concat dir (Printf.sprintf "cold_%d_%d.scm" ci i)
+                    in
+                    let oc = open_out_bin path in
+                    output_string oc (Printf.sprintf "#lang racket\n(display %d)\n" k);
+                    close_out oc;
+                    let s = now () in
+                    (match Client.request conn (P.Run { path; fuel = None }) with
+                    | Ok j
+                      when Client.ok_of j
+                           && String.equal (Client.output_of j) (string_of_int k) ->
+                        ()
+                    | _ -> Atomic.incr failures);
+                    cold := (1000.0 *. (now () -. s)) :: !cold
+                  end
+                  else begin
+                    let s = now () in
+                    (match Client.request conn (P.Run { path = root; fuel = None }) with
+                    | Ok j
+                      when Client.ok_of j && String.equal (Client.output_of j) expected
+                      ->
+                        ()
+                    | _ -> Atomic.incr failures);
+                    warm := (1000.0 *. (now () -. s)) :: !warm
+                  end
                 done;
                 Client.close conn;
-                lats))
+                (!warm, !cold)))
   in
-  let lats =
-    List.concat_map (fun d -> Array.to_list (Domain.join d)) client_domains
-  in
+  let parts = List.map Domain.join client_domains in
   let wall_ms = 1000.0 *. (now () -. t0) in
   (* the warm gate: a brand-new session must compile nothing *)
   let warm_compiles =
@@ -848,35 +896,199 @@ let run_server_figure ~(smoke : bool) () : Json.t =
         r
   in
   Domain.join server;
+  let warm_lats = sorted_of (List.concat_map fst parts)
+  and cold_lats = sorted_of (List.concat_map snd parts) in
   let total = clients * per_client in
-  let sorted = Array.of_list lats in
-  Array.sort compare sorted;
-  let p50 = percentile sorted 50.0
-  and p95 = percentile sorted 95.0
-  and p99 = percentile sorted 99.0 in
+  let measured = Array.length warm_lats + Array.length cold_lats in
   let req_per_s = float_of_int total /. (wall_ms /. 1000.0) in
-  let ok =
-    Atomic.get failures = 0 && warm_compiles = 0 && Array.length sorted = total
-  in
-  if not ok then checksum_mismatches := ("serve", Base) :: !checksum_mismatches;
-  Printf.printf "%-10s %10s %10s %10s %10s %6s %6s\n" "req/s" "p50(ms)" "p95(ms)"
-    "p99(ms)" "wall(ms)" "warm" "ok";
-  Printf.printf "%-10.1f %10.2f %10.2f %10.2f %10.1f %6d %6s\n%!" req_per_s p50 p95 p99
+  let ok = Atomic.get failures = 0 && warm_compiles = 0 && measured = total in
+  Printf.printf "%-8d %8.1f %9.2f %9.2f %9.2f %9.2f %8.1f %5d %5s\n%!" workers
+    req_per_s
+    (percentile warm_lats 50.0)
+    (percentile warm_lats 95.0)
+    (percentile cold_lats 50.0)
+    (percentile cold_lats 95.0)
     wall_ms warm_compiles
     (if ok then "yes" else "NO");
+  ( Json.Obj
+      ([
+         ("workers", Json.Num (float_of_int workers));
+         ("clients", Json.Num (float_of_int clients));
+         ("requests_per_client", Json.Num (float_of_int per_client));
+         ("requests", Json.Num (float_of_int total));
+         ("warm_requests", Json.Num (float_of_int (Array.length warm_lats)));
+         ("cold_requests", Json.Num (float_of_int (Array.length cold_lats)));
+         ("modules", Json.Num (float_of_int n));
+         ("wall_ms", Json.Num wall_ms);
+         ("req_per_s", Json.Num req_per_s);
+       ]
+      @ percentile_fields "warm" warm_lats
+      @ percentile_fields "cold" cold_lats
+      @ [
+          ("outputs_identical", Json.Bool (Atomic.get failures = 0));
+          ("warm_compiles", Json.Num (float_of_int warm_compiles));
+          ("ok", Json.Bool ok);
+        ]),
+    ok,
+    req_per_s )
+
+(* The head-of-line probe: on a pooled daemon, make one session's cold
+   compile deterministically slow (a [store.write=delay] fault plan — warm
+   requests never write artifacts, so only the cold request inherits the
+   delay) and measure another session's warm latencies while it runs.
+   Sessions land on distinct workers (consecutive accepts shard round-
+   robin), so the warm tail must stay far below the injected delay.  The
+   latency gate only fires on > 1 core — on a 1-core box the domains
+   timeshare and the warm requests legitimately stall. *)
+let run_server_head_of_line ~(workers : int) ~(n : int) () : Json.t * bool =
+  let module Server = Liblang_server.Server in
+  let module Client = Liblang_server.Client in
+  let module P = Liblang_server.Protocol in
+  let module Genproj = Core.Compiled.Genproj in
+  let delay_ms = 250.0 in
+  let warm_runs = 5 in
+  incr cached_tmp_counter;
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "liblang-bench-serve-%d-%d" (Unix.getpid ()) !cached_tmp_counter)
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      Core.Fault.install None;
+      Core.Compiled.reset_session ();
+      rm_rf dir)
+  @@ fun () ->
+  let root, expected = Genproj.generate ~dir ~shape:Genproj.Diamond ~n ~depth:6 () in
+  let expected = string_of_int expected in
+  let socket = Filename.concat dir "server.sock" in
+  let cfg =
+    {
+      Server.socket_path = socket;
+      cache_dir = Filename.concat dir "cache";
+      workers;
+      default_jobs = 1;
+      fuel = None;
+      engine = Liblang_core.Pipeline.Interp;
+      session_ttl = None;
+      max_sessions = None;
+    }
+  in
+  let server = Domain.spawn (fun () -> Server.serve cfg) in
+  let failures = ref 0 in
+  let fail () = incr failures in
+  (* two sessions on consecutive accepts -> distinct home workers *)
+  let conn_warm =
+    match Client.connect ~retries:200 socket with
+    | Ok c -> Some c
+    | Error _ ->
+        fail ();
+        None
+  in
+  let conn_cold =
+    match Client.connect ~retries:50 socket with
+    | Ok c -> Some c
+    | Error _ ->
+        fail ();
+        None
+  in
+  (* warm the measuring session before arming the plan *)
+  (match conn_warm with
+  | Some c -> (
+      match Client.request c (P.Run { path = root; fuel = None }) with
+      | Ok j when Client.ok_of j && String.equal (Client.output_of j) expected -> ()
+      | _ -> fail ())
+  | None -> ());
+  let cold_path = Filename.concat dir "cold_hol.scm" in
+  let oc = open_out_bin cold_path in
+  output_string oc "#lang racket\n(display 7)\n";
+  close_out oc;
+  (match Core.Fault.parse (Printf.sprintf "seed=1;store.write=delay@%.0f" delay_ms) with
+  | Ok plan -> Core.Fault.install (Some plan)
+  | Error _ -> fail ());
+  (* launch the slow cold compile, then measure warm latencies next to it *)
+  (match conn_cold with
+  | Some c -> ( match Client.send c (P.Run { path = cold_path; fuel = None }) with
+    | Ok _ -> ()
+    | Error _ -> fail ())
+  | None -> ());
+  Unix.sleepf 0.03;
+  let warm_lats = ref [] in
+  (match conn_warm with
+  | Some c ->
+      for _ = 1 to warm_runs do
+        let s = now () in
+        (match Client.request c (P.Run { path = root; fuel = None }) with
+        | Ok j when Client.ok_of j && String.equal (Client.output_of j) expected -> ()
+        | _ -> fail ());
+        warm_lats := (1000.0 *. (now () -. s)) :: !warm_lats
+      done
+  | None -> ());
+  (match conn_cold with
+  | Some c -> (
+      match Client.recv c with
+      | Ok j when Client.ok_of j && String.equal (Client.output_of j) "7" -> ()
+      | _ -> fail ())
+  | None -> ());
+  Core.Fault.install None;
+  (match Client.connect ~retries:50 socket with
+  | Ok c ->
+      ignore (Client.request c P.Shutdown);
+      Client.close c
+  | Error _ -> fail ());
+  Option.iter Client.close conn_warm;
+  Option.iter Client.close conn_cold;
+  Domain.join server;
+  let sorted = sorted_of !warm_lats in
+  let warm_p95 = percentile sorted 95.0 in
+  let cores = Domain.recommended_domain_count () in
+  let gated = cores > 1 && workers > 1 in
+  let isolated = warm_p95 < delay_ms /. 2.0 in
+  let ok = !failures = 0 && ((not gated) || isolated) in
+  Printf.printf
+    "head-of-line: cold store.write delayed %.0fms, warm p95 %.2fms (%s%s)\n%!"
+    delay_ms warm_p95
+    (if isolated then "isolated" else "BLOCKED")
+    (if gated then "" else "; not gated on this hardware");
+  ( Json.Obj
+      [
+        ("delay_ms", Json.Num delay_ms);
+        ("warm_runs", Json.Num (float_of_int warm_runs));
+        ("warm_p95_ms", Json.Num warm_p95);
+        ("isolated", Json.Bool isolated);
+        ("gated", Json.Bool gated);
+        ("outputs_identical", Json.Bool (!failures = 0));
+        ("ok", Json.Bool ok);
+      ],
+    ok )
+
+let run_server_figure ~(smoke : bool) () : Json.t =
+  let cores = Domain.recommended_domain_count () in
+  let pool_workers = max 2 (min 4 (cores - 1)) in
+  let clients = if smoke then 2 else 4 in
+  let per_client = if smoke then 6 else 24 in
+  let cold_every = if smoke then 3 else 4 in
+  let n = if smoke then 6 else 12 in
+  Printf.printf
+    "\n%s\nCompile server: %d clients x %d requests, every %dth cold (%d-module diamond)\n%s\n"
+    line clients per_client cold_every n line;
+  Printf.printf "%-8s %8s %9s %9s %9s %9s %8s %5s %5s\n" "workers" "req/s"
+    "warm-p50" "warm-p95" "cold-p50" "cold-p95" "wall(ms)" "warm" "ok";
+  let j1, ok1, rps1 =
+    run_server_series ~workers:1 ~clients ~per_client ~cold_every ~n ()
+  in
+  let jn, okn, rpsn =
+    run_server_series ~workers:pool_workers ~clients ~per_client ~cold_every ~n ()
+  in
+  let hol, ok_hol = run_server_head_of_line ~workers:pool_workers ~n:6 () in
+  let ok = ok1 && okn && ok_hol in
+  if not ok then checksum_mismatches := ("serve", Base) :: !checksum_mismatches;
   Json.Obj
     [
-      ("clients", Json.Num (float_of_int clients));
-      ("requests_per_client", Json.Num (float_of_int per_client));
-      ("requests", Json.Num (float_of_int total));
-      ("modules", Json.Num (float_of_int n));
-      ("wall_ms", Json.Num wall_ms);
-      ("req_per_s", Json.Num req_per_s);
-      ("p50_ms", Json.Num p50);
-      ("p95_ms", Json.Num p95);
-      ("p99_ms", Json.Num p99);
-      ("outputs_identical", Json.Bool (Atomic.get failures = 0));
-      ("warm_compiles", Json.Num (float_of_int warm_compiles));
+      ("cores", Json.Num (float_of_int cores));
+      ("series", Json.Arr [ j1; jn ]);
+      ("throughput_speedup", Json.Num (rpsn /. rps1));
+      ("head_of_line", hol);
       ("ok", Json.Bool ok);
     ]
 
@@ -996,8 +1208,12 @@ let json_of_figure ?(expansion = []) ?parallel ?server ~figure ~rounds ~smoke
           bytecode-VM series (vm_run_ms / vm_checksum /
           vm_gc_minor_words / vm_gc_major_words); 5 adds the flow-analysis
           series — per-variant analysis_ms, the cfa_rewrites subset, the
-          rewrite_classes histogram, and the typed-nocfa ablation rows *)
-       ("schema", Json.Num 5.0);
+          rewrite_classes histogram, and the typed-nocfa ablation rows;
+          6 reshapes the server section for the concurrent daemon: a
+          "series" array (one mixed cold/warm load per worker count, with
+          per-class warm_/cold_ percentiles), the throughput_speedup
+          ratio, and the head_of_line probe *)
+       ("schema", Json.Num 6.0);
        ("figure", Json.Str figure);
        ("rounds", Json.Num (float_of_int rounds));
        ("smoke", Json.Bool smoke);

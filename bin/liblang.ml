@@ -121,13 +121,18 @@ let usage_text =
   \  eval [-l LANG] [--engine interp|vm] EXPR\n\
   \                          evaluate one expression (default language: racket)\n\
   \  repl [-l LANG]          interactive read-eval-print loop\n\
-  \  serve [--socket PATH] [--cache-dir DIR] [--fuel N] [-j N] [--faults PLAN]\n\
+  \  serve [--socket PATH] [--cache-dir DIR] [--fuel N] [-j N] [--workers N]\n\
+  \        [--session-ttl SECS] [--max-sessions N] [--faults PLAN]\n\
   \        [--engine interp|vm]\n\
   \                          start the compile server: a persistent daemon on\n\
   \                          a unix socket (default .liblang-server.sock) that\n\
   \                          keeps compiled state warm across requests and\n\
   \                          recompiles only modules whose files changed;\n\
-  \                          the NDJSON protocol is documented in docs/server.md\n\
+  \                          --workers sizes the request-dispatch domain pool\n\
+  \                          (default: cores-1 capped at 4), -j the per-request\n\
+  \                          build jobs, --session-ttl/--max-sessions the idle-\n\
+  \                          session eviction policy; clients may pipeline and\n\
+  \                          cancel requests — protocol in docs/server.md\n\
   \  client [--socket PATH] (run|compile|expand|analyze) FILE...\n\
   \  client [--socket PATH] (status|shutdown)\n\
   \                          send requests to a running compile server; run,\n\
@@ -481,6 +486,9 @@ let cmd_serve args =
   and cache = ref Liblang_core.Core.Compiled.Store.default_dir
   and fuel = ref None
   and jobs = ref 1
+  and workers = ref (Server.default_workers ())
+  and session_ttl = ref None
+  and max_sessions = ref None
   and engine = ref Pipeline.Interp in
   let rec go = function
     | [] -> ()
@@ -500,6 +508,24 @@ let cmd_serve args =
         match int_of_string_opt n with
         | Some n when n > 0 ->
             jobs := n;
+            go rest
+        | _ -> usage ())
+    | ("--workers" | "-w") :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n > 0 ->
+            workers := n;
+            go rest
+        | _ -> usage ())
+    | "--session-ttl" :: s :: rest -> (
+        match float_of_string_opt s with
+        | Some t when t > 0.0 ->
+            session_ttl := Some t;
+            go rest
+        | _ -> usage ())
+    | "--max-sessions" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 0 ->
+            max_sessions := Some n;
             go rest
         | _ -> usage ())
     | "--faults" :: plan :: rest -> (
@@ -523,16 +549,19 @@ let cmd_serve args =
     {
       Server.socket_path = !socket;
       cache_dir = !cache;
+      workers = !workers;
       default_jobs = !jobs;
       fuel = !fuel;
       engine = !engine;
+      session_ttl = !session_ttl;
+      max_sessions = !max_sessions;
     }
   in
   match
     Server.serve
       ~on_ready:(fun _ ->
-        Printf.printf "liblang server: listening on %s (cache %s, pid %d)\n%!" !socket
-          !cache (Unix.getpid ()))
+        Printf.printf "liblang server: listening on %s (cache %s, %d workers, pid %d)\n%!"
+          !socket !cache (max 1 !workers) (Unix.getpid ()))
       cfg
   with
   | () -> print_endline "liblang server: shut down"

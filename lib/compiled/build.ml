@@ -321,16 +321,7 @@ let run_parallel ~diagnostic_of_exn ~deadline ~(jobs : int) (tasks : task list) 
        domain before it ever takes a task — the supervision case the
        chaos gate exercises hardest *)
     Fault.check "build.spawn";
-    (* OCaml 5 minor collections are stop-the-world across every running
-       domain, so [jobs] allocation-heavy expanders on default-size
-       nurseries spend most of their time in global sync pauses (measured
-       ~4x per-module CPU inflation at -j4).  A larger per-worker minor
-       heap amortizes the sync points.  [Gc.set] is per-domain and does
-       not propagate through [Domain.spawn], so each worker sets its
-       own. *)
-    let g = Gc.get () in
-    if g.Gc.minor_heap_size < 4 * 1024 * 1024 then
-      Gc.set { g with Gc.minor_heap_size = 4 * 1024 * 1024 };
+    Parallel.tune_worker_gc ();
     (* each worker collects into its own collector (merged on join); no
        collector at all when the build itself is unobserved *)
     let collector = Option.map (fun _ -> Metrics.create ()) merge_into in

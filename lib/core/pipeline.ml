@@ -159,6 +159,11 @@ let diagnostic_of_exn : exn -> Diagnostic.t option = function
       Some
         (Diagnostic.error ~phase:Module
            (Printf.sprintf "task exceeded its %gs wall-clock deadline" budget))
+  | Liblang_fault.Fault.Cancelled ->
+      (* the compile server's [cancel] op aborted this request at a
+         cooperative checkpoint; exit 1 on the wire, like any ordinary
+         diagnostic (docs/server.md) *)
+      Some (Diagnostic.error ~phase:Module "request cancelled")
   | _ -> None
 
 (** Run [f] under a fresh reporter with fuel limits armed; every failure
@@ -166,12 +171,13 @@ let diagnostic_of_exn : exn -> Diagnostic.t option = function
     pipeline exception, or a foreign exception — comes back as [Error]. *)
 let contain ?fuel (f : unit -> 'a) : ('a, Diagnostic.t list) result =
   let reporter = Reporter.create () in
-  let saved_fuel = !Interp.fuel in
+  let fuel_cell = Interp.fuel () in
+  let saved_fuel = !fuel_cell in
   let finish r =
-    Interp.fuel := saved_fuel;
+    fuel_cell := saved_fuel;
     r
   in
-  Interp.fuel := (match fuel with Some n -> n | None -> default_compile_fuel);
+  fuel_cell := (match fuel with Some n -> n | None -> default_compile_fuel);
   Expander.reset_limits ();
   let pending () = Reporter.diagnostics reporter in
   match Reporter.with_reporter reporter f with
@@ -228,7 +234,8 @@ let run ?fuel ?name ?(observe = Observe.nothing) ?(engine = Interp) (source : st
                   let lang, datums = read_module_body ~name source in
                   let m = Modsys.compile_module ~name ~lang datums in
                   (* compilation done: switch the step counter to the runtime allotment *)
-                  Interp.fuel := (match fuel with Some n -> n | None -> Interp.unlimited);
+                  Interp.fuel ()
+                  := (match fuel with Some n -> n | None -> Interp.unlimited);
                   Modsys.instantiate m;
                   Value.Void))))
 
@@ -335,8 +342,8 @@ let run_file ?fuel ?cache_dir ?(jobs = 1) ?(observe = Observe.nothing) ?(engine 
                             raise_build_failures
                               (Core.Compiled.Build.build ~diagnostic_of_exn ~jobs [ path ]);
                           let m = Core.Compiled.compile_file path in
-                          Interp.fuel :=
-                            (match fuel with Some n -> n | None -> Interp.unlimited);
+                          Interp.fuel ()
+                          := (match fuel with Some n -> n | None -> Interp.unlimited);
                           Modsys.instantiate m;
                           Value.Void)))))
 
@@ -383,7 +390,8 @@ let eval ?fuel ?(lang = "racket") ?(observe = Observe.nothing) ?(engine = Interp
       with_stx_counters @@ fun () ->
       contain ?fuel (fun () ->
           with_engine engine (fun () ->
-              Interp.fuel := (match fuel with Some n -> n | None -> Interp.unlimited);
+              Interp.fuel ()
+              := (match fuel with Some n -> n | None -> Interp.unlimited);
               Core.eval_expr ~lang src)))
 
 (** Render a diagnostic batch for the terminal. *)

@@ -207,7 +207,7 @@ let apply_transformer (t : Denote.transformer) (s : Stx.t) : Stx.t =
           ("loc", Liblang_reader.Srcloc.to_string (Stx.loc s));
           ("before", Stx.to_string s);
         ];
-    let interp_fuel0 = !Interp.fuel in
+    let interp_fuel0 = !(Interp.fuel ()) in
     let t0 = Metrics.now () in
     let output = transform t s in
     if Metrics.installed () then begin
@@ -216,7 +216,7 @@ let apply_transformer (t : Denote.transformer) (s : Stx.t) : Stx.t =
       Metrics.add_time key (Metrics.now () -. t0);
       (* compile-time evaluation steps burned inside the transformer: only
          phase-1 (object-language) procedures consume interpreter fuel *)
-      let burned = interp_fuel0 - !Interp.fuel in
+      let burned = interp_fuel0 - !(Interp.fuel ()) in
       if burned > 0 then Metrics.countn ("expand.fuel." ^ name) burned
     end;
     if Trace.enabled_at 2 then

@@ -33,6 +33,15 @@
                        (an injected error drops that connection only)
     - [server.session] a compile-server request starting (an injected
                        error kills that session; the daemon survives)
+    - [server.exec]    a compile-server worker domain beginning to
+                       execute a dispatched request (inside the
+                       request's containment: an injected error costs
+                       that request an error response, nothing else)
+    - [server.worker]  a compile-server worker domain taking a job off
+                       the queue, {e outside} the request containment —
+                       an injected error kills the worker domain itself;
+                       supervision answers the held request with exit 2
+                       and respawns a replacement (docs/server.md)
 
     {2 Modes}
 
@@ -59,15 +68,18 @@
     to 1 (fire on every arrival).  See docs/robustness.md for the full
     catalogue and the fault × layer degradation matrix.
 
-    {2 Cooperative deadlines}
+    {2 Cooperative deadlines and cancellation}
 
     {!with_deadline} arms a per-domain wall-clock budget; {!check_deadline}
-    raises {!Timeout} once it is exceeded.  Checks live at every store
-    I/O boundary, every fault site, and inside sliced [delay] sleeps —
-    so a stalled task surfaces as a diagnostic instead of a wedged pool.
-    Pure compute between checkpoints is bounded by the interpreter's
-    fuel, and tools/chaos_check.sh adds an outer [timeout] as the hard
-    backstop. *)
+    raises {!Timeout} once it is exceeded.  {!with_cancel} arms the same
+    checkpoints with an externally-settable flag — the compile server's
+    [cancel] op sets it from the accept loop, and the worker domain
+    running the request aborts with {!Cancelled} at its next checkpoint.
+    Checks live at every store I/O boundary, every fault site, and inside
+    sliced [delay] sleeps — so a stalled task surfaces as a diagnostic
+    instead of a wedged pool.  Pure compute between checkpoints is
+    bounded by the interpreter's fuel, and tools/chaos_check.sh adds an
+    outer [timeout] as the hard backstop. *)
 
 module Metrics = Liblang_observe.Metrics
 module Trace = Liblang_observe.Trace
@@ -110,6 +122,8 @@ let sites =
     "vm.load";
     "server.accept";
     "server.session";
+    "server.exec";
+    "server.worker";
   ]
 
 let mode_to_string = function
@@ -165,19 +179,29 @@ let unit_float ~seed ~site ~n : float =
 
 exception Timeout of float  (** the budget that was exceeded, in seconds *)
 
-(* How many deadlines are armed anywhere; 0 = check_deadline is one
-   atomic load. *)
+exception Cancelled  (** the request owning this computation was cancelled *)
+
+(* How many deadlines or cancellation scopes are armed anywhere;
+   0 = check_deadline is one atomic load. *)
 let armed = Atomic.make 0
 
 (* (absolute expiry, budget) of the innermost deadline of this domain *)
 let deadline_key : (float * float) option ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref None)
 
+(* the cancellation flag of this domain's current request, if any *)
+let cancel_key : bool Atomic.t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
 let check_deadline () : unit =
-  if Atomic.get armed > 0 then
+  if Atomic.get armed > 0 then begin
+    (match !(Domain.DLS.get cancel_key) with
+    | Some flag when Atomic.get flag -> raise Cancelled
+    | _ -> ());
     match !(Domain.DLS.get deadline_key) with
     | Some (expiry, budget) when Unix.gettimeofday () > expiry -> raise (Timeout budget)
     | _ -> ()
+  end
 
 (** Run [f] under a wall-clock budget of [seconds]: any
     {!check_deadline} past the expiry raises {!Timeout} (properly
@@ -193,6 +217,22 @@ let with_deadline ~(seconds : float) (f : unit -> 'a) : 'a =
     | _ -> Some (expiry, seconds)
   in
   slot := effective;
+  Atomic.incr armed;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.decr armed;
+      slot := saved)
+    f
+
+(** Run [f] under [flag]: once another domain sets [flag], this domain's
+    next {!check_deadline} checkpoint raises {!Cancelled}.  Cooperative
+    and best-effort — a computation already past its last checkpoint
+    completes normally.  Nests like {!with_deadline} (the innermost flag
+    wins for the extent of [f]). *)
+let with_cancel (flag : bool Atomic.t) (f : unit -> 'a) : 'a =
+  let slot = Domain.DLS.get cancel_key in
+  let saved = !slot in
+  slot := Some flag;
   Atomic.incr armed;
   Fun.protect
     ~finally:(fun () ->

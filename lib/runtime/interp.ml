@@ -24,19 +24,31 @@ open Value
    compile-time evaluation (and, on request, around whole-program runs) and
    maps {!Out_of_fuel} to a located diagnostic.  The default budget is
    effectively unlimited, so direct library use and the benchmarks pay only
-   one predictable decrement-and-branch per application. *)
+   one predictable decrement-and-branch per application.
+
+   The budget is {e per domain} (DLS): the compile server dispatches
+   requests onto worker domains, and one request's finite [fuel] must
+   never starve — or spuriously survive into — a request running
+   concurrently on another domain.  A freshly spawned domain copies its
+   parent's current budget (a parallel build spawned under a compile
+   budget inherits that budget, each worker counting its own copy). *)
 
 exception Out_of_fuel
 
 let unlimited = max_int
 
-let fuel : int ref = ref unlimited
+let fuel_key : int ref Domain.DLS.key =
+  Domain.DLS.new_key ~split_from_parent:(fun r -> ref !r) (fun () -> ref unlimited)
+
+(** This domain's fuel cell (read with [!], install with [:=]). *)
+let[@inline] fuel () : int ref = Domain.DLS.get fuel_key
 
 (* The profiler's hot-path hook: a load-and-branch when no collector is
    installed (see {!Liblang_observe.Metrics.bump_apps}), so the evaluator's
    application path stays allocation-free with observability off. *)
 let[@inline] step () =
   Liblang_observe.Metrics.bump_apps ();
+  let fuel = Domain.DLS.get fuel_key in
   decr fuel;
   if !fuel <= 0 then raise Out_of_fuel
 

@@ -119,6 +119,9 @@ type request =
           the solver stage (wide|compiled|lazy|delta, daemon default when
           absent) *)
   | Status  (** daemon liveness/counters snapshot *)
+  | Cancel of { target : Json.t }
+      (** abort the queued or in-flight request whose [id] equals
+          [target] on this same connection (cooperative — docs/server.md) *)
   | Shutdown  (** acknowledge, then stop the daemon *)
 
 (** A request plus its envelope: [id] is echoed verbatim in the response
@@ -131,6 +134,7 @@ let op_name = function
   | Expand _ -> "expand"
   | Analyze _ -> "analyze"
   | Status -> "status"
+  | Cancel _ -> "cancel"
   | Shutdown -> "shutdown"
 
 (** The raw [id] / [op] of an unvalidated request object — for error
@@ -155,6 +159,7 @@ let request_to_json ?(id = Json.Null) (req : request) : Json.t =
         [ ("op", Json.Str "analyze"); ("path", Json.Str path) ]
         @ (match stage with None -> [] | Some s -> [ ("stage", Json.Str s) ])
     | Status -> [ ("op", Json.Str "status") ]
+    | Cancel { target } -> [ ("op", Json.Str "cancel"); ("target", target) ]
     | Shutdown -> [ ("op", Json.Str "shutdown") ]
   in
   Json.Obj (base @ fields)
@@ -192,11 +197,16 @@ let request_of_json (j : Json.t) : (envelope, string) result =
                 let stage = str "stage" in
                 with_path op (fun path -> Analyze { path; stage })
             | "status" -> Ok Status
+            | "cancel" -> (
+                match Json.member "target" j with
+                | Some t when t <> Json.Null -> Ok (Cancel { target = t })
+                | _ -> Error "cancel: missing \"target\" (the id of the request to abort)")
             | "shutdown" -> Ok Shutdown
             | _ ->
                 Error
                   (Printf.sprintf
-                     "unknown op %S (compile, run, expand, analyze, status, shutdown)" op))
+                     "unknown op %S (compile, run, expand, analyze, status, cancel, \
+                      shutdown)" op))
         | Some _ -> Error "\"op\" must be a string"
         | None -> Error "missing \"op\""
       in

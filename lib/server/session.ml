@@ -16,7 +16,19 @@
     conflicting module names (say, two different [decl.scm] files) stay
     isolated because each name lands in the session's own registry
     snapshot, never in the daemon's base registry.  See
-    docs/server.md#session-isolation. *)
+    docs/server.md#session-isolation.
+
+    {2 Lifecycle}
+
+    A session's warm state (registry, memos, compile-time store) is a
+    cache, and the daemon may {!reset} it while the connection stays
+    open — the idle-session eviction policy (LRU by {!t.last_used},
+    knobs in docs/server.md).  The next request on an evicted session
+    transparently rebuilds: the artifact store still holds everything
+    the session compiled, so the rebuild is hit-only ([hits=N,
+    compiles=0]), never a re-expansion.  Sessions are entered on
+    whichever worker domain picked the request up; the server
+    serializes requests per session, so [enter] never races itself. *)
 
 module Core = Liblang_core.Core
 module Modsys = Core.Modsys
@@ -25,13 +37,19 @@ module Resolver = Liblang_compiled.Resolver
 
 type t = {
   sid : int;  (** daemon-unique session number (traces, status) *)
-  modules : Modsys.session;
+  mutable modules : Modsys.session;
   loaded : (string, string * Modsys.t) Hashtbl.t;
       (** resolver memo: module key -> (source digest, module) *)
   stats : (string, float * int * string) Hashtbl.t;
       (** resolver stat memo: module key -> (mtime, size, digest) *)
-  ct : Ct_store.t;  (** the session's compile-time store *)
+  mutable ct : Ct_store.t;  (** the session's compile-time store *)
   mutable requests : int;  (** requests served on this session *)
+  mutable last_used : float;  (** wall-clock time of the last request arrival *)
+  mutable warm : bool;
+      (** true once a request has run since the last create/reset — only
+          warm sessions count against the live-registry cap or are worth
+          evicting *)
+  mutable evictions : int;  (** times this session's warm state was evicted *)
 }
 
 let counter = Atomic.make 0
@@ -47,10 +65,29 @@ let create () : t =
     stats = Hashtbl.create 16;
     ct = Ct_store.create ();
     requests = 0;
+    last_used = Unix.gettimeofday ();
+    warm = false;
+    evictions = 0;
   }
 
+(** Record a request arrival (feeds the LRU eviction clock). *)
+let touch (s : t) : unit = s.last_used <- Unix.gettimeofday ()
+
+(** Evict [s]'s warm state: a fresh registry snapshot, empty resolver
+    memos, a fresh compile-time store.  The session object (and its
+    connection) survives; the next request rebuilds from the shared
+    artifact store.  Must only be called while no request of [s] is
+    queued or running — the server's accept loop guarantees that. *)
+let reset (s : t) : unit =
+  s.modules <- Modsys.fresh_session ();
+  Hashtbl.reset s.loaded;
+  Hashtbl.reset s.stats;
+  s.ct <- Ct_store.create ();
+  s.warm <- false;
+  s.evictions <- s.evictions + 1
+
 (** Run [f] with [s] installed: its module registry, module internals,
-    resolver memos and ambient compile-time store replace the daemon's for
+    resolver memos and ambient compile-time store replace the domain's for
     the extent of [f].  Mutations persist in [s] for its next request —
     that persistence is the warm state — and nothing leaks into other
     sessions or the daemon's base tables. *)

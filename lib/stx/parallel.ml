@@ -16,7 +16,11 @@
     [Domain.join] happens-before {!leave}, so every moment at which two
     domains can actually race is a moment at which {!active} is true in all
     of them — the gate cannot be seen "off" by one racing domain and "on" by
-    another.
+    another.  Long-lived pools follow the same bracket at a larger scale:
+    the compile server ([Liblang_server.Server]) holds the gate open for
+    its worker pool's whole lifetime — {!enter} before the first worker
+    domain spawns, {!leave} after the last one joins at shutdown — so
+    every request served concurrently runs with the gated locks live.
 
     The module also hosts the pool-level counters ({!tasks}, {!lock_waits})
     that the bench harness reports as [par.tasks] / [par.lock_waits]. *)
@@ -32,6 +36,19 @@ let leave () = Atomic.decr activations
 let with_active (f : unit -> 'a) : 'a =
   enter ();
   Fun.protect ~finally:leave f
+
+(** Per-worker-domain GC tuning, shared by every domain pool (the build
+    driver's task workers, the compile server's request workers).  OCaml 5
+    minor collections are stop-the-world across every running domain, so N
+    allocation-heavy expanders on default-size nurseries spend most of
+    their time in global sync pauses (measured ~4x per-module CPU
+    inflation at -j4).  A larger per-worker minor heap amortizes the sync
+    points.  [Gc.set] is per-domain and does not propagate through
+    [Domain.spawn], so each worker calls this itself, first thing. *)
+let tune_worker_gc () : unit =
+  let g = Gc.get () in
+  if g.Gc.minor_heap_size < 4 * 1024 * 1024 then
+    Gc.set { g with Gc.minor_heap_size = 4 * 1024 * 1024 }
 
 (* -- pool counters ----------------------------------------------------------
 

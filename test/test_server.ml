@@ -119,17 +119,22 @@ let request_parsing () =
 (* -- a live daemon -------------------------------------------------------------- *)
 
 (* Start a daemon in a spawned domain; run [f socket dir], then shut the
-   daemon down and join it (even when [f] raises). *)
-let with_server (f : string -> string -> unit) : unit =
+   daemon down and join it (even when [f] raises).  Two worker domains by
+   default, so every test exercises the concurrent dispatch path. *)
+let with_server ?(workers = 2) ?session_ttl ?max_sessions
+    (f : string -> string -> unit) : unit =
   let dir = fresh_dir () in
   let socket = Filename.concat dir "server.sock" in
   let cfg =
     {
       Server.socket_path = socket;
       cache_dir = Filename.concat dir "cache";
+      workers;
       default_jobs = 1;
       fuel = None;
       engine = Liblang_core.Pipeline.Interp;
+      session_ttl;
+      max_sessions;
     }
   in
   let d = Domain.spawn (fun () -> Server.serve cfg) in
@@ -324,6 +329,178 @@ let status_and_expand () =
         (contains (Client.output_of j) "left");
       Client.close c)
 
+(* -- pipelining, cancellation, lifecycle ---------------------------------------- *)
+
+(* Install [plan] (parsed) for the extent of [f]. *)
+let with_plan (spec : string) (f : unit -> unit) : unit =
+  (match Fault.parse spec with
+  | Ok plan -> Fault.install (Some plan)
+  | Error m -> Alcotest.failf "plan: %s" m);
+  Fun.protect ~finally:(fun () -> Fault.install None) f
+
+let send_with_id c ~id req =
+  match Client.send_with_id c ~id req with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "send: %s" m
+
+let recv c =
+  match Client.recv c with
+  | Ok j -> j
+  | Error m -> Alcotest.failf "recv: %s" m
+
+(* Read [n] responses and return them keyed by echoed id. *)
+let recv_by_id c n : (Json.t * Json.t) list =
+  List.init n (fun _ ->
+      let j = recv c in
+      (Client.id_of j, j))
+
+let find_response (label : string) (rs : (Json.t * Json.t) list) (id : Json.t) :
+    Json.t =
+  match List.assoc_opt id rs with
+  | Some j -> j
+  | None -> Alcotest.failf "%s: no response with id %s" label (Json.to_string id)
+
+let pipelined_out_of_order_responses () =
+  with_server (fun socket dir ->
+      let main = project dir in
+      let c = connect socket in
+      (* hold the run at the server.exec checkpoint so the inline status
+         answer observably overtakes it *)
+      with_plan "seed=7;server.exec=delay@200" (fun () ->
+          send_with_id c ~id:(Json.Str "A") (P.Run { path = main; fuel = None });
+          send_with_id c ~id:(Json.Num 42.0) P.Status;
+          (* out-of-order: the control op answers first even though it was
+             sent second *)
+          let first = recv c in
+          check_s "status overtakes the queued run" "42"
+            (match Client.id_of first with
+            | Json.Num f -> string_of_int (int_of_float f)
+            | j -> Json.to_string j);
+          check_b "status ok" true (Client.ok_of first);
+          let second = recv c in
+          check_b "run id echoed verbatim" true (Client.id_of second = Json.Str "A");
+          check_b "run ok" true (Client.ok_of second);
+          check_s "run output" "11" (Client.output_of second));
+      (* two session ops pipelined on one connection answer in arrival
+         order *)
+      send_with_id c ~id:(Json.Str "r1") (P.Run { path = main; fuel = None });
+      send_with_id c ~id:(Json.Str "r2") (P.Run { path = main; fuel = None });
+      check_b "first run answers first" true (Client.id_of (recv c) = Json.Str "r1");
+      check_b "second run answers second" true (Client.id_of (recv c) = Json.Str "r2");
+      Client.close c)
+
+let cancel_queued_request () =
+  with_server (fun socket dir ->
+      let main = project dir in
+      let c = connect socket in
+      ignore (run_req c main);
+      (* r1 holds the session at the server.exec checkpoint; r2 queues
+         behind it; the cancel kills r2 before it ever executes *)
+      with_plan "seed=7;server.exec=delay@300" (fun () ->
+          send_with_id c ~id:(Json.Str "r1") (P.Run { path = main; fuel = None });
+          send_with_id c ~id:(Json.Str "r2") (P.Run { path = main; fuel = None });
+          send_with_id c ~id:(Json.Str "k") (P.Cancel { target = Json.Str "r2" });
+          let rs = recv_by_id c 3 in
+          let k = find_response "cancel" rs (Json.Str "k") in
+          check_b "cancel acknowledged" true (Client.ok_of k);
+          (match Json.member "cancelled" k with
+          | Some (Json.Str "queued") -> ()
+          | Some j -> Alcotest.failf "cancelled a %s request, wanted queued" (Json.to_string j)
+          | None -> Alcotest.fail "cancel response carries no cancelled field");
+          let r1 = find_response "r1" rs (Json.Str "r1") in
+          check_b "uncancelled request unaffected" true (Client.ok_of r1);
+          let r2 = find_response "r2" rs (Json.Str "r2") in
+          check_b "cancelled request fails" false (Client.ok_of r2);
+          check_i "cancelled request exits 1" 1 (Client.exit_of r2);
+          match Client.error_of r2 with
+          | Some e -> check_b "error says cancelled" true (contains e "cancelled")
+          | None -> Alcotest.fail "cancelled response carries no error");
+      (* cancelling an id with nothing in flight is an error, not a hang *)
+      let j = request c (P.Cancel { target = Json.Str "nope" }) in
+      check_b "cancel of unknown id not ok" false (Client.ok_of j);
+      check_i "cancel of unknown id exits 1" 1 (Client.exit_of j);
+      (* the session is still usable after both *)
+      check_s "session survives cancellation" "11" (Client.output_of (run_req c main));
+      Client.close c)
+
+let cancel_inflight_request () =
+  with_server (fun socket dir ->
+      let main = project dir in
+      let c = connect socket in
+      ignore (run_req c main);
+      with_plan "seed=7;server.exec=delay@500" (fun () ->
+          send_with_id c ~id:(Json.Str "r1") (P.Run { path = main; fuel = None });
+          (* let the worker reach the sliced delay, then cancel mid-flight *)
+          Unix.sleepf 0.15;
+          send_with_id c ~id:(Json.Str "k") (P.Cancel { target = Json.Str "r1" });
+          let rs = recv_by_id c 2 in
+          let k = find_response "cancel" rs (Json.Str "k") in
+          check_b "cancel acknowledged" true (Client.ok_of k);
+          (match Json.member "cancelled" k with
+          | Some (Json.Str "inflight") -> ()
+          | Some j -> Alcotest.failf "cancelled a %s request, wanted inflight" (Json.to_string j)
+          | None -> Alcotest.fail "cancel response carries no cancelled field");
+          let r1 = find_response "r1" rs (Json.Str "r1") in
+          check_b "cancelled request fails" false (Client.ok_of r1);
+          check_i "cancelled request exits 1" 1 (Client.exit_of r1);
+          match Client.error_of r1 with
+          | Some e -> check_b "error says cancelled" true (contains e "cancelled")
+          | None -> Alcotest.fail "cancelled response carries no error");
+      (* the abort was cooperative: same session, next request is fine and
+         still warm *)
+      let j = run_req c main in
+      check_s "session survives in-flight cancel" "11" (Client.output_of j);
+      check_i "still warm after cancel" 0 (Client.summary_count j "compiles");
+      Client.close c)
+
+let idle_session_eviction_rebuilds_from_store () =
+  with_server ~session_ttl:0.05 (fun socket dir ->
+      let main = project dir in
+      let c = connect socket in
+      let j = compile_req c main in
+      check_i "cold compiles" 3 (Client.summary_count j "compiles");
+      (* idle past the TTL: the sweep resets the session's warm state *)
+      Unix.sleepf 0.3;
+      let j = compile_req c main in
+      check_b "evicted session still answers" true (Client.ok_of j);
+      check_i "rebuild is hit-only" 0 (Client.summary_count j "compiles");
+      check_i "rebuild hits the artifact store" 3 (Client.summary_count j "hits");
+      (* the eviction is visible in status *)
+      let s = request c P.Status in
+      (match Json.member "status" s with
+      | Some st ->
+          let n k =
+            match Option.bind (Json.member k st) Json.to_num with
+            | Some f -> int_of_float f
+            | None -> -1
+          in
+          check_b "evictions counted" true (n "evictions" >= 1);
+          (match Json.member "sessions_detail" st with
+          | Some (Json.Arr (_ :: _)) -> ()
+          | _ -> Alcotest.fail "status carries no sessions_detail")
+      | None -> Alcotest.fail "status response carries no status object");
+      Client.close c)
+
+let worker_death_spares_daemon () =
+  with_server (fun socket dir ->
+      let main = project dir in
+      let c = connect socket in
+      check_s "before death" "11" (Client.output_of (run_req c main));
+      (* kill the worker domain outside the request containment *)
+      with_plan "seed=7;server.worker=error" (fun () ->
+          let j = run_req c main in
+          check_b "orphaned request fails" false (Client.ok_of j);
+          check_i "worker death is an internal error" 2 (Client.exit_of j);
+          match Client.error_of j with
+          | Some e -> check_b "error names the dead worker" true (contains e "worker domain died")
+          | None -> Alcotest.fail "response carries no error");
+      (* supervision respawned a worker: same connection, same session,
+         still warm *)
+      let j = run_req c main in
+      check_s "daemon survives worker death" "11" (Client.output_of j);
+      check_i "still warm after worker death" 0 (Client.summary_count j "compiles");
+      Client.close c)
+
 let suite =
   [
     Alcotest.test_case "codec round-trips" `Quick codec_roundtrip;
@@ -338,4 +515,13 @@ let suite =
       malformed_frame_closes_only_that_connection;
     Alcotest.test_case "errors arrive as diagnostics" `Quick errors_are_diagnostics;
     Alcotest.test_case "status and expand" `Quick status_and_expand;
+    Alcotest.test_case "pipelined responses arrive out of order" `Quick
+      pipelined_out_of_order_responses;
+    Alcotest.test_case "cancel kills a queued request" `Quick cancel_queued_request;
+    Alcotest.test_case "cancel aborts an in-flight request" `Quick
+      cancel_inflight_request;
+    Alcotest.test_case "idle sessions evict and rebuild from the store" `Quick
+      idle_session_eviction_rebuilds_from_store;
+    Alcotest.test_case "worker death spares the daemon" `Quick
+      worker_death_spares_daemon;
   ]

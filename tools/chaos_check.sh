@@ -187,7 +187,139 @@ else
   fi
 fi
 
+# -- concurrent-server chaos (docs/server.md) --------------------------------
+# The daemon's worker pool must extend the same blast-radius discipline:
+# under seeded session/exec/worker-death/build faults and concurrent
+# client load, the daemon survives and the artifact store stays
+# crash-consistent -- a fresh fault-free daemon over the same cache must
+# heal it, serve a fresh session fully warm (compiles=0), print the
+# generator's closed form, and match a fault-free reference store byte
+# for byte.
+server_reqs=0
+SRVDIR="$WORK/server"
+mkdir -p "$SRVDIR"
+sgen=$("$LIBLANG" gen-modules --dir "$SRVDIR" --shape diamond 6)
+sroot=$(printf '%s\n' "$sgen" | sed -n 's/^root: //p')
+sexpected=$(printf '%s\n' "$sgen" | sed -n 's/^expected output: //p')
+SOCK="$SRVDIR/chaos.sock"
+SCACHE="$SRVDIR/cache"
+srv_pid=
+if [ -z "$sroot" ] || [ -z "$sexpected" ]; then
+  bad "server: gen-modules did not report a root/expected output"
+else
+  "$LIBLANG" serve --socket "$SOCK" --cache-dir "$SCACHE" --workers 2 \
+    --session-ttl 2 --faults \
+    "seed=91;deadline=20;server.session=error~0.12;server.exec=error~0.2;server.worker=error~0.08;build.task=error~0.15" \
+    >/dev/null 2>&1 &
+  srv_pid=$!
+  tries=0
+  while [ ! -S "$SOCK" ] && [ "$tries" -lt 50 ]; do
+    tries=$((tries + 1)); sleep 0.1
+  done
+  if [ ! -S "$SOCK" ]; then
+    bad "server: faulted daemon did not come up"
+  else
+    round=0
+    while [ "$round" -lt 3 ]; do
+      round=$((round + 1))
+      pids=
+      i=0
+      while [ "$i" -lt 8 ]; do
+        i=$((i + 1))
+        # faults may cost any single client its request or connection --
+        # any exit code but a hang is acceptable
+        $RUN "$LIBLANG" client --socket "$SOCK" run "$sroot" >/dev/null 2>&1 &
+        pids="$pids $!"
+      done
+      for p in $pids; do
+        wait "$p"
+        code=$?
+        server_reqs=$((server_reqs + 1))
+        if [ "$code" -eq 124 ]; then
+          bad "server: a chaos client hung (round $round)"
+        fi
+      done
+      if ! kill -0 "$srv_pid" 2>/dev/null; then
+        bad "server: daemon died under chaos load (round $round)"
+        break
+      fi
+    done
+    # shut the faulted daemon down; the session fault can kill a shutdown
+    # request's connection, so retry, then hard-kill as a last resort
+    tries=0
+    while kill -0 "$srv_pid" 2>/dev/null && [ "$tries" -lt 10 ]; do
+      tries=$((tries + 1))
+      $RUN "$LIBLANG" client --socket "$SOCK" shutdown >/dev/null 2>&1 && break
+      sleep 0.1
+    done
+    sleep 0.2
+    if kill -0 "$srv_pid" 2>/dev/null; then
+      kill "$srv_pid" 2>/dev/null
+    fi
+    wait "$srv_pid" 2>/dev/null
+  fi
+fi
+if [ -n "$srv_pid" ]; then
+  # heal: a fresh fault-free daemon over the chaos-damaged cache
+  SOCK2="$SRVDIR/heal.sock"
+  "$LIBLANG" serve --socket "$SOCK2" --cache-dir "$SCACHE" --workers 2 \
+    >/dev/null 2>&1 &
+  heal_pid=$!
+  tries=0
+  while [ ! -S "$SOCK2" ] && [ "$tries" -lt 50 ]; do
+    tries=$((tries + 1)); sleep 0.1
+  done
+  if [ ! -S "$SOCK2" ]; then
+    bad "server: fault-free heal daemon did not come up"
+    kill "$heal_pid" 2>/dev/null
+  else
+    # first client connection recovers whatever the chaos runs left cold
+    if ! $RUN "$LIBLANG" client --socket "$SOCK2" compile "$sroot" >/dev/null 2>&1; then
+      bad "server: fault-free recovery compile failed over the damaged cache"
+    fi
+    # each client invocation is a NEW connection = a fresh session, so a
+    # warm store is the only way this reports compiles=0
+    out=$($RUN "$LIBLANG" client --socket "$SOCK2" compile "$sroot" 2>/dev/null)
+    case $out in
+      *"compiles=0 "*) : ;;
+      *) bad "server: post-recovery fresh session is not fully warm: $out" ;;
+    esac
+    got=$($RUN "$LIBLANG" client --socket "$SOCK2" run "$sroot" 2>/dev/null)
+    if [ "$got" != "$sexpected" ]; then
+      bad "server: recovered run printed '$got', expected '$sexpected'"
+    fi
+    $RUN "$LIBLANG" client --socket "$SOCK2" shutdown >/dev/null 2>&1
+    wait "$heal_pid" 2>/dev/null
+  fi
+  # the healed store must match a fault-free reference byte for byte,
+  # with no stranded temp files
+  SREF="$SRVDIR/cache-ref"
+  if ! $RUN "$LIBLANG" compile -j 1 --cache-dir "$SREF" "$sroot" >/dev/null 2>&1; then
+    bad "server: fault-free reference build failed"
+  else
+    for a in "$SCACHE"/*.lart; do
+      [ -e "$a" ] || continue
+      b="$SREF/$(basename "$a")"
+      if [ ! -f "$b" ]; then
+        bad "server: $(basename "$a") exists in the chaos store but not the reference"
+      elif ! cmp -s "$a" "$b"; then
+        bad "server: $(basename "$a") differs from the fault-free reference after recovery"
+      fi
+    done
+    for b in "$SREF"/*.lart; do
+      [ -e "$b" ] || continue
+      if [ ! -f "$SCACHE/$(basename "$b")" ]; then
+        bad "server: $(basename "$b") missing from the chaos store after recovery"
+      fi
+    done
+  fi
+  leftover=$(find "$SCACHE" -name '*.tmp.*' | wc -l)
+  if [ "$leftover" -ne 0 ]; then
+    bad "server: $leftover stranded *.tmp.* file(s) survived recovery"
+  fi
+fi
+
 if [ "$fail" -eq 0 ]; then
-  echo "chaos_check OK: $schedules seeded schedules ($crashes injected crashes, $diag_fails contained failures); all stores recovered byte-identical"
+  echo "chaos_check OK: $schedules seeded schedules ($crashes injected crashes, $diag_fails contained failures), $server_reqs concurrent-server chaos requests; all stores recovered byte-identical"
 fi
 exit "$fail"
